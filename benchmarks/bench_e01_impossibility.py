@@ -1,0 +1,95 @@
+"""E1 — Theorem 3.1 + Example 1 (tightness of the impossibility result).
+
+Paper claims:
+* two stable labelings => not label (n-1)-stabilizing (Theorem 3.1);
+* Example 1 is label r-stabilizing for every r < n-1 (tightness);
+* the oscillation uses an exactly (n-1)-fair pair-rotation schedule.
+
+The bench regenerates the verdict table for n = 3..5 and times the exact
+model check on K_4.
+"""
+
+from repro.analysis import print_table
+from repro.core import RunOutcome, Simulator, default_inputs, minimal_fairness
+from repro.stabilization import (
+    broadcast_labelings,
+    decide_label_r_stabilizing,
+    example1_protocol,
+    one_token_labeling,
+    oscillating_schedule,
+    stable_labelings,
+)
+
+
+def _experiment_rows():
+    rows = []
+    for n in (3, 4, 5):
+        protocol = example1_protocol(n)
+        inputs = default_inputs(protocol)
+        stables = len(
+            stable_labelings(
+                protocol,
+                inputs,
+                broadcast_labelings(protocol.topology, protocol.label_space),
+            )
+        )
+        bad = decide_label_r_stabilizing(
+            protocol,
+            inputs,
+            n - 1,
+            initial_labelings=broadcast_labelings(
+                protocol.topology, protocol.label_space
+            ),
+        )
+        good = decide_label_r_stabilizing(
+            protocol,
+            inputs,
+            max(n - 2, 1),
+            initial_labelings=broadcast_labelings(
+                protocol.topology, protocol.label_space
+            ),
+        )
+        schedule = oscillating_schedule(n)
+        run = Simulator(protocol, inputs).run(
+            one_token_labeling(n), schedule, max_steps=2000
+        )
+        rows.append(
+            [
+                n,
+                stables,
+                f"not-stab={not bad.stabilizing}",
+                f"stab={good.stabilizing}",
+                minimal_fairness(schedule, 50 * n),
+                run.outcome.value,
+            ]
+        )
+        assert stables == 2
+        assert not bad.stabilizing and good.stabilizing
+        assert run.outcome is RunOutcome.OSCILLATING
+    return rows
+
+
+def test_e01_impossibility(benchmark):
+    rows = _experiment_rows()
+    print_table(
+        "E1: Theorem 3.1 / Example 1 — paper: 2 stable labelings, "
+        "not (n-1)-stab, (n-2)-stab",
+        ["n", "stable labelings", "r=n-1 verdict", "r=n-2 verdict",
+         "schedule fairness", "run outcome"],
+        rows,
+    )
+
+    protocol = example1_protocol(4)
+    inputs = default_inputs(protocol)
+
+    def kernel():
+        return decide_label_r_stabilizing(
+            protocol,
+            inputs,
+            3,
+            initial_labelings=broadcast_labelings(
+                protocol.topology, protocol.label_space
+            ),
+        ).stabilizing
+
+    assert benchmark(kernel) is False

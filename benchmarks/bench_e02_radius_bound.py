@@ -1,0 +1,61 @@
+"""E2 — Proposition 2.1: round complexity is at least the graph radius.
+
+For the generic protocol (which computes a non-constant function), measured
+output-convergence rounds must respect ``radius <= R_n``; the table reports
+radius vs. worst measured rounds per topology.
+"""
+
+import random
+
+from repro.analysis import print_table
+from repro.core import Labeling, Simulator, SynchronousSchedule
+from repro.graphs import (
+    bidirectional_ring,
+    binary_tree,
+    clique,
+    radius,
+    star,
+    unidirectional_ring,
+)
+from repro.power import generic_protocol
+
+
+def _measure(topology, seed=0):
+    rng = random.Random(seed)
+    f = lambda bits: bits[0] ^ bits[-1]  # noqa: E731 (non-constant)
+    protocol = generic_protocol(topology, f)
+    worst = 0
+    for _ in range(4):
+        x = tuple(rng.randrange(2) for _ in range(topology.n))
+        labeling = Labeling.random(topology, protocol.label_space, rng)
+        report = Simulator(protocol, x).run(labeling, SynchronousSchedule(topology.n))
+        assert report.label_stable
+        worst = max(worst, report.output_rounds)
+    return worst
+
+
+def _experiment_rows():
+    rows = []
+    for topology in (
+        unidirectional_ring(6),
+        bidirectional_ring(7),
+        clique(5),
+        star(6),
+        binary_tree(2),
+    ):
+        r = radius(topology)
+        measured = _measure(topology)
+        rows.append([topology.name, r, measured, measured >= r])
+        assert measured >= r
+    return rows
+
+
+def test_e02_radius_lower_bound(benchmark):
+    rows = _experiment_rows()
+    print_table(
+        "E2: Proposition 2.1 — paper: radius <= R_n for non-constant f",
+        ["topology", "radius", "measured rounds", "radius <= measured"],
+        rows,
+    )
+    topology = bidirectional_ring(7)
+    benchmark(lambda: _measure(topology, seed=1))

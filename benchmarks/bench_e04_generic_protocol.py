@@ -1,0 +1,74 @@
+"""E4 — Proposition 2.3: the generic protocol (L_n = n+1, R_n <= 2n).
+
+Measures, per topology: label complexity (exactly n+1 bits) and worst label
+convergence over random functions / inputs / initial labelings vs. the 2n
+bound.
+"""
+
+import random
+
+from repro.analysis import print_table
+from repro.core import Labeling, Simulator, SynchronousSchedule
+from repro.graphs import bidirectional_ring, clique, random_strongly_connected, unidirectional_ring
+from repro.power import generic_protocol, generic_round_bound
+from repro.power.generic_protocol import label_complexity
+
+
+def _measure(topology, trials=5, seed=0):
+    rng = random.Random(seed)
+    truth = {}
+
+    def f(bits):
+        key = tuple(bits)
+        if key not in truth:
+            truth[key] = rng.randrange(2)
+        return truth[key]
+
+    protocol = generic_protocol(topology, f)
+    worst = 0
+    for _ in range(trials):
+        x = tuple(rng.randrange(2) for _ in range(topology.n))
+        labeling = Labeling.random(topology, protocol.label_space, rng)
+        report = Simulator(protocol, x).run(labeling, SynchronousSchedule(topology.n))
+        assert report.label_stable
+        assert all(y == f(x) for y in report.outputs)
+        worst = max(worst, report.label_rounds)
+    return protocol, worst
+
+
+def _experiment_rows():
+    rows = []
+    for topology in (
+        unidirectional_ring(5),
+        bidirectional_ring(6),
+        clique(5),
+        random_strongly_connected(7, 4, seed=11),
+    ):
+        protocol, worst = _measure(topology)
+        n = topology.n
+        rows.append(
+            [
+                topology.name,
+                f"{protocol.label_complexity:.0f}",
+                label_complexity(n),
+                worst,
+                generic_round_bound(n),
+                worst <= generic_round_bound(n),
+            ]
+        )
+        assert worst <= generic_round_bound(n)
+        assert protocol.label_complexity == label_complexity(n)
+    return rows
+
+
+def test_e04_generic_protocol(benchmark):
+    rows = _experiment_rows()
+    print_table(
+        "E4: Proposition 2.3 — paper: L_n = n+1 bits, R_n <= 2n, "
+        "label-stabilizing for every f",
+        ["topology", "measured L_n", "paper L_n", "measured R_n",
+         "paper bound 2n", "holds"],
+        rows,
+    )
+    topology = clique(5)
+    benchmark(lambda: _measure(topology, trials=2, seed=3)[1])

@@ -1,0 +1,113 @@
+"""E5 — Theorem 4.1 (B.4/B.7): communication hardness of verification.
+
+Regenerates the reduction dichotomies:
+* EQ gadget (r = 1): stabilizing iff x != y;
+* EQ latch gadget (general r): stabilizing iff x != y under every r-fair
+  schedule;
+* DISJ gadget: stabilizing iff the sets are disjoint; Claim B.8's explicit
+  r-fair schedule oscillates for intersecting sets.
+
+All verdicts are exact model checks over the full broadcast state space.
+"""
+
+from repro.analysis import print_table
+from repro.core import RunOutcome, Simulator, default_inputs, minimal_fairness
+from repro.hardness import (
+    disj_gadget_protocol,
+    disj_oscillating_schedule,
+    disj_snake_labeling,
+    eq_gadget_protocol,
+    eq_latch_gadget_protocol,
+    normalized_snake,
+)
+from repro.stabilization import broadcast_labelings, decide_label_r_stabilizing
+
+
+def _verdict(protocol, r, budget=900_000):
+    return decide_label_r_stabilizing(
+        protocol,
+        default_inputs(protocol),
+        r,
+        initial_labelings=broadcast_labelings(
+            protocol.topology, protocol.label_space
+        ),
+        budget=budget,
+    )
+
+
+def _experiment_rows():
+    rows = []
+    # EQ gadget, r = 1
+    for n in (5, 6):
+        snake = normalized_snake(n - 2)
+        x = tuple(k % 2 for k in range(len(snake)))
+        for y, tag, expect in (
+            (x, "x==y", False),
+            (tuple(1 - b for b in x), "x!=y", True),
+        ):
+            verdict = _verdict(eq_gadget_protocol(n, x, y, snake), 1)
+            rows.append(
+                [f"EQ n={n}", tag, 1, verdict.stabilizing, expect,
+                 verdict.states_explored]
+            )
+            assert verdict.stabilizing == expect
+
+    # EQ latch gadget, r = 2
+    snake = normalized_snake(3)
+    segments = (len(snake) + 5) // 6
+    for y, tag, expect in (
+        ((1,) * segments, "x==y", False),
+        ((0,) * segments, "x!=y", True),
+    ):
+        verdict = _verdict(
+            eq_latch_gadget_protocol(7, (1,) * segments, y, 2, snake), 2
+        )
+        rows.append(
+            ["EQ-latch n=7", tag, 2, verdict.stabilizing, expect,
+             verdict.states_explored]
+        )
+        assert verdict.stabilizing == expect
+
+    # DISJ gadget, r = 4
+    snake = normalized_snake(3)
+    for x, y, tag, expect in (
+        ((1, 0), (1, 1), "intersecting", False),
+        ((1, 0), (0, 1), "disjoint", True),
+        ((0, 1), (0, 1), "intersecting", False),
+        ((0, 0), (1, 1), "disjoint", True),
+    ):
+        verdict = _verdict(disj_gadget_protocol(5, x, y, snake), 4)
+        rows.append(
+            [f"DISJ n=5 {x}/{y}", tag, 4, verdict.stabilizing, expect,
+             verdict.states_explored]
+        )
+        assert verdict.stabilizing == expect
+    return rows
+
+
+def test_e05_comm_hardness(benchmark):
+    rows = _experiment_rows()
+    print_table(
+        "E5: Theorem 4.1 — paper: stabilization verdict encodes EQ/DISJ "
+        "of the hidden inputs",
+        ["gadget", "inputs", "r", "stabilizing", "expected", "states"],
+        rows,
+    )
+
+    # Claim B.8's explicit oscillating schedule
+    snake = normalized_snake(3)
+    protocol = disj_gadget_protocol(5, (1, 0), (1, 1), snake)
+    schedule = disj_oscillating_schedule(5, snake, q=2, element=0)
+    report = Simulator(protocol, default_inputs(protocol)).run(
+        disj_snake_labeling(5, snake, 0), schedule, max_steps=3000
+    )
+    print(
+        f"\nClaim B.8 schedule: fairness r = {minimal_fairness(schedule, 300)},"
+        f" outcome = {report.outcome.value}"
+    )
+    assert report.outcome is RunOutcome.OSCILLATING
+
+    snake6 = normalized_snake(4)
+    x = tuple(k % 2 for k in range(len(snake6)))
+    protocol = eq_gadget_protocol(6, x, x, snake6)
+    benchmark(lambda: _verdict(protocol, 1).stabilizing)

@@ -1,0 +1,104 @@
+"""E6 — Theorem 4.2 (B.11/B.14): PSPACE-completeness reduction, executably.
+
+Regenerates the equivalence chain on small instances:
+  String-Oscillation(g)  <=>  stateful protocol not r-stabilizing
+                          <=>  compiled stateless protocol not stabilizing.
+"""
+
+from repro.analysis import print_table
+from repro.core import (
+    RoundRobinSchedule,
+    Simulator,
+    SynchronousSchedule,
+    default_inputs,
+)
+from repro.hardness import (
+    always_halt,
+    expand_inputs,
+    expand_labeling,
+    halt_unless_all_b,
+    halt_when_uniform,
+    metanode_compile,
+    never_halt_rotate,
+    oscillating_start,
+    procedure_labeling,
+    stateful_protocol_from_g,
+    toggle_forever,
+)
+from repro.stabilization import broadcast_labelings, decide_label_r_stabilizing
+
+CASES = [
+    ("always_halt", always_halt),
+    ("halt_when_uniform", halt_when_uniform),
+    ("never_halt_rotate", never_halt_rotate),
+    ("toggle_forever", toggle_forever),
+    ("halt_unless_all_b", halt_unless_all_b),
+]
+
+
+def _experiment_rows():
+    rows = []
+    alphabet = ("a", "b")
+    m = 2
+    for name, g in CASES:
+        witness = oscillating_start(g, alphabet, m)
+        protocol = stateful_protocol_from_g(g, alphabet, m)
+        verdict = decide_label_r_stabilizing(
+            protocol,
+            default_inputs(protocol),
+            2,
+            initial_labelings=broadcast_labelings(
+                protocol.topology, protocol.label_space
+            ),
+        )
+        match = (witness is None) == verdict.stabilizing
+        rows.append(
+            [name, witness, verdict.stabilizing, match, verdict.states_explored]
+        )
+        assert match
+    return rows
+
+
+def test_e06_pspace_reduction(benchmark):
+    rows = _experiment_rows()
+    print_table(
+        "E6: Theorem 4.2 — paper: protocol r-stabilizing iff the procedure "
+        "always halts",
+        ["g", "oscillating start", "protocol 2-stabilizing", "equiv holds",
+         "states"],
+        rows,
+    )
+
+    # metanode compiler preserves both behaviors (Theorem B.14)
+    compiler_rows = []
+    for name, g in (("never_halt_rotate", never_halt_rotate), ("always_halt", always_halt)):
+        protocol = stateful_protocol_from_g(g, ("a", "b"), 2)
+        compiled = metanode_compile(protocol)
+        labeling = expand_labeling(
+            protocol, procedure_labeling(protocol, g, ("a", "b"))
+        )
+        report = Simulator(compiled, expand_inputs(default_inputs(protocol))).run(
+            labeling, SynchronousSchedule(compiled.n), max_steps=3000
+        )
+        compiler_rows.append(
+            [name, f"{protocol.n} -> {compiled.n} nodes", report.outcome.value]
+        )
+    print_table(
+        "E6b: Theorem B.14 — metanode compiler preserves (non-)stabilization",
+        ["g", "compilation", "compiled synchronous outcome"],
+        compiler_rows,
+    )
+    assert compiler_rows[0][2] != "label-stable"
+    assert compiler_rows[1][2] == "label-stable"
+
+    g = halt_unless_all_b
+    protocol = stateful_protocol_from_g(g, ("a", "b"), 2)
+    labeling = procedure_labeling(protocol, g, ("b", "b"))
+    simulator = Simulator(protocol, default_inputs(protocol))
+
+    def kernel():
+        return simulator.run(
+            labeling, RoundRobinSchedule(protocol.n), max_steps=500
+        ).label_stable
+
+    assert benchmark(kernel) is False

@@ -1,0 +1,55 @@
+"""E10 — Lemma C.2: round complexity on the unidirectional ring.
+
+Paper: R_n <= n |Sigma| for every protocol, and the counter-to-saturation
+protocol achieves R_n = n(|Sigma|-1) exactly.  The bench measures the
+protocol's convergence time over an (n, q) grid.
+"""
+
+from repro.analysis import print_table
+from repro.core import Labeling, Simulator, SynchronousSchedule
+from repro.power import (
+    unidirectional_round_bound,
+    worst_case_protocol,
+    worst_case_round_complexity,
+)
+
+
+def _measure(n, q):
+    protocol = worst_case_protocol(n, q)
+    labeling = Labeling.uniform(protocol.topology, 0)
+    report = Simulator(protocol, (0,) * n).run(
+        labeling, SynchronousSchedule(n), max_steps=n * q + 20
+    )
+    assert report.label_stable
+    return report.label_rounds
+
+
+def _experiment_rows():
+    rows = []
+    for n in (3, 4, 6, 8):
+        for q in (2, 3, 5):
+            measured = _measure(n, q)
+            predicted = worst_case_round_complexity(n, q)
+            rows.append(
+                [
+                    n,
+                    q,
+                    measured,
+                    predicted,
+                    unidirectional_round_bound(n, q),
+                    measured == predicted,
+                ]
+            )
+            assert measured == predicted
+    return rows
+
+
+def test_e10_worst_case_rounds(benchmark):
+    rows = _experiment_rows()
+    print_table(
+        "E10: Lemma C.2 — paper: R_n = n(q-1) exactly; upper bound n*q",
+        ["n", "q = |Sigma|", "measured R_n", "paper n(q-1)", "bound n*q",
+         "exact match"],
+        rows,
+    )
+    benchmark(lambda: _measure(6, 5))

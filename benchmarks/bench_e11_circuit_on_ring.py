@@ -1,0 +1,90 @@
+"""E11 — Theorem 5.4: Boolean circuits on the bidirectional ring.
+
+Compiles standard circuits to ring protocols and measures, from random
+initial labelings: correctness on every input, output settling time vs the
+polynomial bound, and the O(log D) label complexity.
+"""
+
+import math
+import random
+from itertools import product
+
+from repro.analysis import output_settle_time
+from repro.analysis.tables import print_table
+from repro.core import Labeling
+from repro.power import RingCircuitLayout, circuit_ring_protocol, ring_inputs
+from repro.substrates.circuits import (
+    and_circuit,
+    equality_circuit,
+    or_circuit,
+    parity_circuit,
+)
+
+
+def _measure(name, circuit, seed=0):
+    layout = RingCircuitLayout(circuit)
+    protocol = circuit_ring_protocol(circuit)
+    rng = random.Random(seed)
+    horizon = layout.round_bound()
+    worst = 0
+    for x in product((0, 1), repeat=circuit.n_inputs):
+        labeling = Labeling.random(protocol.topology, protocol.label_space, rng)
+        settle, outputs = output_settle_time(
+            protocol,
+            ring_inputs(layout, x),
+            labeling,
+            horizon=horizon,
+            window=layout.modulus,
+        )
+        assert set(outputs) == {circuit.evaluate(x)}
+        worst = max(worst, settle)
+    return [
+        name,
+        circuit.n_inputs,
+        layout.m,
+        layout.ring_size,
+        layout.modulus,
+        f"{protocol.label_complexity:.1f}",
+        f"{2 * math.log2(layout.modulus) + 6:.1f}",
+        worst,
+        horizon,
+    ]
+
+
+def _experiment_rows():
+    return [
+        _measure("and2", and_circuit(2)),
+        _measure("or3", or_circuit(3)),
+        _measure("parity3", parity_circuit(3)),
+        _measure("equality4", equality_circuit(4)),
+    ]
+
+
+def test_e11_circuit_on_ring(benchmark):
+    rows = _experiment_rows()
+    print_table(
+        "E11: Theorem 5.4 — paper: circuit evaluated on the ring with "
+        "O(log) labels and polynomial rounds, from any initial labeling",
+        ["circuit", "inputs", "gates", "ring N", "D", "measured bits",
+         "2log2(D)+6", "worst settle", "round bound"],
+        rows,
+    )
+
+    circuit = and_circuit(2)
+    layout = RingCircuitLayout(circuit)
+    protocol = circuit_ring_protocol(circuit)
+    labeling = Labeling.random(
+        protocol.topology, protocol.label_space, random.Random(42)
+    )
+
+    def kernel():
+        settle, outputs = output_settle_time(
+            protocol,
+            ring_inputs(layout, (1, 1)),
+            labeling,
+            horizon=layout.round_bound(),
+            window=layout.modulus,
+        )
+        return set(outputs)
+
+    assert benchmark(kernel) == {1}

@@ -1,0 +1,87 @@
+"""E12 — Theorem 5.4, converse: unrolling protocols into circuits.
+
+Random small protocols are unrolled into layered Boolean circuits; the
+circuit must agree with the engine on every input, and its size must scale
+linearly with rounds x nodes (the P/poly containment).
+"""
+
+import random
+from itertools import product
+
+from repro.analysis import print_table
+from repro.core import (
+    Labeling,
+    Simulator,
+    StatelessProtocol,
+    SynchronousSchedule,
+    TabularReaction,
+    binary,
+)
+from repro.graphs import unidirectional_ring
+from repro.power import unroll_protocol
+
+
+def _random_protocol(n, seed):
+    rng = random.Random(seed)
+    topology = unidirectional_ring(n)
+    reactions = []
+    for i in range(n):
+        table = {}
+        for label in (0, 1):
+            for x in (0, 1):
+                table[((label,), x)] = ((rng.randrange(2),), rng.randrange(2))
+        reactions.append(
+            TabularReaction(topology.in_edges(i), topology.out_edges(i), table)
+        )
+    return StatelessProtocol(topology, binary(), reactions, name=f"random({seed})")
+
+
+def _agreement(protocol, rounds, node):
+    circuit = unroll_protocol(protocol, rounds, node=node)
+    initial = Labeling.uniform(protocol.topology, 0)
+    n = protocol.n
+    matches = 0
+    total = 0
+    for x in product((0, 1), repeat=n):
+        trace = Simulator(protocol, x).run_trace(
+            initial, SynchronousSchedule(n), rounds
+        )
+        total += 1
+        if circuit.evaluate(x) == trace[rounds].outputs[node]:
+            matches += 1
+    return circuit, matches, total
+
+
+def _experiment_rows():
+    rows = []
+    for seed in (0, 1, 2):
+        for rounds in (2, 5, 8):
+            protocol = _random_protocol(3, seed)
+            circuit, matches, total = _agreement(protocol, rounds, node=0)
+            rows.append(
+                [seed, rounds, circuit.size, f"{matches}/{total}"]
+            )
+            assert matches == total
+    return rows
+
+
+def test_e12_protocol_to_circuit(benchmark):
+    rows = _experiment_rows()
+    print_table(
+        "E12: Theorem 5.4 converse — paper: protocol runs unroll to circuits "
+        "of size poly(T*n)",
+        ["protocol seed", "rounds T", "circuit size", "agreement"],
+        rows,
+    )
+    # circuit size grows linearly in T (same per-layer cost)
+    sizes = {}
+    for rounds in (2, 5, 8):
+        protocol = _random_protocol(3, 0)
+        circuit, _, _ = _agreement(protocol, rounds, 0)
+        sizes[rounds] = circuit.size
+    per_layer_a = (sizes[5] - sizes[2]) / 3
+    per_layer_b = (sizes[8] - sizes[5]) / 3
+    assert per_layer_a == per_layer_b  # constant per-layer growth
+
+    protocol = _random_protocol(3, 7)
+    benchmark(lambda: unroll_protocol(protocol, 5, node=0).size)

@@ -1,0 +1,70 @@
+"""E13 — Theorem 5.10: the counting lower bound L_n >= n/(4k).
+
+Two parts:
+* the asymptotic table (bound per n, k; protocol-count arithmetic);
+* an *exact census* of the 2-node unidirectional ring: which of the 16
+  two-bit Boolean functions are computable with 0-bit labels (|Sigma| = 1:
+  only the constants) vs 1-bit labels (all 16) — the counting phenomenon in
+  the smallest possible system.
+"""
+
+import math
+
+from repro.analysis import print_table
+from repro.power import (
+    counting_lower_bound,
+    functions_count,
+    smallest_sufficient_label_bits,
+    two_ring_census,
+)
+
+
+def _bound_rows():
+    rows = []
+    for n, k in ((9, 1), (16, 2), (32, 2), (64, 4), (128, 2), (1024, 3)):
+        rows.append(
+            [
+                n,
+                k,
+                f"{counting_lower_bound(n, k):.1f}",
+                f"2^{2**n}" if n <= 16 else f"2^(2^{n})",
+                smallest_sufficient_label_bits(n, k),
+            ]
+        )
+    return rows
+
+
+def _census_rows():
+    rows = []
+    for sigma_size, bits in ((1, 0.0), (2, 1.0)):
+        census = two_ring_census(sigma_size)
+        computable = sum(1 for ok in census.values() if ok)
+        rows.append([sigma_size, bits, f"{computable}/16"])
+    return rows
+
+
+def test_e13_counting_bound(benchmark):
+    print_table(
+        "E13: Theorem 5.10 — paper: some f needs L_n >= n/(4k) on "
+        "max-degree-k graphs",
+        ["n", "k", "lower bound n/(4k)", "#functions", "sufficient bits (calc)"],
+        _bound_rows(),
+    )
+    census = _census_rows()
+    print_table(
+        "E13b: exact protocol census on the 2-ring — label bits vs "
+        "computable functions",
+        ["|Sigma|", "label bits", "computable 2-bit functions"],
+        census,
+    )
+    assert census[0][2] == "2/16"  # only constants without communication
+    assert census[1][2] == "16/16"
+
+    # bound is monotone and the proof inequality direction holds
+    values = [counting_lower_bound(n, 3) for n in range(9, 60)]
+    assert values == sorted(values)
+    assert functions_count(4) == 2**16
+    protocols_log2 = 2 * 16 * 1 * math.log2(2)  # |Sigma| = 1, k = 2, n = 16
+    assert protocols_log2 < 2**16  # far fewer protocols than functions
+
+    benchmark(lambda: sum(two_ring_census(2).values()))

@@ -1,0 +1,68 @@
+"""E14 — Theorem 6.2 + Corollaries 6.3/6.4: fooling-set label lower bounds.
+
+Machine-verifies the fooling sets for equality (linear bound) and majority
+(logarithmic bound) on the bidirectional ring, and reports them against the
+paper's constants and the Proposition 2.3 upper bound (n+1).
+"""
+
+from repro.analysis import print_table
+from repro.graphs import bidirectional_ring
+from repro.lowerbounds import (
+    equality_bound,
+    equality_fooling_set,
+    equality_function,
+    majority_bound,
+    majority_fooling_set,
+    majority_function,
+    paper_equality_bound,
+    paper_majority_bound,
+    ring_bound,
+    verify_fooling_set,
+)
+from repro.power.generic_protocol import label_complexity
+
+
+def _experiment_rows():
+    rows = []
+    for n in (8, 12, 16, 20, 32):
+        topology = bidirectional_ring(n)
+        eq_set = equality_fooling_set(n)
+        assert verify_fooling_set(equality_function, eq_set)
+        eq = ring_bound(topology, n // 2, eq_set)
+        maj_set = majority_fooling_set(n)
+        assert verify_fooling_set(majority_function, maj_set)
+        maj = ring_bound(topology, n // 2, maj_set)
+        rows.append(
+            [
+                n,
+                eq_set.size,
+                f"{eq:.2f}",
+                f"{paper_equality_bound(n):.2f}",
+                f"{maj:.2f}",
+                f"{paper_majority_bound(n):.2f}",
+                label_complexity(n),
+            ]
+        )
+        assert eq == equality_bound(n)
+        assert maj == majority_bound(n)
+        assert eq < label_complexity(n)
+    return rows
+
+
+def test_e14_fooling_bounds(benchmark):
+    rows = _experiment_rows()
+    print_table(
+        "E14: Corollaries 6.3/6.4 — equality needs linear labels, majority "
+        "logarithmic (verified sets; paper constants alongside — see "
+        "EXPERIMENTS.md for the cut-condition adjustment)",
+        ["n", "|S| (EQ)", "EQ bound", "paper (n-2)/8", "MAJ bound",
+         "paper log(n/2)/4", "upper bound n+1"],
+        rows,
+    )
+
+    def kernel():
+        fooling = equality_fooling_set(16)
+        assert verify_fooling_set(equality_function, fooling)
+        return ring_bound(bidirectional_ring(16), 8, fooling)
+
+    benchmark(kernel)

@@ -1,0 +1,140 @@
+"""E15 — Section 3 implications: best-response dynamics instability.
+
+The Theorem 3.1 corollary across the paper's application domains: multiple
+equilibria imply no (n-1)-stabilization for coordination games, BGP routing
+(DISAGREE), technology diffusion, congestion, and the SR latch; BAD GADGET
+has no equilibrium and oscillates structurally; GOOD GADGET converges.
+"""
+
+from repro.analysis import print_table
+from repro.core import (
+    Labeling,
+    RunOutcome,
+    Simulator,
+    SynchronousSchedule,
+    default_inputs,
+)
+from repro.dynamics import (
+    NO_ROUTE,
+    bad_gadget,
+    best_response_protocol,
+    bgp_protocol,
+    congestion_protocol,
+    contagion_protocol,
+    coordination_game,
+    disagree,
+    good_gadget,
+    ring_oscillator,
+    sr_latch,
+)
+from repro.graphs import bidirectional_ring, clique
+from repro.stabilization import (
+    broadcast_labelings,
+    decide_label_r_stabilizing,
+    is_stable_labeling,
+    stable_labelings,
+)
+
+
+def _count_stable(protocol, inputs):
+    return len(
+        stable_labelings(
+            protocol,
+            inputs,
+            broadcast_labelings(protocol.topology, protocol.label_space),
+        )
+    )
+
+
+def _verdict(protocol, inputs, r):
+    return decide_label_r_stabilizing(
+        protocol,
+        inputs,
+        r,
+        initial_labelings=broadcast_labelings(
+            protocol.topology, protocol.label_space
+        ),
+    ).stabilizing
+
+
+def _experiment_rows():
+    rows = []
+
+    protocol = best_response_protocol(coordination_game(clique(3)))
+    inputs = default_inputs(protocol)
+    rows.append(
+        ["coordination K_3", _count_stable(protocol, inputs),
+         _verdict(protocol, inputs, 2), "Thm 3.1: no"]
+    )
+
+    protocol = bgp_protocol(disagree())
+    inputs = default_inputs(protocol)
+    rows.append(
+        ["BGP DISAGREE", _count_stable(protocol, inputs),
+         _verdict(protocol, inputs, 2), "Thm 3.1: no"]
+    )
+
+    protocol = bgp_protocol(good_gadget())
+    inputs = default_inputs(protocol)
+    rows.append(
+        ["BGP GOOD GADGET", _count_stable(protocol, inputs),
+         _verdict(protocol, inputs, 3), "converges"]
+    )
+
+    protocol = contagion_protocol(bidirectional_ring(4), theta=0.5)
+    inputs = default_inputs(protocol)
+    rows.append(
+        ["contagion ring(4)", _count_stable(protocol, inputs),
+         _verdict(protocol, inputs, 3), "Thm 3.1: no"]
+    )
+
+    protocol = congestion_protocol(3, 2)
+    inputs = default_inputs(protocol)
+    rows.append(
+        ["congestion 3x2", _count_stable(protocol, inputs),
+         _verdict(protocol, inputs, 2), "Thm 3.1: no"]
+    )
+
+    protocol = sr_latch()
+    rows.append(
+        ["SR latch (S=R=0)", _count_stable(protocol, (0, 0)),
+         _verdict(protocol, (0, 0), 1), "Thm 3.1: no"]
+    )
+    return rows
+
+
+def test_e15_best_response(benchmark):
+    rows = _experiment_rows()
+    print_table(
+        "E15: Section 3 — paper: >= 2 stable labelings => not "
+        "(n-1)-stabilizing, across application domains",
+        ["system", "stable labelings", "(n-1)-stabilizing", "paper prediction"],
+        rows,
+    )
+    # systems with >= 2 stable labelings must not stabilize
+    for row in rows:
+        if isinstance(row[1], int) and row[1] >= 2:
+            assert row[2] is False
+        if row[0] == "BGP GOOD GADGET":
+            assert row[1] == 1 and row[2] is True
+
+    # structural oscillators: no stable labeling at all
+    bad = bgp_protocol(bad_gadget())
+    assert _count_stable(bad, default_inputs(bad)) == 0
+    report = Simulator(bad, default_inputs(bad)).run(
+        Labeling.uniform(bad.topology, NO_ROUTE),
+        SynchronousSchedule(bad.n),
+        max_steps=2000,
+    )
+    assert report.outcome is RunOutcome.OSCILLATING
+
+    osc = ring_oscillator(3)
+    inputs = default_inputs(osc)
+    assert not any(
+        is_stable_labeling(osc, inputs, labeling)
+        for labeling in broadcast_labelings(osc.topology, osc.label_space)
+    )
+
+    protocol = bgp_protocol(disagree())
+    inputs = default_inputs(protocol)
+    benchmark(lambda: _verdict(protocol, inputs, 2))

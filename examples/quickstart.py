@@ -1,0 +1,111 @@
+"""Quickstart: define a stateless protocol, run it, analyze stabilization.
+
+This walks through the paper's core model on its own Example 1: a clique of
+n processors, each broadcasting one bit — 0 if every incoming edge carries 0,
+else 1.  Both the all-0 and all-1 labelings are stable, so by Theorem 3.1 the
+protocol cannot be label (n-1)-stabilizing; the paper shows it *is*
+(n-2)-stabilizing.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    Labeling,
+    RandomRFairSchedule,
+    Simulator,
+    StatelessProtocol,
+    SynchronousSchedule,
+    UniformReaction,
+    binary,
+    default_inputs,
+    minimal_fairness,
+)
+from repro.graphs import clique
+from repro.stabilization import (
+    broadcast_labelings,
+    decide_label_r_stabilizing,
+    one_token_labeling,
+    oscillating_schedule,
+    stable_labelings,
+)
+
+N = 4
+
+
+def build_protocol() -> StatelessProtocol:
+    """Example 1, built by hand with the public API."""
+    topology = clique(N)
+
+    def or_bit(incoming, _x):
+        bit = 0 if all(value == 0 for value in incoming.values()) else 1
+        return bit, bit
+
+    reactions = [
+        UniformReaction(topology.out_edges(i), or_bit) for i in range(N)
+    ]
+    return StatelessProtocol(topology, binary(), reactions, name="quickstart")
+
+
+def main() -> None:
+    protocol = build_protocol()
+    inputs = default_inputs(protocol)
+    simulator = Simulator(protocol, inputs)
+
+    print(f"protocol: {protocol}")
+    print(f"label complexity L_n = {protocol.label_complexity} bit(s)\n")
+
+    # 1. Run synchronously from a random-ish labeling: converges fast.
+    labeling = one_token_labeling(N)
+    report = simulator.run(labeling, SynchronousSchedule(N))
+    print("synchronous run from a one-token labeling:")
+    print(f"  {report.describe()}")
+    print(f"  outputs: {report.outputs}\n")
+
+    # 2. Enumerate the stable labelings: exactly two (Theorem 3.1 trigger).
+    stables = stable_labelings(
+        protocol, inputs, broadcast_labelings(protocol.topology, protocol.label_space)
+    )
+    print(f"stable labelings: {len(stables)} (all-0 and all-1)\n")
+
+    # 3. The explicit (n-1)-fair schedule under which the labels never settle.
+    schedule = oscillating_schedule(N)
+    print(
+        "oscillating schedule fairness:"
+        f" r = {minimal_fairness(schedule, 100)} (= n-1 = {N - 1})"
+    )
+    report = simulator.run(labeling, schedule, max_steps=1000)
+    print(f"  run under it: {report.describe()}\n")
+
+    # 4. Exact verification: model-check r-stabilization both ways.
+    for r in (N - 1, N - 2):
+        verdict = decide_label_r_stabilizing(
+            protocol,
+            inputs,
+            r,
+            initial_labelings=broadcast_labelings(
+                protocol.topology, protocol.label_space
+            ),
+        )
+        print(
+            f"label {r}-stabilizing? {verdict.stabilizing}"
+            f"   (explored {verdict.states_explored} states)"
+        )
+        if verdict.witness is not None:
+            witness = verdict.witness
+            replay = simulator.run(
+                witness.initial_labeling,
+                witness.to_schedule(N),
+                max_steps=2000,
+            )
+            print(f"   witness replay: {replay.describe()}")
+
+    # 5. Random r-fair schedules with r < n-1 always converge.
+    print("\nrandom (n-2)-fair runs:")
+    for seed in range(3):
+        schedule = RandomRFairSchedule(N, r=N - 2, seed=seed)
+        report = simulator.run(labeling, schedule, max_steps=5000)
+        print(f"  seed {seed}: {report.describe()} outputs={report.outputs}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+"""Why verifying self-stabilization is hard (Section 4), executably.
+
+Deciding label r-stabilization is PSPACE-complete and needs exponential
+communication; the paper proves both via gadget reductions.  This example
+runs the actual gadgets:
+
+1. the EQUALITY gadget — whether the protocol stabilizes encodes whether two
+   hidden strings are equal (so Alice and Bob must essentially exchange them);
+2. the DISJOINTNESS gadget with its explicit r-fair oscillating schedule;
+3. the String-Oscillation reduction through a stateful protocol and the
+   metanode compiler back to a stateless one.
+
+Run:  python examples/verify_stabilization.py
+"""
+
+from repro.core import (
+    RoundRobinSchedule,
+    Simulator,
+    SynchronousSchedule,
+    default_inputs,
+    minimal_fairness,
+)
+from repro.hardness import (
+    disj_gadget_protocol,
+    disj_oscillating_schedule,
+    disj_snake_labeling,
+    eq_gadget_protocol,
+    eq_snake_labeling,
+    expand_inputs,
+    expand_labeling,
+    halt_unless_all_b,
+    metanode_compile,
+    normalized_snake,
+    oscillating_start,
+    procedure_labeling,
+    stateful_protocol_from_g,
+)
+from repro.stabilization import broadcast_labelings, decide_label_r_stabilizing
+
+
+def main() -> None:
+    # -- EQ gadget -----------------------------------------------------------
+    n = 6
+    snake = normalized_snake(n - 2)
+    print(f"EQ gadget on K_{n}: snake of length {len(snake)} in Q_{n - 2}")
+    x = tuple(k % 2 for k in range(len(snake)))
+    for y, tag in ((x, "x == y"), (tuple(1 - b for b in x), "x != y")):
+        protocol = eq_gadget_protocol(n, x, y, snake)
+        verdict = decide_label_r_stabilizing(
+            protocol,
+            default_inputs(protocol),
+            1,
+            initial_labelings=broadcast_labelings(
+                protocol.topology, protocol.label_space
+            ),
+        )
+        print(f"  {tag}: label 1-stabilizing? {verdict.stabilizing}")
+    protocol = eq_gadget_protocol(n, x, x, snake)
+    report = Simulator(protocol, default_inputs(protocol)).run(
+        eq_snake_labeling(n, snake, 0, x[0]),
+        SynchronousSchedule(n),
+        max_steps=500,
+    )
+    print(f"  x == y run from a snake state: {report.describe()}")
+    print("  => deciding stabilization decides EQUALITY of the hidden inputs\n")
+
+    # -- DISJ gadget ----------------------------------------------------------
+    n, q = 5, 2
+    snake = normalized_snake(n - 2)
+    print(f"DISJ gadget on K_{n} (q = {q}, r = {2 * q}):")
+    for x, y, tag in (
+        ((1, 0), (1, 1), "intersecting"),
+        ((1, 0), (0, 1), "disjoint"),
+    ):
+        protocol = disj_gadget_protocol(n, x, y, snake)
+        verdict = decide_label_r_stabilizing(
+            protocol,
+            default_inputs(protocol),
+            2 * q,
+            initial_labelings=broadcast_labelings(
+                protocol.topology, protocol.label_space
+            ),
+            budget=900_000,
+        )
+        print(f"  {tag}: label {2 * q}-stabilizing? {verdict.stabilizing}")
+    protocol = disj_gadget_protocol(n, (1, 0), (1, 1), snake)
+    schedule = disj_oscillating_schedule(n, snake, q, element=0)
+    report = Simulator(protocol, default_inputs(protocol)).run(
+        disj_snake_labeling(n, snake, 0), schedule, max_steps=2000
+    )
+    print(
+        f"  Claim B.8 schedule (fairness r = {minimal_fairness(schedule, 200)}):"
+        f" {report.describe()}\n"
+    )
+
+    # -- PSPACE reduction ------------------------------------------------------
+    print("String-Oscillation -> stateful protocol -> metanode compiler:")
+    g = halt_unless_all_b
+    witness = oscillating_start(g, ("a", "b"), 2)
+    print(f"  procedure loops from T = {witness}")
+    stateful = stateful_protocol_from_g(g, ("a", "b"), 2)
+    report = Simulator(stateful, default_inputs(stateful)).run(
+        procedure_labeling(stateful, g, witness),
+        RoundRobinSchedule(stateful.n),
+        max_steps=2000,
+    )
+    print(f"  stateful protocol from that string: {report.describe()}")
+    compiled = metanode_compile(stateful)
+    print(f"  metanode compile: {stateful.n} nodes -> {compiled.n} nodes, stateless")
+    report = Simulator(compiled, expand_inputs(default_inputs(stateful))).run(
+        expand_labeling(stateful, procedure_labeling(stateful, g, witness)),
+        SynchronousSchedule(compiled.n),
+        max_steps=2000,
+    )
+    print(f"  compiled protocol, same seed: {report.describe()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: offline environments lack the `wheel` package, so the
+PEP 517 editable path is unavailable; `pip install -e . --no-build-isolation
+--no-use-pep517` uses this file instead."""
+from setuptools import setup
+
+setup()

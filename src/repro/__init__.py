@@ -1,0 +1,52 @@
+"""repro — a library reproducing "Stateless Computation" (Dolev, Erdmann,
+Lutz, Schapira, Zair; PODC 2017, arXiv:1611.10068).
+
+The package implements the paper's model of stateless, self-stabilizing
+distributed computation and every construction in it:
+
+* ``repro.core`` — label spaces, reaction functions, protocols, schedules and
+  the simulation engine (Section 2).
+* ``repro.graphs`` — directed topologies and their properties.
+* ``repro.stabilization`` — stable labelings, the Theorem 3.1 states-graph,
+  an exhaustive r-fair model checker, and Example 1.
+* ``repro.substrates`` — Boolean circuits, branching programs, logspace
+  Turing machines (the classical models of Part II).
+* ``repro.power`` — the computational-power constructions of Sections 2 and 5
+  (generic protocol, counters, ring simulations of TMs/BPs/circuits,
+  counting bound).
+* ``repro.lowerbounds`` — the fooling-set method of Section 6.
+* ``repro.hardness`` — snake-in-the-box gadgets, the communication and
+  PSPACE hardness reductions of Section 4 / Appendix B.
+* ``repro.dynamics`` — best-response dynamics applications (BGP routing,
+  diffusion, congestion, asynchronous circuits) from Sections 1 and 3.
+* ``repro.analysis`` — round/label complexity measurement and reporting.
+"""
+
+from repro.core import (
+    Configuration,
+    Labeling,
+    RunOutcome,
+    RunReport,
+    Simulator,
+    StatefulProtocol,
+    StatelessProtocol,
+    SynchronousSchedule,
+    synchronous_run,
+)
+from repro.graphs import Topology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Configuration",
+    "Labeling",
+    "RunOutcome",
+    "RunReport",
+    "Simulator",
+    "StatefulProtocol",
+    "StatelessProtocol",
+    "SynchronousSchedule",
+    "Topology",
+    "__version__",
+    "synchronous_run",
+]

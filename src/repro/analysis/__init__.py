@@ -1,0 +1,18 @@
+"""Measurement and reporting toolkit."""
+
+from repro.analysis.complexity import (
+    RoundComplexityReport,
+    measure_round_complexity,
+    output_settle_time,
+    settled_outputs,
+)
+from repro.analysis.tables import print_table, render_table
+
+__all__ = [
+    "RoundComplexityReport",
+    "measure_round_complexity",
+    "output_settle_time",
+    "print_table",
+    "render_table",
+    "settled_outputs",
+]

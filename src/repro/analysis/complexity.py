@@ -1,0 +1,124 @@
+"""Round/label-complexity measurement helpers.
+
+The engine's exact cycle detection is expensive for protocols whose labels
+cycle with a long period (the D-counter family: period 2D).  For those,
+:func:`settled_outputs` applies the practical criterion — run long enough to
+settle, then demand the outputs stay constant over a further window — which
+is sound for claiming *output stabilization on this run* and is what the
+benchmarks use for the larger circuit simulations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.configuration import Labeling
+from repro.core.engine import Simulator
+from repro.core.protocol import Protocol
+from repro.core.schedule import Schedule, SynchronousSchedule
+from repro.exceptions import ConvergenceError
+
+
+def settled_outputs(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    labeling: Labeling,
+    settle: int,
+    window: int,
+    schedule: Schedule | None = None,
+) -> tuple[Any, ...]:
+    """Outputs after ``settle`` steps, verified constant for ``window`` more.
+
+    Raises :class:`ConvergenceError` if the outputs move inside the window.
+    """
+    schedule = schedule or SynchronousSchedule(protocol.n)
+    simulator = Simulator(protocol, inputs)
+    config = simulator.initial_configuration(labeling)
+    for t in range(settle):
+        config = simulator.step(config, schedule.active(t))
+    reference = config.outputs
+    for t in range(settle, settle + window):
+        config = simulator.step(config, schedule.active(t))
+        if config.outputs != reference:
+            raise ConvergenceError(
+                f"outputs moved at step {t + 1}: {reference} -> {config.outputs}"
+            )
+    return reference
+
+
+def output_settle_time(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    labeling: Labeling,
+    horizon: int,
+    window: int,
+    schedule: Schedule | None = None,
+) -> tuple[int, tuple[Any, ...]]:
+    """Smallest T with outputs constant on [T, horizon] (window-validated).
+
+    Runs ``horizon + window`` steps, finds the last output change, and
+    returns ``(T, outputs)``.  Raises if outputs still move after
+    ``horizon``.
+    """
+    schedule = schedule or SynchronousSchedule(protocol.n)
+    simulator = Simulator(protocol, inputs)
+    config = simulator.initial_configuration(labeling)
+    last_change = 0
+    for t in range(horizon + window):
+        nxt = simulator.step(config, schedule.active(t))
+        if nxt.outputs != config.outputs:
+            last_change = t + 1
+        config = nxt
+    if last_change > horizon:
+        raise ConvergenceError(
+            f"outputs still changing at step {last_change} (> horizon {horizon})"
+        )
+    return last_change, config.outputs
+
+
+@dataclass(frozen=True)
+class RoundComplexityReport:
+    """Worst-case measurements over a batch of runs."""
+
+    runs: int
+    max_label_rounds: int | None
+    max_output_rounds: int | None
+    all_label_stable: bool
+    all_output_stable: bool
+
+
+def measure_round_complexity(
+    protocol: Protocol,
+    input_vectors: Iterable[Sequence[Any]],
+    labelings: Iterable[Labeling],
+    max_steps: int = 10_000,
+    schedule: Schedule | None = None,
+) -> RoundComplexityReport:
+    """Exact engine-based round complexity over inputs x labelings."""
+    schedule = schedule or SynchronousSchedule(protocol.n)
+    labelings = list(labelings)
+    runs = 0
+    max_label = None
+    max_output = None
+    all_label = True
+    all_output = True
+    for inputs in input_vectors:
+        simulator = Simulator(protocol, inputs)
+        for labeling in labelings:
+            report = simulator.run(labeling, schedule, max_steps=max_steps)
+            runs += 1
+            all_label &= report.label_stable
+            all_output &= report.output_stable
+            if report.label_rounds is not None:
+                max_label = max(max_label or 0, report.label_rounds)
+            if report.output_rounds is not None:
+                max_output = max(max_output or 0, report.output_rounds)
+    return RoundComplexityReport(
+        runs=runs,
+        max_label_rounds=max_label,
+        max_output_rounds=max_output,
+        all_label_stable=all_label,
+        all_output_stable=all_output,
+    )

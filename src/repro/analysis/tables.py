@@ -1,0 +1,23 @@
+"""Plain-text table rendering for the benchmark reports."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table (the benchmarks' report format)."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[k]) for row in cells) for k in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        line = "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        lines.append(line.rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]):
+    print(f"\n== {title} ==")
+    print(render_table(headers, rows))

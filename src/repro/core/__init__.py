@@ -1,0 +1,77 @@
+"""Core model: labels, reactions, protocols, schedules, engine."""
+
+from repro.core.configuration import Configuration, Labeling
+from repro.core.convergence import RunOutcome, RunReport
+from repro.core.engine import DEFAULT_MAX_STEPS, Simulator, synchronous_run
+from repro.core.labels import (
+    BitStrings,
+    ExplicitLabelSpace,
+    IntegerRange,
+    Label,
+    LabelSpace,
+    ProductSpace,
+    binary,
+)
+from repro.core.protocol import (
+    Protocol,
+    StatefulProtocol,
+    StatelessProtocol,
+    default_inputs,
+)
+from repro.core.reaction import (
+    ConstantReaction,
+    Edge,
+    LambdaReaction,
+    LambdaStatefulReaction,
+    ReactionFunction,
+    StatefulReactionFunction,
+    TabularReaction,
+    UniformReaction,
+)
+from repro.core.schedule import (
+    ExplicitSchedule,
+    LassoSchedule,
+    RandomRFairSchedule,
+    RoundRobinSchedule,
+    Schedule,
+    SynchronousSchedule,
+    is_r_fair,
+    minimal_fairness,
+)
+
+__all__ = [
+    "BitStrings",
+    "Configuration",
+    "ConstantReaction",
+    "DEFAULT_MAX_STEPS",
+    "Edge",
+    "ExplicitLabelSpace",
+    "ExplicitSchedule",
+    "IntegerRange",
+    "Label",
+    "LabelSpace",
+    "Labeling",
+    "LambdaReaction",
+    "LassoSchedule",
+    "LambdaStatefulReaction",
+    "ProductSpace",
+    "Protocol",
+    "RandomRFairSchedule",
+    "ReactionFunction",
+    "RoundRobinSchedule",
+    "RunOutcome",
+    "RunReport",
+    "Schedule",
+    "Simulator",
+    "StatefulProtocol",
+    "StatefulReactionFunction",
+    "StatelessProtocol",
+    "SynchronousSchedule",
+    "TabularReaction",
+    "UniformReaction",
+    "binary",
+    "default_inputs",
+    "is_r_fair",
+    "minimal_fairness",
+    "synchronous_run",
+]

@@ -1,0 +1,128 @@
+"""Labelings and global configurations.
+
+A *labeling* assigns a label to every edge of the topology (the paper's
+``l in Sigma^E``).  A *configuration* couples a labeling with the current
+output value of every node.  Both are immutable and hashable, which makes
+cycle detection in the engine and the model checker sound.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any
+
+from repro.core.labels import Label, LabelSpace
+from repro.core.reaction import Edge
+from repro.exceptions import ValidationError
+from repro.graphs.topology import Topology
+
+
+class Labeling:
+    """An immutable edge labeling, stored as a flat tuple in edge order."""
+
+    __slots__ = ("_topology", "_values", "_hash")
+
+    def __init__(self, topology: Topology, values: tuple[Label, ...]):
+        if len(values) != topology.m:
+            raise ValidationError(
+                f"expected {topology.m} labels, got {len(values)}"
+            )
+        self._topology = topology
+        self._values = tuple(values)
+        self._hash = hash(self._values)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def uniform(cls, topology: Topology, label: Label) -> "Labeling":
+        """Every edge carries ``label``."""
+        return cls(topology, (label,) * topology.m)
+
+    @classmethod
+    def from_dict(cls, topology: Topology, mapping: Mapping[Edge, Label]) -> "Labeling":
+        if set(mapping) != set(topology.edges):
+            raise ValidationError("mapping must label exactly the topology's edges")
+        return cls(topology, tuple(mapping[edge] for edge in topology.edges))
+
+    @classmethod
+    def random(cls, topology: Topology, space: LabelSpace, rng) -> "Labeling":
+        """Independent uniform labels on every edge (for self-stabilization tests)."""
+        return cls(topology, tuple(space.sample(rng) for _ in topology.edges))
+
+    # -- access ------------------------------------------------------------
+
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    @property
+    def values(self) -> tuple[Label, ...]:
+        """Labels in the topology's canonical edge order."""
+        return self._values
+
+    def __getitem__(self, edge: Edge) -> Label:
+        return self._values[self._topology.edge_position(edge)]
+
+    def as_dict(self) -> dict[Edge, Label]:
+        return dict(zip(self._topology.edges, self._values))
+
+    def incoming(self, i: int) -> dict[Edge, Label]:
+        """The labels a node reads when activated (the paper's ``l_{-i}``)."""
+        position = self._topology.edge_position
+        return {edge: self._values[position(edge)] for edge in self._topology.in_edges(i)}
+
+    def outgoing(self, i: int) -> dict[Edge, Label]:
+        """The node's current outgoing labels (the paper's ``l_{+i}``)."""
+        position = self._topology.edge_position
+        return {edge: self._values[position(edge)] for edge in self._topology.out_edges(i)}
+
+    def replace(self, updates: Mapping[Edge, Label]) -> "Labeling":
+        """A new labeling with the given edges overwritten."""
+        values = list(self._values)
+        position = self._topology.edge_position
+        for edge, label in updates.items():
+            values[position(edge)] = label
+        return Labeling(self._topology, tuple(values))
+
+    def validate(self, space: LabelSpace) -> None:
+        """Raise unless every label belongs to ``space``."""
+        for edge, label in zip(self._topology.edges, self._values):
+            if label not in space:
+                raise ValidationError(f"label {label!r} on edge {edge!r} not in {space!r}")
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Labeling):
+            return NotImplemented
+        return self._values == other._values and self._topology is other._topology
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"<Labeling {self._values!r}>"
+
+
+class Configuration:
+    """A global system state: edge labeling plus per-node outputs."""
+
+    __slots__ = ("labeling", "outputs", "_hash")
+
+    def __init__(self, labeling: Labeling, outputs: tuple[Any, ...]):
+        if len(outputs) != labeling.topology.n:
+            raise ValidationError("outputs must have one entry per node")
+        self.labeling = labeling
+        self.outputs = tuple(outputs)
+        self._hash = hash((labeling, self.outputs))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return self.labeling == other.labeling and self.outputs == other.outputs
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"<Configuration labels={self.labeling.values!r} outputs={self.outputs!r}>"

@@ -1,0 +1,242 @@
+"""The simulation engine.
+
+Implements the paper's global transition (Section 2.1): at each time step the
+scheduled nodes simultaneously apply their reaction functions to the *previous*
+labeling,
+
+    (l^t_{+i}, y^t_i) = delta_i(l^{t-1}_{-i}, x_i)    for every i in sigma(t),
+
+while unscheduled nodes keep their outgoing labels and outputs.
+
+Convergence detection:
+
+* For **periodic schedules** (synchronous, round-robin, cyclic explicit) the
+  run is eventually periodic in the finite space ``configurations x phase``;
+  the engine hashes visited states and classifies the detected cycle exactly
+  as label-stable / output-stable / oscillating.
+* For **aperiodic schedules** (seeded random r-fair) the engine certifies
+  label stabilization once every node has been activated at least once while
+  the labeling remained unchanged — each such activation witnesses that the
+  node's reaction is at a fixed point, so the labeling can never change again.
+  Oscillation cannot be certified for aperiodic schedules; runs that do not
+  stabilize end in ``TIMEOUT``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from repro.core.configuration import Configuration, Labeling
+from repro.core.convergence import RunOutcome, RunReport
+from repro.core.protocol import Protocol
+from repro.core.schedule import Schedule
+from repro.exceptions import ValidationError
+
+DEFAULT_MAX_STEPS = 10_000
+
+
+class Simulator:
+    """Drives one protocol on one input vector."""
+
+    def __init__(self, protocol: Protocol, inputs: Sequence[Any]):
+        if len(inputs) != protocol.n:
+            raise ValidationError(
+                f"need {protocol.n} inputs, got {len(inputs)}"
+            )
+        self.protocol = protocol
+        self.inputs = tuple(inputs)
+        self._topology = protocol.topology
+
+    # -- single step -------------------------------------------------------
+
+    def step(self, config: Configuration, active: frozenset[int]) -> Configuration:
+        """Apply one global transition with the given activation set."""
+        labeling = config.labeling
+        updates: dict = {}
+        outputs = list(config.outputs)
+        stateful = self.protocol.is_stateful
+        for i in active:
+            incoming = labeling.incoming(i)
+            if stateful:
+                outgoing, y = self.protocol.reaction(i)(
+                    incoming, labeling.outgoing(i), self.inputs[i]
+                )
+            else:
+                outgoing, y = self.protocol.reaction(i)(incoming, self.inputs[i])
+            expected = self._topology.out_edges(i)
+            if set(outgoing) != set(expected):
+                raise ValidationError(
+                    f"reaction of node {i} labeled edges {sorted(outgoing)}"
+                    f" but must label exactly {sorted(expected)}"
+                )
+            updates.update(outgoing)
+            outputs[i] = y
+        new_labeling = labeling.replace(updates) if updates else labeling
+        return Configuration(new_labeling, tuple(outputs))
+
+    def initial_configuration(
+        self, labeling: Labeling, initial_outputs: Sequence[Any] | None = None
+    ) -> Configuration:
+        outputs = (
+            tuple(initial_outputs)
+            if initial_outputs is not None
+            else (None,) * self.protocol.n
+        )
+        return Configuration(labeling, outputs)
+
+    # -- plain trace -------------------------------------------------------
+
+    def run_trace(
+        self,
+        labeling: Labeling,
+        schedule: Schedule,
+        steps: int,
+        initial_outputs: Sequence[Any] | None = None,
+    ) -> list[Configuration]:
+        """Configurations at times ``0..steps`` (inclusive), no analysis."""
+        config = self.initial_configuration(labeling, initial_outputs)
+        trace = [config]
+        for t in range(steps):
+            config = self.step(config, schedule.active(t))
+            trace.append(config)
+        return trace
+
+    # -- analyzed run ------------------------------------------------------
+
+    def run(
+        self,
+        labeling: Labeling,
+        schedule: Schedule,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        initial_outputs: Sequence[Any] | None = None,
+        record_trace: bool = False,
+    ) -> RunReport:
+        """Run until the outcome is decided or ``max_steps`` elapse."""
+        if schedule.period is not None:
+            return self._run_periodic(
+                labeling, schedule, max_steps, initial_outputs, record_trace
+            )
+        return self._run_aperiodic(
+            labeling, schedule, max_steps, initial_outputs, record_trace
+        )
+
+    def _run_periodic(self, labeling, schedule, max_steps, initial_outputs, record_trace):
+        period = schedule.period
+        preperiod = schedule.preperiod
+        config = self.initial_configuration(labeling, initial_outputs)
+        trace = [config]
+        seen: dict[tuple[Configuration, int], int] = {}
+        if preperiod == 0:
+            seen[(config, 0)] = 0
+        for t in range(max_steps):
+            config = self.step(config, schedule.active(t))
+            now = t + 1
+            if now >= preperiod:
+                key = (config, (now - preperiod) % period)
+                if key in seen:
+                    return self._classify_cycle(trace, seen[key], now, record_trace)
+                seen[key] = now
+            trace.append(config)
+        return RunReport(
+            outcome=RunOutcome.TIMEOUT,
+            label_rounds=None,
+            output_rounds=None,
+            final=config,
+            steps_executed=max_steps,
+            trace=trace if record_trace else None,
+        )
+
+    def _classify_cycle(self, trace, cycle_start, now, record_trace):
+        cycle = trace[cycle_start:now] or [trace[cycle_start]]
+        cycle_labelings = {c.labeling for c in cycle}
+        cycle_outputs = {c.outputs for c in cycle}
+        final = cycle[0]
+        label_rounds = None
+        output_rounds = None
+        if len(cycle_labelings) == 1:
+            outcome = RunOutcome.LABEL_STABLE
+            label_rounds = _settle_time(trace, lambda c: c.labeling, final.labeling)
+            output_rounds = _settle_time(trace, lambda c: c.outputs, final.outputs)
+        elif len(cycle_outputs) == 1:
+            outcome = RunOutcome.OUTPUT_STABLE
+            output_rounds = _settle_time(trace, lambda c: c.outputs, final.outputs)
+        else:
+            outcome = RunOutcome.OSCILLATING
+        return RunReport(
+            outcome=outcome,
+            label_rounds=label_rounds,
+            output_rounds=output_rounds,
+            final=final,
+            steps_executed=now,
+            cycle_start=cycle_start,
+            cycle_length=max(now - cycle_start, 1),
+            trace=trace if record_trace else None,
+        )
+
+    def _run_aperiodic(self, labeling, schedule, max_steps, initial_outputs, record_trace):
+        n = self.protocol.n
+        config = self.initial_configuration(labeling, initial_outputs)
+        trace = [config] if record_trace else None
+        last_label_change = -1
+        last_output_change = -1
+        witnessed: set[int] = set()
+        for t in range(max_steps):
+            active = schedule.active(t)
+            nxt = self.step(config, active)
+            if nxt.labeling != config.labeling:
+                last_label_change = t
+                witnessed = set()
+            else:
+                witnessed.update(active)
+            if nxt.outputs != config.outputs:
+                last_output_change = t
+            config = nxt
+            if trace is not None:
+                trace.append(config)
+            if len(witnessed) == n:
+                return RunReport(
+                    outcome=RunOutcome.LABEL_STABLE,
+                    label_rounds=last_label_change + 1,
+                    output_rounds=last_output_change + 1,
+                    final=config,
+                    steps_executed=t + 1,
+                    trace=trace,
+                )
+        return RunReport(
+            outcome=RunOutcome.TIMEOUT,
+            label_rounds=None,
+            output_rounds=None,
+            final=config,
+            steps_executed=max_steps,
+            trace=trace,
+        )
+
+
+def _settle_time(trace, key, final_value) -> int:
+    """Smallest T such that key(trace[t]) == final_value for all t >= T."""
+    settle = len(trace)
+    for t in range(len(trace) - 1, -1, -1):
+        if key(trace[t]) != final_value:
+            break
+        settle = t
+    return settle
+
+
+def synchronous_run(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    labeling: Labeling,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    record_trace: bool = False,
+) -> RunReport:
+    """Convenience wrapper: run under the 1-fair (all nodes) schedule."""
+    from repro.core.schedule import SynchronousSchedule
+
+    simulator = Simulator(protocol, inputs)
+    return simulator.run(
+        labeling,
+        SynchronousSchedule(protocol.n),
+        max_steps=max_steps,
+        record_trace=record_trace,
+    )

@@ -1,0 +1,178 @@
+"""Finite label spaces: the paper's alphabet Sigma.
+
+A *label* is the value a node writes on one of its outgoing edges.  The paper
+measures protocols by their *label complexity* ``L_n = log2(|Sigma|)`` (Section
+2.3); :attr:`LabelSpace.bit_length` exposes exactly that quantity.
+
+Label spaces may be huge (the generic protocol of Proposition 2.3 uses
+``{0,1}^(n+1)``), so the base class supports lazy spaces that know their size
+and membership without materializing every value.  Exhaustive tools (the model
+checker, stable-labeling enumeration) iterate over the space and therefore
+only accept small spaces.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from collections.abc import Hashable, Iterable, Iterator
+from itertools import product
+from typing import Any
+
+from repro.exceptions import ValidationError
+
+Label = Any
+
+
+class LabelSpace(ABC):
+    """A finite, nonempty set of hashable labels."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Number of labels, ``|Sigma|``."""
+
+    @abstractmethod
+    def __contains__(self, label: Label) -> bool: ...
+
+    @abstractmethod
+    def __iter__(self) -> Iterator[Label]: ...
+
+    @abstractmethod
+    def sample(self, rng) -> Label:
+        """Draw a uniformly random label using ``rng`` (a ``random.Random``)."""
+
+    @property
+    def bit_length(self) -> float:
+        """The paper's label complexity ``L_n = log2(|Sigma|)``."""
+        return math.log2(self.size)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        tag = self.name or type(self).__name__
+        return f"<LabelSpace {tag} |Sigma|={self.size}>"
+
+
+class ExplicitLabelSpace(LabelSpace):
+    """A label space materialized from an explicit collection of values."""
+
+    def __init__(self, values: Iterable[Label], name: str = ""):
+        super().__init__(name)
+        self._values = tuple(values)
+        if not self._values:
+            raise ValidationError("a label space must be nonempty")
+        seen = set()
+        for value in self._values:
+            if not isinstance(value, Hashable):
+                raise ValidationError(f"label {value!r} is not hashable")
+            if value in seen:
+                raise ValidationError(f"duplicate label {value!r}")
+            seen.add(value)
+        self._set = seen
+
+    @property
+    def size(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> tuple[Label, ...]:
+        return self._values
+
+    def __contains__(self, label: Label) -> bool:
+        return label in self._set
+
+    def __iter__(self) -> Iterator[Label]:
+        return iter(self._values)
+
+    def sample(self, rng) -> Label:
+        return self._values[rng.randrange(len(self._values))]
+
+
+class BitStrings(LabelSpace):
+    """All bit tuples of a fixed length ``k``; ``|Sigma| = 2^k``."""
+
+    def __init__(self, k: int, name: str = ""):
+        if k < 0:
+            raise ValidationError("bit-string length must be nonnegative")
+        super().__init__(name or f"bits^{k}")
+        self.k = k
+
+    @property
+    def size(self) -> int:
+        return 1 << self.k
+
+    def __contains__(self, label: Label) -> bool:
+        return (
+            isinstance(label, tuple)
+            and len(label) == self.k
+            and all(bit in (0, 1) for bit in label)
+        )
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return product((0, 1), repeat=self.k)
+
+    def sample(self, rng) -> tuple[int, ...]:
+        word = rng.getrandbits(self.k) if self.k else 0
+        return tuple((word >> i) & 1 for i in range(self.k))
+
+
+class IntegerRange(LabelSpace):
+    """Labels ``0 .. size-1`` (used for counters and round-robin tokens)."""
+
+    def __init__(self, size: int, name: str = ""):
+        if size <= 0:
+            raise ValidationError("IntegerRange size must be positive")
+        super().__init__(name or f"range({size})")
+        self._size = size
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def __contains__(self, label: Label) -> bool:
+        return isinstance(label, int) and not isinstance(label, bool) and 0 <= label < self._size
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._size))
+
+    def sample(self, rng) -> int:
+        return rng.randrange(self._size)
+
+
+class ProductSpace(LabelSpace):
+    """Cartesian product of component spaces; labels are tuples."""
+
+    def __init__(self, components: Iterable[LabelSpace], name: str = ""):
+        super().__init__(name)
+        self.components = tuple(components)
+        if not self.components:
+            raise ValidationError("a product space needs at least one component")
+
+    @property
+    def size(self) -> int:
+        result = 1
+        for component in self.components:
+            result *= component.size
+        return result
+
+    def __contains__(self, label: Label) -> bool:
+        if not isinstance(label, tuple) or len(label) != len(self.components):
+            return False
+        return all(part in space for part, space in zip(label, self.components))
+
+    def __iter__(self) -> Iterator[tuple]:
+        return product(*self.components)
+
+    def sample(self, rng) -> tuple:
+        return tuple(space.sample(rng) for space in self.components)
+
+
+#: The one-bit label space used by most of the paper's gadget constructions.
+def binary() -> ExplicitLabelSpace:
+    """Return the label space {0, 1}."""
+    return ExplicitLabelSpace((0, 1), name="binary")

@@ -1,0 +1,108 @@
+"""Stateless and stateful protocols.
+
+A stateless protocol ``A = (Sigma, delta)`` (Section 2.1) packages the label
+space and one reaction function per node on a fixed topology.  Inputs are
+*not* part of the protocol: they are supplied when a simulator is built, which
+mirrors the paper's separation between protocol and input assignment.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from repro.core.labels import LabelSpace
+from repro.core.reaction import ReactionFunction, StatefulReactionFunction
+from repro.exceptions import ValidationError
+from repro.graphs.topology import Topology
+
+
+class StatelessProtocol:
+    """A stateless protocol: topology, label space, and per-node reactions."""
+
+    is_stateful = False
+
+    def __init__(
+        self,
+        topology: Topology,
+        label_space: LabelSpace,
+        reactions: Sequence[ReactionFunction],
+        name: str = "",
+    ):
+        if len(reactions) != topology.n:
+            raise ValidationError(
+                f"need {topology.n} reactions, got {len(reactions)}"
+            )
+        self.topology = topology
+        self.label_space = label_space
+        self.reactions = tuple(reactions)
+        self.name = name or "stateless-protocol"
+
+    def reaction(self, i: int) -> ReactionFunction:
+        return self.reactions[i]
+
+    @property
+    def n(self) -> int:
+        return self.topology.n
+
+    @property
+    def label_complexity(self) -> float:
+        """The paper's ``L_n = log2(|Sigma|)``."""
+        return self.label_space.bit_length
+
+    def __repr__(self) -> str:
+        return (
+            f"<StatelessProtocol {self.name!r} on {self.topology.name}"
+            f" |Sigma|={self.label_space.size}>"
+        )
+
+
+class StatefulProtocol:
+    """A protocol whose reactions also read their own outgoing labels.
+
+    Used only by the PSPACE-hardness reduction (Theorem B.11); Theorem B.14's
+    metanode compiler converts these into equivalent stateless protocols.
+    """
+
+    is_stateful = True
+
+    def __init__(
+        self,
+        topology: Topology,
+        label_space: LabelSpace,
+        reactions: Sequence[StatefulReactionFunction],
+        name: str = "",
+    ):
+        if len(reactions) != topology.n:
+            raise ValidationError(
+                f"need {topology.n} reactions, got {len(reactions)}"
+            )
+        self.topology = topology
+        self.label_space = label_space
+        self.reactions = tuple(reactions)
+        self.name = name or "stateful-protocol"
+
+    def reaction(self, i: int) -> StatefulReactionFunction:
+        return self.reactions[i]
+
+    @property
+    def n(self) -> int:
+        return self.topology.n
+
+    @property
+    def label_complexity(self) -> float:
+        return self.label_space.bit_length
+
+    def __repr__(self) -> str:
+        return (
+            f"<StatefulProtocol {self.name!r} on {self.topology.name}"
+            f" |Sigma|={self.label_space.size}>"
+        )
+
+
+Protocol = StatelessProtocol | StatefulProtocol
+
+
+def default_inputs(protocol: Protocol, value: Any = 0) -> tuple[Any, ...]:
+    """A convenience all-``value`` input vector for input-insensitive protocols."""
+    return (value,) * protocol.n

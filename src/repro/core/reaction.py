@@ -1,0 +1,157 @@
+"""Reaction functions: the delta_i of the paper.
+
+A node's reaction function deterministically maps the labels on its incoming
+edges together with its private input ``x_i`` to (1) labels for all of its
+outgoing edges and (2) an output value ``y_i`` (Section 2.1):
+
+    delta_i : Sigma^{-i} x {0,1} -> Sigma^{+i} x {0,1}
+
+The library also models *stateful* reactions (used only by the PSPACE
+reduction machinery of Appendix B, Theorems B.11/B.14) where the reaction may
+additionally read the node's own current outgoing labels.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any
+
+from repro.core.labels import Label
+from repro.exceptions import ValidationError
+
+Edge = tuple[int, int]
+#: The value pair a reaction produces: per-edge outgoing labels and an output.
+ReactionResult = tuple[Mapping[Edge, Label], Any]
+
+
+class ReactionFunction(ABC):
+    """A deterministic stateless reaction ``(incoming, x) -> (outgoing, y)``."""
+
+    @abstractmethod
+    def react(self, incoming: Mapping[Edge, Label], x: Any) -> ReactionResult:
+        """Apply the reaction.
+
+        ``incoming`` maps each incoming edge ``(u, i)`` to its current label.
+        Returns a mapping assigning a label to *every* outgoing edge of the
+        node, plus the node's output value.
+        """
+
+    def __call__(self, incoming: Mapping[Edge, Label], x: Any) -> ReactionResult:
+        return self.react(incoming, x)
+
+
+class LambdaReaction(ReactionFunction):
+    """Wrap a plain function ``fn(incoming, x) -> (outgoing, y)``."""
+
+    def __init__(self, fn: Callable[[Mapping[Edge, Label], Any], ReactionResult]):
+        self._fn = fn
+
+    def react(self, incoming: Mapping[Edge, Label], x: Any) -> ReactionResult:
+        return self._fn(incoming, x)
+
+
+class UniformReaction(ReactionFunction):
+    """Send the *same* label on every outgoing edge.
+
+    This is the idiom used by every clique construction in the paper
+    ("we define reaction functions that map the same outgoing label to all
+    neighbors", Appendix B): the reaction computes one label and broadcasts it.
+    """
+
+    def __init__(
+        self,
+        out_edges: Sequence[Edge],
+        fn: Callable[[Mapping[Edge, Label], Any], tuple[Label, Any]],
+    ):
+        self._out_edges = tuple(out_edges)
+        self._fn = fn
+
+    def react(self, incoming: Mapping[Edge, Label], x: Any) -> ReactionResult:
+        label, output = self._fn(incoming, x)
+        return {edge: label for edge in self._out_edges}, output
+
+
+class TabularReaction(ReactionFunction):
+    """A reaction given explicitly as a lookup table.
+
+    Keys are ``(incoming_labels, x)`` where ``incoming_labels`` is the tuple
+    of labels in the fixed order of ``in_edges``; values are
+    ``(outgoing_labels, y)`` with ``outgoing_labels`` in the order of
+    ``out_edges``.  Tabular reactions are what the exhaustive protocol census
+    (Theorem 5.10 experiments) enumerates.
+    """
+
+    def __init__(
+        self,
+        in_edges: Sequence[Edge],
+        out_edges: Sequence[Edge],
+        table: Mapping[tuple[tuple, Any], tuple[tuple, Any]],
+    ):
+        self.in_edges = tuple(in_edges)
+        self.out_edges = tuple(out_edges)
+        self.table = dict(table)
+        for (_, __), (out_labels, _y) in self.table.items():
+            if len(out_labels) != len(self.out_edges):
+                raise ValidationError(
+                    "table rows must assign a label to every outgoing edge"
+                )
+
+    def react(self, incoming: Mapping[Edge, Label], x: Any) -> ReactionResult:
+        key = (tuple(incoming[edge] for edge in self.in_edges), x)
+        try:
+            out_labels, output = self.table[key]
+        except KeyError as exc:
+            raise ValidationError(f"tabular reaction has no row for {key!r}") from exc
+        return dict(zip(self.out_edges, out_labels)), output
+
+
+class ConstantReaction(ReactionFunction):
+    """Always emit the same labels and output, ignoring everything."""
+
+    def __init__(self, out_edges: Sequence[Edge], label: Label, output: Any = 0):
+        self._out_edges = tuple(out_edges)
+        self._label = label
+        self._output = output
+
+    def react(self, incoming: Mapping[Edge, Label], x: Any) -> ReactionResult:
+        return {edge: self._label for edge in self._out_edges}, self._output
+
+
+class StatefulReactionFunction(ABC):
+    """A reaction that may also read the node's own outgoing labels.
+
+    This is the *stateful* protocol model of Theorem B.11; Theorem B.14's
+    metanode compiler turns these back into stateless protocols.
+    """
+
+    @abstractmethod
+    def react(
+        self,
+        incoming: Mapping[Edge, Label],
+        own_outgoing: Mapping[Edge, Label],
+        x: Any,
+    ) -> ReactionResult: ...
+
+    def __call__(
+        self,
+        incoming: Mapping[Edge, Label],
+        own_outgoing: Mapping[Edge, Label],
+        x: Any,
+    ) -> ReactionResult:
+        return self.react(incoming, own_outgoing, x)
+
+
+class LambdaStatefulReaction(StatefulReactionFunction):
+    """Wrap a plain function ``fn(incoming, own_outgoing, x) -> (outgoing, y)``."""
+
+    def __init__(self, fn: Callable[..., ReactionResult]):
+        self._fn = fn
+
+    def react(
+        self,
+        incoming: Mapping[Edge, Label],
+        own_outgoing: Mapping[Edge, Label],
+        x: Any,
+    ) -> ReactionResult:
+        return self._fn(incoming, own_outgoing, x)

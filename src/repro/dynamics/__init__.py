@@ -1,0 +1,61 @@
+"""Best-response dynamics applications (Sections 1 and 3)."""
+
+from repro.dynamics.async_circuits import (
+    feedback_circuit_protocol,
+    ring_oscillator,
+    sr_latch,
+)
+from repro.dynamics.best_response import (
+    GraphicalGame,
+    anti_coordination_game,
+    best_response_protocol,
+    coordination_game,
+)
+from repro.dynamics.bgp import (
+    NO_ROUTE,
+    SPPInstance,
+    bad_gadget,
+    bgp_protocol,
+    disagree,
+    good_gadget,
+    shortest_path_instance,
+)
+from repro.dynamics.congestion import (
+    congestion_game,
+    congestion_protocol,
+    link_loads,
+)
+from repro.dynamics.diffusion import (
+    TECH_A,
+    TECH_B,
+    adoption_counts,
+    contagion_game,
+    contagion_protocol,
+    seeded_labeling,
+)
+
+__all__ = [
+    "GraphicalGame",
+    "NO_ROUTE",
+    "SPPInstance",
+    "TECH_A",
+    "TECH_B",
+    "adoption_counts",
+    "anti_coordination_game",
+    "bad_gadget",
+    "best_response_protocol",
+    "bgp_protocol",
+    "congestion_game",
+    "congestion_protocol",
+    "contagion_game",
+    "contagion_protocol",
+    "coordination_game",
+    "disagree",
+    "feedback_circuit_protocol",
+    "good_gadget",
+    "link_loads",
+    "ring_oscillator",
+    "seeded_labeling",
+    "shortest_path_instance",
+    "sr_latch",
+]

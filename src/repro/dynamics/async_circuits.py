@@ -1,0 +1,86 @@
+"""Asynchronous circuits with feedback loops as stateless protocols.
+
+A gate network with feedback is a stateless computation: the labels are wire
+values, a gate's reaction recomputes its output from its fan-in wires, and
+the schedule models gate delays.  The classics:
+
+* **SR latch** (two cross-coupled NOR gates): with S = R = 0 both
+  ``(Q, Q') = (1, 0)`` and ``(0, 1)`` are stable — two stable labelings, so
+  by Theorem 3.1 the latch is not label (n-1)-stabilizing; the synchronous
+  schedule exhibits the textbook metastable oscillation ``00 <-> 11``.
+* **Ring oscillator** (odd cycle of inverters): no stable labeling at all —
+  a *structurally* non-stabilizing circuit that oscillates under every fair
+  schedule.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+
+from repro.core.labels import binary
+from repro.core.protocol import StatelessProtocol
+from repro.core.reaction import UniformReaction
+from repro.exceptions import ValidationError
+from repro.graphs.standard import unidirectional_ring
+from repro.graphs.topology import Topology
+
+#: gate(input_bit, incoming wire values) -> output bit
+GateFunction = Callable[[int, Mapping[int, int]], int]
+
+
+def feedback_circuit_protocol(
+    topology: Topology, gates: Sequence[GateFunction], name: str = ""
+) -> StatelessProtocol:
+    """A gate per node; edge (u, v) wires u's output into gate v.
+
+    The node's private input ``x_i`` models an external circuit input pin.
+    """
+    if len(gates) != topology.n:
+        raise ValidationError("need one gate per node")
+
+    def make_reaction(i: int):
+        gate = gates[i]
+
+        def react(incoming, x):
+            by_node = {u: incoming[(u, i)] for u in topology.in_neighbors(i)}
+            value = gate(x, by_node) & 1
+            return value, value
+
+        return UniformReaction(topology.out_edges(i), react)
+
+    return StatelessProtocol(
+        topology,
+        binary(),
+        [make_reaction(i) for i in range(topology.n)],
+        name=name or "feedback-circuit",
+    )
+
+
+def sr_latch() -> StatelessProtocol:
+    """Two cross-coupled NOR gates; node 0 takes S, node 1 takes R.
+
+    Run with inputs (S, R): ``(0, 0)`` holds state (two stable labelings),
+    ``(1, 0)`` resets Q to 0 / Q' to 1, etc.
+    """
+    topology = Topology(2, [(0, 1), (1, 0)], name="sr-latch")
+
+    def nor(x, by_node):
+        other = next(iter(by_node.values()))
+        return 0 if (x or other) else 1
+
+    return feedback_circuit_protocol(topology, [nor, nor], name="sr-latch")
+
+
+def ring_oscillator(n_inverters: int) -> StatelessProtocol:
+    """An odd cycle of NOT gates: no stable labeling exists."""
+    if n_inverters < 3 or n_inverters % 2 == 0:
+        raise ValidationError("a ring oscillator needs an odd number >= 3")
+    topology = unidirectional_ring(n_inverters)
+
+    def inverter(_x, by_node):
+        value = next(iter(by_node.values()))
+        return 1 - value
+
+    return feedback_circuit_protocol(
+        topology, [inverter] * n_inverters, name=f"ring-oscillator({n_inverters})"
+    )

@@ -1,0 +1,170 @@
+"""Best-response dynamics as stateless computation (Sections 1 and 3).
+
+The paper observes that systems in which strategic nodes repeatedly best
+respond to each other's most recent actions — BGP routing, congestion
+control, diffusion of technologies, asynchronous circuits — are stateless
+computations: a player's label is its current strategy and its reaction
+function is its best-response map.  Theorem 3.1 then yields non-convergence
+results for all of them: **two pure equilibria imply the dynamics are not
+(n-1)-stabilizing**.
+
+This module provides graphical games (utilities depend on graph neighbors),
+the game-to-protocol compiler, and exhaustive equilibrium enumeration; the
+correspondence *stable labeling <-> (tie-break-respecting) pure Nash
+equilibrium* is machine-checked in the tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from itertools import product
+
+from repro.core.labels import ExplicitLabelSpace
+from repro.core.protocol import StatelessProtocol
+from repro.core.reaction import UniformReaction
+from repro.exceptions import ValidationError
+from repro.graphs.topology import Topology
+
+#: utility(player, own_strategy, neighbor_strategies) -> comparable
+UtilityFunction = Callable[[int, object, Mapping[int, object]], float]
+
+
+class GraphicalGame:
+    """A game on a digraph: player i observes its in-neighbors' strategies.
+
+    ``strategies[i]`` lists player i's strategies in *tie-break order*: when
+    several strategies maximize utility, the best response is the earliest
+    maximizer, making the dynamics deterministic (the paper's model requires
+    deterministic reaction functions).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        strategies: Sequence[Sequence],
+        utility: UtilityFunction,
+        name: str = "",
+    ):
+        if len(strategies) != topology.n:
+            raise ValidationError("need one strategy set per player")
+        if any(len(options) == 0 for options in strategies):
+            raise ValidationError("every player needs at least one strategy")
+        self.topology = topology
+        self.strategies = tuple(tuple(options) for options in strategies)
+        self.utility = utility
+        self.name = name or "graphical-game"
+
+    @property
+    def n(self) -> int:
+        return self.topology.n
+
+    def best_response(self, player: int, neighbor_strategies: Mapping[int, object]):
+        """The earliest utility-maximizing strategy of ``player``."""
+        best = None
+        best_value = None
+        for strategy in self.strategies[player]:
+            value = self.utility(player, strategy, neighbor_strategies)
+            if best_value is None or value > best_value:
+                best = strategy
+                best_value = value
+        return best
+
+    def profile_neighbors(self, player: int, profile: Sequence) -> dict[int, object]:
+        return {u: profile[u] for u in self.topology.in_neighbors(player)}
+
+    def is_pure_nash(self, profile: Sequence) -> bool:
+        """No player can strictly improve by deviating."""
+        for player in range(self.n):
+            neighbors = self.profile_neighbors(player, profile)
+            current = self.utility(player, profile[player], neighbors)
+            for strategy in self.strategies[player]:
+                if self.utility(player, strategy, neighbors) > current:
+                    return False
+        return True
+
+    def pure_nash_equilibria(self) -> list[tuple]:
+        """Exhaustive enumeration (small games only)."""
+        return [
+            profile
+            for profile in product(*self.strategies)
+            if self.is_pure_nash(profile)
+        ]
+
+    def best_response_equilibria(self) -> list[tuple]:
+        """Profiles where every player's strategy equals its deterministic
+        best response — exactly the stable labelings of the compiled
+        protocol.  A subset of the pure Nash equilibria."""
+        return [
+            profile
+            for profile in product(*self.strategies)
+            if all(
+                self.best_response(i, self.profile_neighbors(i, profile))
+                == profile[i]
+                for i in range(self.n)
+            )
+        ]
+
+
+def best_response_protocol(game: GraphicalGame) -> StatelessProtocol:
+    """Compile a game into the stateless protocol of its dynamics.
+
+    Labels are strategies (broadcast to all out-neighbors); each activation
+    replaces a player's strategy with its best response to the neighbors'
+    most recent strategies; the output is the chosen strategy.
+    """
+    all_strategies: list = []
+    for options in game.strategies:
+        for strategy in options:
+            if strategy not in all_strategies:
+                all_strategies.append(strategy)
+    label_space = ExplicitLabelSpace(all_strategies, name=f"{game.name}-strategies")
+    topology = game.topology
+
+    def make_reaction(i: int):
+        def react(incoming, _x):
+            neighbor_strategies = {u: incoming[(u, i)] for (u, _) in topology.in_edges(i)}
+            choice = game.best_response(i, neighbor_strategies)
+            return choice, choice
+
+        return UniformReaction(topology.out_edges(i), react)
+
+    return StatelessProtocol(
+        topology,
+        label_space,
+        [make_reaction(i) for i in range(game.n)],
+        name=f"best-response({game.name})",
+    )
+
+
+def coordination_game(topology: Topology, options: Sequence = (0, 1)) -> GraphicalGame:
+    """Players want to match their neighbors: u_i = #agreeing neighbors.
+
+    Has (at least) one pure equilibrium per option — the canonical
+    multiple-equilibria instance for the Theorem 3.1 corollary.
+    """
+
+    def utility(_player, own, neighbors):
+        return sum(1 for strategy in neighbors.values() if strategy == own)
+
+    return GraphicalGame(
+        topology,
+        [tuple(options)] * topology.n,
+        utility,
+        name="coordination",
+    )
+
+
+def anti_coordination_game(
+    topology: Topology, options: Sequence = (0, 1)
+) -> GraphicalGame:
+    """Players want to differ from their neighbors (graph-coloring flavor)."""
+
+    def utility(_player, own, neighbors):
+        return sum(1 for strategy in neighbors.values() if strategy != own)
+
+    return GraphicalGame(
+        topology,
+        [tuple(options)] * topology.n,
+        utility,
+        name="anti-coordination",
+    )

@@ -1,0 +1,242 @@
+"""BGP interdomain routing as stateless computation (Section 1.1).
+
+The paper's headline motivation: a BGP router maps the most recent route
+advertisements of its neighbors to a route choice and new advertisements —
+no other state.  The classical formalization is the **Stable Paths Problem**
+(Griffin, Shepherd, Wilfong [14]): every node has a ranked list of permitted
+paths to a destination; the dynamics repeatedly let nodes pick their
+best-ranked available path.
+
+This module implements SPP instances, the BGP best-response protocol (labels
+are advertised paths), and the canonical gadgets:
+
+* ``disagree`` — two stable routing trees: by Theorem 3.1 the dynamics are
+  not label (n-1)-stabilizing (BGP "route flapping" under fair activation);
+* ``bad_gadget`` — no stable routing tree at all: every fair run oscillates;
+* ``good_gadget`` — a unique stable tree, reached from every initial state.
+
+Paths are tuples of nodes ending at the destination; the empty route is
+``()``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from itertools import product
+
+from repro.core.labels import ExplicitLabelSpace
+from repro.core.protocol import StatelessProtocol
+from repro.core.reaction import UniformReaction
+from repro.exceptions import ValidationError
+from repro.graphs.topology import Topology
+
+#: The "no route" label.
+NO_ROUTE: tuple = ()
+
+Path = tuple[int, ...]
+
+
+class SPPInstance:
+    """A Stable Paths Problem instance.
+
+    ``permitted[i]`` lists node i's permitted paths to the destination in
+    strictly decreasing preference (earlier = better).  Every path must start
+    at i, end at the destination, be simple, and follow graph edges.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        destination: int,
+        permitted: Mapping[int, Sequence[Path]],
+        name: str = "",
+    ):
+        self.topology = topology
+        self.destination = destination
+        self.name = name or "spp"
+        self.permitted: dict[int, tuple[Path, ...]] = {}
+        for i in range(topology.n):
+            if i == destination:
+                continue
+            paths = tuple(tuple(p) for p in permitted.get(i, ()))
+            for path in paths:
+                self._validate_path(i, path)
+            self.permitted[i] = paths
+
+    def _validate_path(self, i: int, path: Path) -> None:
+        if not path or path[0] != i or path[-1] != self.destination:
+            raise ValidationError(f"path {path} must run from {i} to the destination")
+        if len(set(path)) != len(path):
+            raise ValidationError(f"path {path} is not simple")
+        for u, v in zip(path, path[1:]):
+            if not self.topology.has_edge(u, v):
+                raise ValidationError(f"path {path} uses missing edge {(u, v)}")
+
+    def rank(self, i: int, path: Path) -> int:
+        """Smaller is better; permitted paths only."""
+        return self.permitted[i].index(path)
+
+    def best_choice(self, i: int, advertised: Mapping[int, Path]) -> Path:
+        """Node i's BGP best response to its neighbors' advertisements."""
+        best = NO_ROUTE
+        best_rank = None
+        for u, path in advertised.items():
+            if path == NO_ROUTE or i in path:
+                continue
+            candidate = (i, *path)
+            if candidate not in self.permitted[i]:
+                continue
+            rank = self.rank(i, candidate)
+            if best_rank is None or rank < best_rank:
+                best = candidate
+                best_rank = rank
+        return best
+
+    def all_labels(self) -> tuple:
+        labels = [NO_ROUTE, (self.destination,)]
+        for paths in self.permitted.values():
+            labels.extend(paths)
+        seen: list = []
+        for label in labels:
+            if label not in seen:
+                seen.append(label)
+        return tuple(seen)
+
+    def stable_solutions(self) -> list[dict[int, Path]]:
+        """All assignments node -> path that are simultaneously best responses.
+
+        Exhaustive over permitted paths (plus the empty route) — the SPP
+        "stable solutions", in one-to-one correspondence with the stable
+        labelings of the BGP protocol.
+        """
+        nodes = [i for i in range(self.topology.n) if i != self.destination]
+        choice_sets = [
+            (NO_ROUTE, *self.permitted[i]) for i in nodes
+        ]
+        solutions = []
+        for combo in product(*choice_sets):
+            assignment = dict(zip(nodes, combo))
+            assignment[self.destination] = (self.destination,)
+            if all(
+                self.best_choice(
+                    i,
+                    {
+                        u: assignment[u]
+                        for u in self.topology.in_neighbors(i)
+                    },
+                )
+                == assignment[i]
+                for i in nodes
+            ):
+                solutions.append(assignment)
+        return solutions
+
+
+def bgp_protocol(instance: SPPInstance) -> StatelessProtocol:
+    """The stateless BGP protocol of an SPP instance.
+
+    Every node broadcasts its currently selected path; the destination
+    constantly advertises ``(destination,)``; outputs are the selected paths.
+    """
+    topology = instance.topology
+    label_space = ExplicitLabelSpace(instance.all_labels(), name=f"{instance.name}-paths")
+
+    def make_reaction(i: int):
+        if i == instance.destination:
+            def react(_incoming, _x):
+                path = (instance.destination,)
+                return path, path
+
+        else:
+            def react(incoming, _x):
+                advertised = {
+                    u: incoming[(u, i)] for u in topology.in_neighbors(i)
+                }
+                choice = instance.best_choice(i, advertised)
+                return choice, choice
+
+        return UniformReaction(topology.out_edges(i), react)
+
+    return StatelessProtocol(
+        topology,
+        label_space,
+        [make_reaction(i) for i in range(topology.n)],
+        name=f"bgp({instance.name})",
+    )
+
+
+# -- canonical gadgets ---------------------------------------------------------
+
+
+def _triangle_with_destination() -> Topology:
+    """Destination 0; nodes 1, 2, 3 mutually connected and connected to 0."""
+    edges = []
+    for u in (1, 2, 3):
+        edges.append((u, 0))
+        edges.append((0, u))
+    for u, v in ((1, 2), (2, 3), (3, 1)):
+        edges.append((u, v))
+        edges.append((v, u))
+    return Topology(4, edges, name="spp-triangle")
+
+
+def disagree() -> SPPInstance:
+    """The DISAGREE gadget: two nodes that each prefer routing via the other.
+
+    Two stable solutions — the minimal BGP instance hit by Theorem 3.1.
+    """
+    edges = [(1, 0), (0, 1), (2, 0), (0, 2), (1, 2), (2, 1)]
+    topology = Topology(3, edges, name="disagree-graph")
+    permitted = {
+        1: [(1, 2, 0), (1, 0)],
+        2: [(2, 1, 0), (2, 0)],
+    }
+    return SPPInstance(topology, 0, permitted, name="disagree")
+
+
+def bad_gadget() -> SPPInstance:
+    """Griffin's BAD GADGET: no stable solution; BGP oscillates forever."""
+    topology = _triangle_with_destination()
+    permitted = {
+        1: [(1, 2, 0), (1, 0)],
+        2: [(2, 3, 0), (2, 0)],
+        3: [(3, 1, 0), (3, 0)],
+    }
+    return SPPInstance(topology, 0, permitted, name="bad-gadget")
+
+
+def good_gadget() -> SPPInstance:
+    """A safe instance: unique stable solution, reached from anywhere.
+
+    Nodes prefer the direct route; neighbor routes are fallbacks.
+    """
+    topology = _triangle_with_destination()
+    permitted = {
+        1: [(1, 0), (1, 2, 0)],
+        2: [(2, 0), (2, 3, 0)],
+        3: [(3, 0), (3, 1, 0)],
+    }
+    return SPPInstance(topology, 0, permitted, name="good-gadget")
+
+
+def shortest_path_instance(topology: Topology, destination: int = 0) -> SPPInstance:
+    """Permit every simple path, ranked by length (then lexicographically):
+    classical shortest-path routing, always uniquely stable."""
+    n = topology.n
+    paths_from: dict[int, list[Path]] = {i: [] for i in range(n)}
+
+    def extend(path: tuple[int, ...]):
+        for u in topology.in_neighbors(path[0]):
+            if u in path:
+                continue
+            new_path = (u, *path)
+            paths_from[u].append(new_path)
+            extend(new_path)
+
+    extend((destination,))
+    permitted = {
+        i: sorted(paths_from[i], key=lambda p: (len(p), p))
+        for i in range(n)
+        if i != destination
+    }
+    return SPPInstance(topology, destination, permitted, name="shortest-path")

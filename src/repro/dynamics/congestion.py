@@ -1,0 +1,49 @@
+"""Congestion dynamics: selfish load balancing over parallel links.
+
+Every player repeatedly moves to the link that is least loaded by the
+*other* players (deterministic tie-break toward lower link index).  Balanced
+splits are equilibria; since several balanced splits exist, Theorem 3.1's
+corollary applies and the dynamics are not (n-1)-stabilizing — players can
+chase each other between links forever under fair-but-adversarial timing.
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import StatelessProtocol
+from repro.dynamics.best_response import GraphicalGame, best_response_protocol
+from repro.exceptions import ValidationError
+from repro.graphs.standard import clique
+from repro.graphs.topology import Topology
+
+
+def congestion_game(n_players: int, n_links: int = 2) -> GraphicalGame:
+    """All players observe all others (clique); cost = load on own link."""
+    if n_players < 2:
+        raise ValidationError("need at least two players")
+    if n_links < 2:
+        raise ValidationError("need at least two links")
+    topology: Topology = clique(n_players)
+    links = tuple(range(n_links))
+
+    def utility(_player, own, neighbors):
+        load = 1 + sum(1 for choice in neighbors.values() if choice == own)
+        return -load
+
+    return GraphicalGame(
+        topology,
+        [links] * n_players,
+        utility,
+        name=f"congestion({n_players}x{n_links})",
+    )
+
+
+def congestion_protocol(n_players: int, n_links: int = 2) -> StatelessProtocol:
+    """The stateless best-response protocol of the congestion game."""
+    return best_response_protocol(congestion_game(n_players, n_links))
+
+
+def link_loads(outputs, n_links: int = 2) -> list[int]:
+    loads = [0] * n_links
+    for choice in outputs:
+        loads[choice] += 1
+    return loads

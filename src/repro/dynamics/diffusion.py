@@ -1,0 +1,68 @@
+"""Diffusion of technologies in social networks (Morris contagion [23]).
+
+Each agent repeatedly best-responds to its neighbors' technology choices:
+adopt technology A iff at least a fraction ``theta`` of neighbors use A.
+Both the all-A and all-B profiles are equilibria, so Theorem 3.1 applies:
+the dynamics cannot be label (n-1)-stabilizing — a network-wide technology
+war can flap forever under fair activation.
+
+The module also exposes the classical *contagion* phenomenon: for
+``theta <= 1/2`` a small seed set of adopters can take over a ring.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.configuration import Labeling
+from repro.core.protocol import StatelessProtocol
+from repro.dynamics.best_response import GraphicalGame, best_response_protocol
+from repro.exceptions import ValidationError
+from repro.graphs.topology import Topology
+
+TECH_A = 1
+TECH_B = 0
+
+
+def contagion_game(topology: Topology, theta: float) -> GraphicalGame:
+    """The threshold-adoption game: utility favors A iff the adopting
+    fraction of in-neighbors is at least ``theta`` (ties prefer A —
+    strategies are listed A-first)."""
+    if not 0 < theta <= 1:
+        raise ValidationError("threshold must be in (0, 1]")
+
+    def utility(player, own, neighbors):
+        if not neighbors:
+            return 0.0
+        fraction = sum(
+            1 for strategy in neighbors.values() if strategy == TECH_A
+        ) / len(neighbors)
+        if own == TECH_A:
+            return fraction - theta
+        return theta - fraction
+
+    return GraphicalGame(
+        topology,
+        [(TECH_A, TECH_B)] * topology.n,
+        utility,
+        name=f"contagion(theta={theta})",
+    )
+
+
+def contagion_protocol(topology: Topology, theta: float) -> StatelessProtocol:
+    """The stateless protocol of the threshold-adoption dynamics."""
+    return best_response_protocol(contagion_game(topology, theta))
+
+
+def seeded_labeling(topology: Topology, adopters: Iterable[int]) -> Labeling:
+    """Everyone broadcasts B except the seed set, which broadcasts A."""
+    adopters = set(adopters)
+    values = tuple(
+        TECH_A if u in adopters else TECH_B for (u, _) in topology.edges
+    )
+    return Labeling(topology, values)
+
+
+def adoption_counts(outputs) -> int:
+    """Number of nodes currently using technology A."""
+    return sum(1 for value in outputs if value == TECH_A)

@@ -1,0 +1,21 @@
+"""Exception hierarchy for the stateless-computation library."""
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ValidationError(ReproError):
+    """A model object (graph, protocol, labeling, ...) is malformed."""
+
+
+class ScheduleError(ReproError):
+    """A schedule was queried outside its defined domain."""
+
+
+class ConvergenceError(ReproError):
+    """A run did not reach the state a caller required."""
+
+
+class SearchBudgetExceeded(ReproError):
+    """An exhaustive search exceeded its configured state budget."""

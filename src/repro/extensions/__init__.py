@@ -1,0 +1,27 @@
+"""Executable versions of the paper's future-work directions (Section 7)."""
+
+from repro.extensions.almost_stateless import (
+    MemoryProtocol,
+    compile_to_stateless,
+    counter_with_memory,
+    expand_memory_inputs,
+    mirror_schedule_steps,
+    mirror_topology,
+)
+from repro.extensions.randomized import (
+    RandomizedProtocol,
+    RandomizedSimulator,
+    randomized_example1,
+)
+
+__all__ = [
+    "MemoryProtocol",
+    "RandomizedProtocol",
+    "RandomizedSimulator",
+    "compile_to_stateless",
+    "counter_with_memory",
+    "expand_memory_inputs",
+    "mirror_schedule_steps",
+    "mirror_topology",
+    "randomized_example1",
+]

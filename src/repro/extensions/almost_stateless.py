@@ -1,0 +1,195 @@
+"""Almost-stateless computation (future-work item 2 of Section 7).
+
+The paper asks: what does "computation with a constant number of internal
+memory bits" buy over pure statelessness?  This module makes the question
+executable:
+
+* :class:`MemoryProtocol` — the *almost-stateless* model: a reaction
+  additionally reads and writes a private memory value drawn from a finite
+  ``memory_space``.  (A stateful protocol in the sense of Appendix B reads
+  its own outgoing labels; memory is the cleaner abstraction of the same
+  power.)
+* :func:`compile_to_stateless` — memory is *compilable away* at the cost of
+  one helper node per memory-carrying node and one extra label field: the
+  node keeps its memory in the label it sends to a dedicated **mirror**
+  node, which echoes it back — the ping-pong idiom of Theorem 5.4's gate
+  memory, promoted to a general-purpose compiler.  The compiled protocol is
+  strictly stateless and, under schedules that activate a node together with
+  its mirror, reproduces the memory protocol step for step (machine-checked
+  in the tests).
+
+This both answers the paper's question for constant memory ("no more power,
+up to a linear blowup in nodes and one label field") and documents the
+construction's cost model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any
+
+from repro.core.labels import ExplicitLabelSpace, LabelSpace, ProductSpace
+from repro.core.protocol import StatelessProtocol
+from repro.core.reaction import Edge, LambdaReaction
+from repro.core.schedule import Schedule
+from repro.exceptions import ValidationError
+from repro.graphs.topology import Topology
+
+#: reaction(incoming_labels, memory, x) -> (outgoing_labels, new_memory, y)
+MemoryReaction = Callable[[Mapping[Edge, Any], Any, Any], tuple[Mapping[Edge, Any], Any, Any]]
+
+
+class MemoryProtocol:
+    """The almost-stateless model: reactions carry private bounded memory."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        label_space: LabelSpace,
+        memory_space: LabelSpace,
+        reactions: Sequence[MemoryReaction],
+        name: str = "",
+    ):
+        if len(reactions) != topology.n:
+            raise ValidationError(f"need {topology.n} reactions")
+        self.topology = topology
+        self.label_space = label_space
+        self.memory_space = memory_space
+        self.reactions = tuple(reactions)
+        self.name = name or "memory-protocol"
+
+    @property
+    def n(self) -> int:
+        return self.topology.n
+
+    def run_trace(self, labeling_values, memories, inputs, schedule: Schedule, steps: int):
+        """Reference semantics: direct execution with explicit memory."""
+        values = dict(zip(self.topology.edges, labeling_values))
+        memories = list(memories)
+        trace = [(dict(values), tuple(memories))]
+        for t in range(steps):
+            new_values = dict(values)
+            for i in schedule.active(t):
+                incoming = {e: values[e] for e in self.topology.in_edges(i)}
+                outgoing, memory, _y = self.reactions[i](incoming, memories[i], inputs[i])
+                for edge, label in outgoing.items():
+                    new_values[edge] = label
+                memories[i] = memory
+            values = new_values
+            trace.append((dict(values), tuple(memories)))
+        return trace
+
+
+def mirror_topology(topology: Topology) -> Topology:
+    """Original nodes 0..n-1 plus mirror node ``n + i`` for each node i.
+
+    Mirrors connect bidirectionally to their principal only.
+    """
+    n = topology.n
+    edges = list(topology.edges)
+    for i in range(n):
+        edges.append((i, n + i))
+        edges.append((n + i, i))
+    return Topology(2 * n, edges, name=f"mirrored({topology.name})")
+
+
+def compile_to_stateless(protocol: MemoryProtocol) -> StatelessProtocol:
+    """Compile an almost-stateless protocol to a pure stateless one.
+
+    Labels become ``(payload, memory)`` pairs; a node writes its new memory
+    into every outgoing label, its mirror echoes the memory component back,
+    and the node reads its "own" memory from the mirror's echo.  Mirror
+    nodes output ``None``; principals output the original protocol's output.
+
+    Faithful simulation is **two-phase**: each source activation set lifts to
+    a principal phase followed by a mirror phase
+    (:func:`mirror_schedule_steps`), so the echo carrying the new memory is
+    back before the next principal activation.  One source step therefore
+    costs two compiled steps — the compiler's price alongside the doubled
+    node count and the extra label field.
+    """
+    source = protocol.topology
+    n = source.n
+    big = mirror_topology(source)
+    label_space = ProductSpace(
+        (protocol.label_space, protocol.memory_space), name="payload x memory"
+    )
+
+    def make_principal(i: int):
+        reaction = protocol.reactions[i]
+
+        def react(incoming, x):
+            mirror_edge = (n + i, i)
+            _, memory = incoming[mirror_edge]
+            source_incoming = {
+                e: incoming[e][0] for e in source.in_edges(i)
+            }
+            outgoing, new_memory, y = reaction(source_incoming, memory, x)
+            labels = {
+                edge: (outgoing[edge], new_memory) for edge in source.out_edges(i)
+            }
+            # The mirror edge only transports memory; its payload component
+            # reuses an arbitrary valid label (the first outgoing one).
+            first_payload = outgoing[source.out_edges(i)[0]]
+            labels[(i, n + i)] = (first_payload, new_memory)
+            return labels, y
+
+        return LambdaReaction(react)
+
+    def make_mirror(i: int):
+        def react(incoming, _x):
+            label = incoming[(i, n + i)]
+            return {(n + i, i): label}, None
+
+        return LambdaReaction(react)
+
+    reactions = [make_principal(i) for i in range(n)] + [
+        make_mirror(i) for i in range(n)
+    ]
+    return StatelessProtocol(
+        big, label_space, reactions, name=f"stateless({protocol.name})"
+    )
+
+
+def mirror_schedule_steps(steps: Sequence, n: int) -> list[set[int]]:
+    """Two-phase lift: each source step becomes (principals, then mirrors)."""
+    lifted: list[set[int]] = []
+    for step in steps:
+        lifted.append(set(step))
+        lifted.append({n + i for i in step})
+    return lifted
+
+
+def expand_memory_inputs(inputs: Sequence) -> tuple:
+    """Inputs for the compiled protocol: mirrors take input 0."""
+    return tuple(inputs) + (0,) * len(inputs)
+
+
+def counter_with_memory(topology_n: int, modulus: int) -> MemoryProtocol:
+    """A one-node-memory demonstration: each node counts its own activations
+    mod ``modulus`` in private memory and broadcasts the count.
+
+    Statelessly impossible on the unidirectional ring without extra label
+    structure; with one memory cell it is trivial — the gap the paper's
+    future-work question points at.
+    """
+    from repro.graphs.standard import unidirectional_ring
+
+    topology = unidirectional_ring(topology_n)
+    space = ExplicitLabelSpace(tuple(range(modulus)), name=f"count({modulus})")
+
+    def make_reaction(i: int):
+        def react(_incoming, memory, _x):
+            new_memory = (memory + 1) % modulus
+            outgoing = {edge: new_memory for edge in topology.out_edges(i)}
+            return outgoing, new_memory, new_memory
+
+        return react
+
+    return MemoryProtocol(
+        topology,
+        space,
+        space,
+        [make_reaction(i) for i in range(topology_n)],
+        name=f"activation-counter({topology_n},{modulus})",
+    )

@@ -1,0 +1,136 @@
+"""Randomized reaction functions (future-work item 4 of Section 7).
+
+The paper asks what randomization buys for self-stabilization.  This module
+provides a randomized-protocol model plus the classic answer on Example 1:
+the adversarial (n-1)-fair schedule of Theorem 3.1 defeats every
+*deterministic* tie-breaking, but a node that flips a coin between "join the
+ones" and "stay zero" breaks the token rotation with probability 1/2 per
+revolution — so the protocol converges against that schedule almost surely,
+with geometrically decaying survival probability (measured in the tests).
+
+Randomized reactions receive a ``random.Random`` alongside their inputs;
+the simulator owns a seeded master generator, so runs stay reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any
+
+from repro.core.configuration import Configuration, Labeling
+from repro.core.labels import LabelSpace, binary
+from repro.core.protocol import StatelessProtocol
+from repro.core.schedule import Schedule
+from repro.exceptions import ValidationError
+from repro.graphs.standard import clique
+from repro.graphs.topology import Topology
+
+#: reaction(incoming, x, rng) -> (outgoing, y)
+RandomizedReaction = Callable[[Mapping, Any, random.Random], tuple[Mapping, Any]]
+
+
+class RandomizedProtocol:
+    """A protocol whose reactions may flip coins."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        label_space: LabelSpace,
+        reactions: Sequence[RandomizedReaction],
+        name: str = "",
+    ):
+        if len(reactions) != topology.n:
+            raise ValidationError(f"need {topology.n} reactions")
+        self.topology = topology
+        self.label_space = label_space
+        self.reactions = tuple(reactions)
+        self.name = name or "randomized-protocol"
+
+    @property
+    def n(self) -> int:
+        return self.topology.n
+
+
+class RandomizedSimulator:
+    """Seeded execution of randomized protocols."""
+
+    def __init__(self, protocol: RandomizedProtocol, inputs: Sequence, seed: int = 0):
+        if len(inputs) != protocol.n:
+            raise ValidationError(f"need {protocol.n} inputs")
+        self.protocol = protocol
+        self.inputs = tuple(inputs)
+        self._rng = random.Random(seed)
+
+    def step(self, config: Configuration, active) -> Configuration:
+        labeling = config.labeling
+        updates: dict = {}
+        outputs = list(config.outputs)
+        for i in active:
+            incoming = labeling.incoming(i)
+            outgoing, y = self.protocol.reactions[i](incoming, self.inputs[i], self._rng)
+            updates.update(outgoing)
+            outputs[i] = y
+        return Configuration(labeling.replace(updates), tuple(outputs))
+
+    def run_until_label_constant(
+        self,
+        labeling: Labeling,
+        schedule: Schedule,
+        max_steps: int,
+        quiet_window: int,
+    ) -> tuple[bool, int]:
+        """Run until the labeling stays constant for ``quiet_window`` steps.
+
+        Returns (converged_within_budget, steps_of_last_change + 1).
+        Randomized runs cannot be certified by fixed-point witnessing (a coin
+        may flip later), so this is a statistical criterion — exactly what
+        the future-work question is about.
+        """
+        config = Configuration(labeling, (None,) * self.protocol.n)
+        last_change = 0
+        for t in range(max_steps):
+            nxt = self.step(config, schedule.active(t))
+            if nxt.labeling != config.labeling:
+                last_change = t + 1
+            config = nxt
+            if t + 1 - last_change >= quiet_window:
+                return True, last_change
+        return False, last_change
+
+
+def randomized_example1(n: int, join_probability: float = 0.5) -> RandomizedProtocol:
+    """Example 1 with randomized tie-breaking.
+
+    A node seeing at least one 1 joins the ones only with probability
+    ``join_probability`` (instead of always) — which breaks the adversarial
+    token rotation of Theorem 3.1's tight schedule.  Both all-0 and all-1
+    remain absorbing.
+    """
+    if n < 3:
+        raise ValidationError("Example 1 needs n >= 3")
+    if not 0 < join_probability <= 1:
+        raise ValidationError("join probability must be in (0, 1]")
+    topology = clique(n)
+
+    def make_reaction(i: int):
+        def react(incoming, _x, rng):
+            sees_one = any(value == 1 for value in incoming.values())
+            all_ones = all(value == 1 for value in incoming.values())
+            if all_ones:
+                bit = 1  # keep all-1 absorbing
+            elif sees_one:
+                bit = 1 if rng.random() < join_probability else 0
+            else:
+                bit = 0
+            labels = {edge: bit for edge in topology.out_edges(i)}
+            return labels, bit
+
+        return react
+
+    return RandomizedProtocol(
+        topology,
+        binary(),
+        [make_reaction(i) for i in range(n)],
+        name=f"randomized-example1({n})",
+    )

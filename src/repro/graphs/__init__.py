@@ -1,0 +1,48 @@
+"""Graph substrate: topologies, standard families, spanning trees, properties."""
+
+from repro.graphs.properties import (
+    all_pairs_distances,
+    diameter,
+    distances_from,
+    eccentricity,
+    is_strongly_connected,
+    max_degree,
+    radius,
+)
+from repro.graphs.spanning import InTree, OutTree, broadcast_tree, convergecast_tree
+from repro.graphs.standard import (
+    bidirectional_ring,
+    binary_tree,
+    clique,
+    hypercube,
+    path,
+    random_strongly_connected,
+    star,
+    torus,
+    unidirectional_ring,
+)
+from repro.graphs.topology import Topology
+
+__all__ = [
+    "InTree",
+    "OutTree",
+    "Topology",
+    "all_pairs_distances",
+    "bidirectional_ring",
+    "binary_tree",
+    "broadcast_tree",
+    "clique",
+    "convergecast_tree",
+    "diameter",
+    "distances_from",
+    "eccentricity",
+    "hypercube",
+    "is_strongly_connected",
+    "max_degree",
+    "path",
+    "radius",
+    "random_strongly_connected",
+    "star",
+    "torus",
+    "unidirectional_ring",
+]

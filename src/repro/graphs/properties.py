@@ -1,0 +1,75 @@
+"""Structural graph properties used by the paper's statements.
+
+Proposition 2.1 lower-bounds round complexity by the graph *radius*; Theorem
+5.10 is parameterized by the maximum degree; every protocol requires a
+*strongly connected* topology (Section 2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.exceptions import ValidationError
+from repro.graphs.topology import Topology
+
+_UNREACHABLE = -1
+
+
+def distances_from(topology: Topology, source: int) -> list[int]:
+    """Directed BFS distances from ``source``; -1 marks unreachable nodes."""
+    dist = [_UNREACHABLE] * topology.n
+    dist[source] = 0
+    queue = deque((source,))
+    while queue:
+        u = queue.popleft()
+        for v in topology.out_neighbors(u):
+            if dist[v] == _UNREACHABLE:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+    return dist
+
+
+def all_pairs_distances(topology: Topology) -> list[list[int]]:
+    return [distances_from(topology, source) for source in topology.nodes]
+
+
+def is_strongly_connected(topology: Topology) -> bool:
+    """Every node reaches every node (the paper's standing assumption)."""
+    forward = distances_from(topology, 0)
+    if any(d == _UNREACHABLE for d in forward):
+        return False
+    reversed_topology = Topology(
+        topology.n, [(v, u) for (u, v) in topology.edges], name="reversed"
+    )
+    backward = distances_from(reversed_topology, 0)
+    return all(d != _UNREACHABLE for d in backward)
+
+
+def eccentricity(topology: Topology, source: int) -> int:
+    """Max distance from ``source`` to any node (graph must be s.c.)."""
+    dist = distances_from(topology, source)
+    if any(d == _UNREACHABLE for d in dist):
+        raise ValidationError("eccentricity undefined: graph not strongly connected")
+    return max(dist)
+
+
+def radius(topology: Topology) -> int:
+    """min over nodes of eccentricity — the r of Proposition 2.1."""
+    return min(eccentricity(topology, source) for source in topology.nodes)
+
+
+def diameter(topology: Topology) -> int:
+    return max(eccentricity(topology, source) for source in topology.nodes)
+
+
+def max_degree(topology: Topology) -> int:
+    """The Delta(G) of Theorem 5.10.
+
+    For a directed graph we take the maximum over nodes of
+    ``max(in_degree, out_degree)`` — a reaction function's domain is
+    ``Sigma^{in_degree}`` and its range ``Sigma^{out_degree}``, so this is the
+    exponent that drives the counting argument.
+    """
+    return max(
+        max(topology.in_degree(i), topology.out_degree(i)) for i in topology.nodes
+    )

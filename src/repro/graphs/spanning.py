@@ -1,0 +1,93 @@
+"""Spanning in-/out-trees for the generic protocol of Proposition 2.3.
+
+The proof of Proposition 2.3 uses two spanning trees rooted at node 1 (node 0
+here): ``T1`` with a directed path from the root to every node (broadcast) and
+``T2`` with a directed path from every node to the root (convergecast).  Both
+exist in every strongly connected digraph; we take BFS shortest-path trees.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.exceptions import ValidationError
+from repro.graphs.topology import Topology
+
+
+@dataclass(frozen=True)
+class OutTree:
+    """Directed paths from the root to every node (the paper's T1)."""
+
+    root: int
+    #: parent[v] = the node from which v is reached; edge (parent[v], v) in E.
+    parent: dict[int, int]
+    children: dict[int, tuple[int, ...]] = field(repr=False)
+
+    def depth(self, v: int) -> int:
+        d = 0
+        while v != self.root:
+            v = self.parent[v]
+            d += 1
+        return d
+
+
+@dataclass(frozen=True)
+class InTree:
+    """Directed paths from every node to the root (the paper's T2)."""
+
+    root: int
+    #: parent[v] = next hop from v toward the root; edge (v, parent[v]) in E.
+    parent: dict[int, int]
+    children: dict[int, tuple[int, ...]] = field(repr=False)
+
+    def depth(self, v: int) -> int:
+        d = 0
+        while v != self.root:
+            v = self.parent[v]
+            d += 1
+        return d
+
+
+def broadcast_tree(topology: Topology, root: int = 0) -> OutTree:
+    """BFS shortest-path out-tree rooted at ``root``."""
+    parent: dict[int, int] = {}
+    seen = {root}
+    queue = deque((root,))
+    while queue:
+        u = queue.popleft()
+        for v in topology.out_neighbors(u):
+            if v not in seen:
+                seen.add(v)
+                parent[v] = u
+                queue.append(v)
+    if len(seen) != topology.n:
+        raise ValidationError("graph has no spanning out-tree from the root")
+    return OutTree(root, parent, _children_of(parent, topology.n))
+
+
+def convergecast_tree(topology: Topology, root: int = 0) -> InTree:
+    """BFS shortest-path in-tree rooted at ``root`` (built on the reversed graph)."""
+    reversed_out: list[list[int]] = [[] for _ in range(topology.n)]
+    for (u, v) in topology.edges:
+        reversed_out[v].append(u)
+    parent: dict[int, int] = {}
+    seen = {root}
+    queue = deque((root,))
+    while queue:
+        u = queue.popleft()
+        for v in reversed_out[u]:
+            if v not in seen:
+                seen.add(v)
+                parent[v] = u  # original edge (v, u): v's next hop toward root
+                queue.append(v)
+    if len(seen) != topology.n:
+        raise ValidationError("graph has no spanning in-tree to the root")
+    return InTree(root, parent, _children_of(parent, topology.n))
+
+
+def _children_of(parent: dict[int, int], n: int) -> dict[int, tuple[int, ...]]:
+    children: dict[int, list[int]] = {i: [] for i in range(n)}
+    for child, par in parent.items():
+        children[par].append(child)
+    return {i: tuple(sorted(kids)) for i, kids in children.items()}

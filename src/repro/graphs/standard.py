@@ -1,0 +1,135 @@
+"""Standard topologies used throughout the paper.
+
+The paper's computational-power results live on the unidirectional and
+bidirectional ring; the impossibility and hardness constructions live on the
+clique; the future-work section names the hypercube, torus and trees.  All of
+them are provided here, plus seeded random strongly-connected digraphs for
+property-based testing.
+
+Ring orientation convention: "clockwise" is the direction of increasing node
+index, i.e. the edge ``(i, (i+1) % n)``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.exceptions import ValidationError
+from repro.graphs.topology import Topology
+
+
+def unidirectional_ring(n: int) -> Topology:
+    """Directed cycle 0 -> 1 -> ... -> n-1 -> 0."""
+    if n < 2:
+        raise ValidationError("a ring needs at least 2 nodes")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Topology(n, edges, name=f"uni-ring({n})")
+
+
+def bidirectional_ring(n: int) -> Topology:
+    """Cycle with both orientations on every link."""
+    if n < 2:
+        raise ValidationError("a ring needs at least 2 nodes")
+    edges: list[tuple[int, int]] = []
+    for i in range(n):
+        j = (i + 1) % n
+        for edge in ((i, j), (j, i)):
+            if edge not in edges:
+                edges.append(edge)
+    return Topology(n, edges, name=f"bi-ring({n})")
+
+
+def clique(n: int) -> Topology:
+    """Complete digraph K_n (both directions on every pair)."""
+    if n < 2:
+        raise ValidationError("a clique needs at least 2 nodes")
+    edges = [(u, v) for u in range(n) for v in range(n) if u != v]
+    return Topology(n, edges, name=f"clique({n})")
+
+
+def star(n: int) -> Topology:
+    """Bidirectional star: node 0 is the hub connected to 1..n-1."""
+    if n < 2:
+        raise ValidationError("a star needs at least 2 nodes")
+    edges = []
+    for leaf in range(1, n):
+        edges.append((0, leaf))
+        edges.append((leaf, 0))
+    return Topology(n, edges, name=f"star({n})")
+
+
+def path(n: int) -> Topology:
+    """Bidirectional path 0 - 1 - ... - n-1."""
+    if n < 2:
+        raise ValidationError("a path needs at least 2 nodes")
+    edges = []
+    for i in range(n - 1):
+        edges.append((i, i + 1))
+        edges.append((i + 1, i))
+    return Topology(n, edges, name=f"path({n})")
+
+
+def hypercube(d: int) -> Topology:
+    """Bidirectional d-dimensional hypercube on 2^d nodes."""
+    if d < 1:
+        raise ValidationError("hypercube dimension must be >= 1")
+    n = 1 << d
+    edges = []
+    for u in range(n):
+        for bit in range(d):
+            v = u ^ (1 << bit)
+            edges.append((u, v))
+    return Topology(n, edges, name=f"hypercube({d})")
+
+
+def torus(rows: int, cols: int) -> Topology:
+    """Bidirectional 2-D torus grid (4-neighbor wraparound)."""
+    if rows < 2 or cols < 2:
+        raise ValidationError("torus needs at least 2 rows and 2 columns")
+    n = rows * cols
+
+    def node(r: int, c: int) -> int:
+        return (r % rows) * cols + (c % cols)
+
+    edges = set()
+    for r in range(rows):
+        for c in range(cols):
+            u = node(r, c)
+            for v in (node(r + 1, c), node(r - 1, c), node(r, c + 1), node(r, c - 1)):
+                if u != v:
+                    edges.add((u, v))
+    return Topology(n, sorted(edges), name=f"torus({rows}x{cols})")
+
+
+def binary_tree(depth: int) -> Topology:
+    """Bidirectional complete binary tree of the given depth (root = 0)."""
+    if depth < 1:
+        raise ValidationError("tree depth must be >= 1")
+    n = (1 << (depth + 1)) - 1
+    edges = []
+    for child in range(1, n):
+        parent = (child - 1) // 2
+        edges.append((parent, child))
+        edges.append((child, parent))
+    return Topology(n, edges, name=f"binary-tree(depth={depth})")
+
+
+def random_strongly_connected(n: int, extra_edges: int, seed: int = 0) -> Topology:
+    """A random strongly connected digraph: a random Hamiltonian cycle plus
+    ``extra_edges`` additional random arcs."""
+    if n < 2:
+        raise ValidationError("need at least 2 nodes")
+    rng = random.Random(seed)
+    order = list(range(n))
+    rng.shuffle(order)
+    edges = set()
+    for k in range(n):
+        edges.add((order[k], order[(k + 1) % n]))
+    attempts = 0
+    while len(edges) < n + extra_edges and attempts < 100 * (extra_edges + 1):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        attempts += 1
+        if u != v:
+            edges.add((u, v))
+    return Topology(n, sorted(edges), name=f"random-sc({n},{seed})")

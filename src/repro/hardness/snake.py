@@ -1,0 +1,136 @@
+"""Snake-in-the-box: induced cycles in the hypercube (Definition B.2).
+
+The communication-complexity reductions of Theorem 4.1 embed the two parties'
+inputs along a *snake* — an induced simple cycle of the hypercube graph
+``Q_d`` (consecutive vertices adjacent, non-consecutive vertices
+non-adjacent).  Abbott-Katchalski (Theorem B.3): the longest snake s(d)
+satisfies ``lambda * 2^d <= s(d) <= 2^(d-1)`` with ``lambda >= 0.3``.
+
+Maximal snakes are hard to find; the gadgets only need *a valid* snake, so we
+provide an exact DFS for small d, a budgeted best-effort search for larger d,
+and the table of known maxima for reporting.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SearchBudgetExceeded, ValidationError
+
+#: Known maximal snake lengths (OEIS A099155).
+KNOWN_MAX_SNAKE_LENGTH = {2: 4, 3: 6, 4: 8, 5: 14, 6: 26, 7: 48}
+
+#: Abbott-Katchalski constant.
+LAMBDA = 0.3
+
+
+def abbott_katchalski_bounds(d: int) -> tuple[float, int]:
+    """(lower, upper) bounds on s(d) for d >= 8: lambda*2^d <= s(d) <= 2^(d-1)."""
+    return LAMBDA * 2**d, 2 ** (d - 1)
+
+
+def is_snake(cycle: list[int], d: int) -> bool:
+    """Verify that ``cycle`` is an induced simple cycle in Q_d.
+
+    Vertices are integers in [0, 2^d); consecutive vertices (cyclically) must
+    differ in exactly one bit; all vertices distinct; non-consecutive
+    vertices must not be adjacent (no chords).
+    """
+    length = len(cycle)
+    if length < 4:
+        return False
+    if any(not 0 <= v < (1 << d) for v in cycle):
+        return False
+    if len(set(cycle)) != length:
+        return False
+    for k in range(length):
+        if bin(cycle[k] ^ cycle[(k + 1) % length]).count("1") != 1:
+            return False
+    for i in range(length):
+        for j in range(i + 2, length):
+            if i == 0 and j == length - 1:
+                continue  # the closing edge of the cycle
+            if bin(cycle[i] ^ cycle[j]).count("1") == 1:
+                return False
+    return True
+
+
+def find_snake(d: int, budget: int = 2_000_000) -> list[int]:
+    """Longest snake found by DFS within the node budget.
+
+    Exhaustive (hence maximal) for d <= 4 under the default budget; a valid
+    but possibly sub-maximal snake for larger d.  Raises if no snake exists
+    (d < 2).
+    """
+    if d < 2:
+        raise ValidationError("Q_d has no induced cycle for d < 2")
+    n = 1 << d
+    neighbors = [[v ^ (1 << bit) for bit in range(d)] for v in range(n)]
+    best: list[int] = []
+    visited_budget = [budget]
+
+    # Path-based DFS: grow an induced path from 0, try to close it into a
+    # cycle.  "Induced path" means internal vertices have no chords; the
+    # closing edge is allowed between the endpoints only.
+    def forbidden(path_set, path, candidate):
+        # A candidate may touch only the last path vertex (its predecessor)
+        # and the first (the potential cycle-closing edge); any other contact
+        # would be a chord.
+        first, last = path[0], path[-1]
+        for u in neighbors[candidate]:
+            if u in path_set and u != last and u != first:
+                return True
+        return False
+
+    def close_if_cycle(path):
+        nonlocal best
+        if len(path) < 4:
+            return
+        if bin(path[0] ^ path[-1]).count("1") == 1 and len(path) > len(best):
+            # check path[0]'s other neighbors: induced cycle allows only
+            # path[1] and path[-1] adjacent to path[0]
+            candidate = list(path)
+            if is_snake(candidate, d):
+                best = candidate
+
+    def dfs(path, path_set):
+        if visited_budget[0] <= 0:
+            return
+        visited_budget[0] -= 1
+        close_if_cycle(path)
+        for nxt in neighbors[path[-1]]:
+            if nxt in path_set or forbidden(path_set, path, nxt):
+                continue
+            path.append(nxt)
+            path_set.add(nxt)
+            dfs(path, path_set)
+            path_set.remove(nxt)
+            path.pop()
+
+    # fix the first edge 0 -> 1 (WLOG by symmetry)
+    dfs([0, 1], {0, 1})
+    if not best:
+        raise SearchBudgetExceeded(f"no snake found in Q_{d} within budget")
+    return best
+
+
+def translate_snake(cycle: list[int], offset: int) -> list[int]:
+    """XOR-translate a snake (hypercube automorphism): stays a snake."""
+    return [v ^ offset for v in cycle]
+
+
+def normalized_snake(d: int, budget: int = 2_000_000) -> list[int]:
+    """A snake positioned for the Theorem B.4 gadget: the all-zeros vertex is
+    **off** the snake (the gadget's orientation routes off-snake dynamics
+    toward 0^d).
+
+    Needs d >= 3: in Q_2 the only snake is the whole square, leaving no
+    off-snake vertices.
+    """
+    if d < 3:
+        raise ValidationError("the gadget snake needs d >= 3")
+    cycle = find_snake(d, budget)
+    n = 1 << d
+    snake_set = set(cycle)
+    for offset in range(n):
+        if 0 not in {v ^ offset for v in snake_set}:
+            return translate_snake(cycle, offset)
+    raise ValidationError(f"no valid translation for the Q_{d} snake")

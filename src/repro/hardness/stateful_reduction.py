@@ -1,0 +1,204 @@
+"""The PSPACE-hardness reduction machinery of Theorem 4.2.
+
+Two executable pieces:
+
+* **Theorem B.11** — from a String-Oscillation instance ``g`` build a
+  *stateful* protocol (reactions may read their own outgoing labels) on the
+  clique ``K_{m+1}``: workers 0..m-1 hold the string symbols, the controller
+  (node m) drives the procedure by commanding one write at a time and
+  advancing once it observes the write executed.  The protocol is label
+  r-stabilizing (for every r) iff the procedure halts from every string.
+
+* **Theorem B.14** — the metanode compiler: any stateful protocol ``A`` on
+  ``K_n`` becomes a *stateless* protocol on ``K_{3n}`` with the same
+  stabilization behavior.  Each node is triplicated; a node reads its own
+  label from its two metanode partners (that is how statelessness is
+  recovered), a corrupted view collapses to the sentinel label ω, and a
+  simulated labeling that is already stable for ``A`` also collapses to ω —
+  making the all-ω labeling the compiled protocol's unique stable point.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.labels import ExplicitLabelSpace
+from repro.core.protocol import StatefulProtocol, StatelessProtocol
+from repro.core.reaction import LambdaStatefulReaction, UniformReaction
+from repro.exceptions import ValidationError
+from repro.graphs.standard import clique
+from repro.core.configuration import Labeling
+from repro.hardness.string_oscillation import HALT, GFunction
+
+#: The sentinel label of the metanode compiler.
+OMEGA = "omega"
+
+
+# ---------------------------------------------------------------------------
+# Theorem B.11: stateful protocol from a String-Oscillation instance.
+# ---------------------------------------------------------------------------
+
+
+def stateful_protocol_from_g(
+    g: GFunction, alphabet: Sequence, m: int
+) -> StatefulProtocol:
+    """Build the Theorem B.11 stateful protocol on ``K_{m+1}``.
+
+    Labels are pairs ``(position, symbol)`` with symbol in Gamma u {halt};
+    workers only use the symbol part, the controller uses both.
+    """
+    if m < 2:
+        raise ValidationError("need at least 2 worker nodes")
+    alphabet = tuple(alphabet)
+    n = m + 1
+    controller = m
+    topology = clique(n)
+    symbols = alphabet + (HALT,)
+    label_space = ExplicitLabelSpace(
+        tuple((j, s) for j in range(m) for s in symbols),
+        name=f"string-osc(m={m})",
+    )
+
+    def make_worker(i: int):
+        def react(incoming, own_outgoing, _x):
+            j, gamma = incoming[(controller, i)]
+            own = next(iter(own_outgoing.values()))
+            if gamma == HALT:
+                label = (0, HALT)
+            elif j == i:
+                label = (0, gamma)
+            else:
+                label = (0, own[1])
+            return {edge: label for edge in topology.out_edges(i)}, label[1]
+
+        return LambdaStatefulReaction(react)
+
+    def controller_react(incoming, own_outgoing, _x):
+        own = next(iter(own_outgoing.values()))
+        j, gamma = own
+        worker_symbols = tuple(
+            incoming[(i, controller)][1] for i in range(m)
+        )
+        if gamma == HALT:
+            label = (0, HALT)
+        elif worker_symbols[j] == gamma:
+            label = ((j + 1) % m, g(worker_symbols))
+        else:
+            label = (j, gamma)
+        return {edge: label for edge in topology.out_edges(controller)}, label[1]
+
+    reactions = [make_worker(i) for i in range(m)] + [
+        LambdaStatefulReaction(controller_react)
+    ]
+    return StatefulProtocol(
+        topology, label_space, reactions, name=f"string-osc-protocol(m={m})"
+    )
+
+
+def procedure_labeling(
+    protocol: StatefulProtocol, g: GFunction, start: tuple
+) -> Labeling:
+    """The initial labeling that makes the protocol simulate the procedure
+    from string ``start``: workers broadcast (0, T_i), the controller
+    broadcasts (0, g(T))."""
+    m = protocol.n - 1
+    if len(start) != m:
+        raise ValidationError(f"need a string of length {m}")
+    per_node = [(0, symbol) for symbol in start] + [(0, g(tuple(start)))]
+    topology = protocol.topology
+    values = tuple(per_node[u] for (u, _) in topology.edges)
+    return Labeling(topology, values)
+
+
+# ---------------------------------------------------------------------------
+# Theorem B.14: the metanode compiler (stateful -> stateless).
+# ---------------------------------------------------------------------------
+
+
+def metanode_compile(protocol: StatefulProtocol) -> StatelessProtocol:
+    """Compile a stateful clique protocol to a stateless one on ``K_{3n}``."""
+    n = protocol.n
+    source = protocol.topology
+    if source != clique(n):
+        raise ValidationError("the metanode compiler expects a clique protocol")
+    big = clique(3 * n)
+    label_space = ExplicitLabelSpace(
+        tuple(protocol.label_space) + (OMEGA,), name="metanode"
+    )
+
+    def simulate_reaction(i: int, corresponding: list, x):
+        """delta_i of A on the corresponding labeling (broadcast form)."""
+        incoming = {(k, i): corresponding[k] for k in range(n) if k != i}
+        own = {(i, k): corresponding[i] for k in range(n) if k != i}
+        outgoing, _y = protocol.reaction(i)(incoming, own, x)
+        return next(iter(outgoing.values()))
+
+    def corresponding_is_stable(corresponding: list, inputs_hint) -> bool:
+        for k in range(n):
+            if simulate_reaction(k, corresponding, inputs_hint[k]) != corresponding[k]:
+                return False
+        return True
+
+    def make_reaction(u: int):
+        i, _member = divmod(u, 3)
+
+        def react(incoming, x):
+            # labels by source node (broadcast protocol: any edge works)
+            by_node = {v: incoming[(v, u)] for v in range(3 * n) if v != u}
+            corresponding: list = [None] * n
+            consistent = True
+            for k in range(n):
+                members = [by_node[3 * k + c] for c in range(3) if 3 * k + c != u]
+                if any(lbl == OMEGA for lbl in members):
+                    consistent = False
+                    break
+                if len(set(members)) != 1:
+                    consistent = False
+                    break
+                corresponding[k] = members[0]
+            if not consistent:
+                label = OMEGA
+            else:
+                # All metanodes share the input of their source node; the
+                # compiled protocol's caller passes x_i to all of 3i..3i+2,
+                # so this node's own x stands in for its metanode.
+                inputs_hint = [x] * n
+                if corresponding_is_stable(corresponding, inputs_hint):
+                    label = OMEGA
+                else:
+                    label = simulate_reaction(i, corresponding, x)
+            return label, label
+
+        return UniformReaction(big.out_edges(u), react)
+
+    return StatelessProtocol(
+        big,
+        label_space,
+        [make_reaction(u) for u in range(3 * n)],
+        name=f"metanode({protocol.name})",
+    )
+
+
+def expand_inputs(inputs: Sequence) -> tuple:
+    """Triple each input for the compiled protocol's metanodes."""
+    expanded = []
+    for value in inputs:
+        expanded.extend([value] * 3)
+    return tuple(expanded)
+
+
+def expand_labeling(protocol: StatefulProtocol, labeling: Labeling) -> Labeling:
+    """Lift a broadcast labeling of A to the strongly consistent labeling of
+    the compiled protocol (every metanode member broadcasts i's label)."""
+    n = protocol.n
+    per_node = [labeling[(i, (i + 1) % n)] for i in range(n)]
+    big = clique(3 * n)
+    values = tuple(per_node[u // 3] for (u, _) in big.edges)
+    return Labeling(big, values)
+
+
+def expand_schedule_steps(steps: Sequence[frozenset[int]]) -> list[set[int]]:
+    """Lift activation sets of A to whole-metanode activations of A'."""
+    return [
+        {3 * i + c for i in step for c in range(3)} for step in steps
+    ]

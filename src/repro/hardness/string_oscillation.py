@@ -1,0 +1,99 @@
+"""The String-Oscillation problem (source of the PSPACE reduction, Thm 4.2).
+
+Given ``g : Gamma^m -> Gamma u {halt}``, decide whether some initial string
+makes the following procedure run forever:
+
+    i <- 1
+    while g(T) != halt:
+        T_i <- g(T)
+        i <- 1 + (i mod m)
+
+This module provides the brute-force decider (exact for small ``Gamma^m``;
+the problem is PSPACE-complete in general, which is the whole point of the
+reduction) plus a small library of instances with known answers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from itertools import product
+
+from repro.exceptions import ValidationError
+
+HALT = "halt"
+
+#: g maps a tuple of symbols to a symbol or HALT.
+GFunction = Callable[[tuple], object]
+
+
+def run_procedure(
+    g: GFunction, start: tuple, max_steps: int
+) -> tuple[bool, int]:
+    """Run the procedure; returns (halted, steps) — steps capped."""
+    state = (tuple(start), 0)
+    for step in range(max_steps):
+        symbols, i = state
+        value = g(symbols)
+        if value == HALT:
+            return True, step
+        updated = list(symbols)
+        updated[i] = value
+        state = (tuple(updated), (i + 1) % len(symbols))
+    return False, max_steps
+
+
+def oscillating_start(
+    g: GFunction, alphabet: Sequence, m: int
+) -> tuple | None:
+    """The brute-force decider: a non-halting initial string, or None.
+
+    The procedure's state is ``(T, i)``; there are ``|Gamma|^m * m`` states,
+    so a run either halts or revisits a state within that many steps.
+    """
+    if m < 1:
+        raise ValidationError("string length must be >= 1")
+    alphabet = tuple(alphabet)
+    if not alphabet:
+        raise ValidationError("alphabet must be nonempty")
+    horizon = (len(alphabet) ** m) * m + 1
+    for start in product(alphabet, repeat=m):
+        halted, _ = run_procedure(g, start, horizon)
+        if not halted:
+            return start
+    return None
+
+
+# -- instance library ----------------------------------------------------------
+
+
+def always_halt(_symbols: tuple):
+    """Halts immediately from every string."""
+    return HALT
+
+
+def never_halt_rotate(symbols: tuple):
+    """Never halts: keeps writing the first symbol."""
+    return symbols[0]
+
+
+def halt_when_uniform(symbols: tuple):
+    """Halt once all symbols agree, else write the majority-breaking symbol.
+
+    With a binary alphabet this always halts: writing symbols[0] into
+    successive positions makes the string uniform within m steps.
+    """
+    if all(s == symbols[0] for s in symbols):
+        return HALT
+    return symbols[0]
+
+
+def toggle_forever(symbols: tuple):
+    """Never halts on binary strings: always writes the complement of T_1."""
+    return "b" if symbols[0] == "a" else "a"
+
+
+def halt_unless_all_b(symbols: tuple):
+    """Halts from every string except the all-'b' fixed point."""
+    if all(s == "b" for s in symbols):
+        return "b"
+    return HALT

@@ -1,0 +1,37 @@
+"""Label-complexity lower bounds (Section 6)."""
+
+from repro.lowerbounds.corollaries import (
+    equality_bound,
+    equality_fooling_set,
+    equality_function,
+    majority_bound,
+    majority_fooling_set,
+    majority_function,
+    paper_equality_bound,
+    paper_majority_bound,
+)
+from repro.lowerbounds.fooling import (
+    FoolingSet,
+    cut_edges,
+    label_complexity_bound,
+    ring_bound,
+    verify_cut_condition,
+    verify_fooling_set,
+)
+
+__all__ = [
+    "FoolingSet",
+    "cut_edges",
+    "equality_bound",
+    "equality_fooling_set",
+    "equality_function",
+    "label_complexity_bound",
+    "majority_bound",
+    "majority_fooling_set",
+    "majority_function",
+    "paper_equality_bound",
+    "paper_majority_bound",
+    "ring_bound",
+    "verify_cut_condition",
+    "verify_fooling_set",
+]

@@ -1,0 +1,97 @@
+"""Concrete fooling-set lower bounds: equality and majority on the ring
+(Corollaries 6.3 and 6.4).
+
+The paper's functions:
+* ``Eq_n(x) = 1`` iff n is even and the first half equals the second half;
+* ``Maj_n(x) = 1`` iff ``sum(x) >= n/2``.
+
+A faithfulness note (recorded in EXPERIMENTS.md): the fooling sets written in
+the paper's corollaries pin only ``x_1``, but Theorem 6.2's cut condition on
+the bidirectional ring also constrains the *other* cut-adjacent coordinate
+(``x_{n/2}``, and the mirrored y-coordinates).  We therefore pin both
+boundary coordinates, shrinking the sets slightly:
+
+* equality: ``S = {(x, x) : x_0 = x_{m-1} = 1}`` of size ``2^{n/2-2}``,
+  giving ``L_n >= (n-4)/8`` (paper: ``(n-2)/8``);
+* majority: the chain ``(1, 1^k 0^{m-1-k})`` restricted to ``k <= m-2`` so
+  the last coordinate stays 0, of size ``floor(n/2) - 1``, giving
+  ``L_n >= log2(floor(n/2)-1)/4`` (paper: ``log2(floor(n/2))/4``).
+
+Both sets are machine-verified (fooling property + cut condition) by the
+test suite; the asymptotics — linear for equality, logarithmic for majority —
+are exactly the paper's.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.exceptions import ValidationError
+from repro.lowerbounds.fooling import FoolingSet
+
+from itertools import product
+
+
+def equality_function(x: Sequence[int]) -> int:
+    """The paper's Eq_n."""
+    n = len(x)
+    if n % 2 == 1:
+        return 0
+    half = n // 2
+    return 1 if tuple(x[:half]) == tuple(x[half:]) else 0
+
+
+def majority_function(x: Sequence[int]) -> int:
+    """The paper's Maj_n."""
+    return 1 if sum(x) >= len(x) / 2 else 0
+
+
+def equality_fooling_set(n: int) -> FoolingSet:
+    """Corollary 6.3's set with both cut coordinates pinned to 1."""
+    if n % 2 == 1 or n < 6:
+        raise ValidationError("the equality bound needs even n >= 6")
+    half = n // 2
+    pairs = []
+    for middle in product((0, 1), repeat=half - 2):
+        x = (1, *middle, 1)
+        pairs.append((x, x))
+    return FoolingSet(n=n, m=half, pairs=tuple(pairs), value=1)
+
+
+def equality_bound(n: int) -> float:
+    """Our verified bound: (n-4)/8."""
+    return (n - 4) / 8
+
+
+def paper_equality_bound(n: int) -> float:
+    """The paper's stated (n-2)/8."""
+    return (n - 2) / 8
+
+
+def majority_fooling_set(n: int) -> FoolingSet:
+    """Corollary 6.4's chain with the last x-coordinate kept fixed.
+
+    Pairs are ``(x, complement(x))`` (with a 1 appended for odd n), where x
+    runs over ``(1, 1^k 0^{m-1-k})`` for k = 0 .. m-2.
+    """
+    if n < 6:
+        raise ValidationError("the majority bound needs n >= 6")
+    m = n // 2
+    pairs = []
+    for k in range(m - 1):
+        x = (1,) + (1,) * k + (0,) * (m - 1 - k)
+        complement = tuple(1 - bit for bit in x)
+        y = complement + ((1,) if n % 2 == 1 else ())
+        pairs.append((x, y))
+    return FoolingSet(n=n, m=m, pairs=tuple(pairs), value=1)
+
+
+def majority_bound(n: int) -> float:
+    """Our verified bound: log2(floor(n/2) - 1)/4."""
+    return math.log2(n // 2 - 1) / 4
+
+
+def paper_majority_bound(n: int) -> float:
+    """The paper's stated log2(floor(n/2))/4."""
+    return math.log2(n // 2) / 4

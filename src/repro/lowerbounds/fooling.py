@@ -1,0 +1,118 @@
+"""The fooling-set method for label-complexity lower bounds (Theorem 6.2).
+
+A *fooling set* for ``f : {0,1}^n -> {0,1}`` (Definition 6.1) is a set
+``S`` of pairs ``(x, y) in {0,1}^m x {0,1}^{n-m}`` such that (1) all pairs
+share the same value ``f(x,y) = b`` and (2) crossing any two distinct pairs
+breaks the value: ``f(x,y') != b`` or ``f(x',y) != b``.
+
+Theorem 6.2: let ``C``/``D`` be the edges leaving/entering the node set
+``{0..m-1}``.  If all pairs in S agree on the inputs of the C-sources and
+D-sources (the cut condition), then every **label-stabilizing** protocol
+computing f needs
+
+    L_n >= log2(|S|) / (|C| + |D|).
+
+(The proof splices the stabilized labelings of two pairs along the cut; if
+they agreed on C u D the splice would be a global fixed point with the wrong
+output.)
+
+Everything here is machine-checked: fooling property, cut condition, and the
+resulting bound.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.core.reaction import Edge
+from repro.exceptions import ValidationError
+from repro.graphs.topology import Topology
+
+BooleanFunction = Callable[[Sequence[int]], int]
+
+
+@dataclass(frozen=True)
+class FoolingSet:
+    """A fooling set for a function split as {0,1}^m x {0,1}^{n-m}."""
+
+    n: int
+    m: int
+    pairs: tuple[tuple[tuple[int, ...], tuple[int, ...]], ...]
+    value: int
+
+    def __post_init__(self):
+        if not 0 < self.m < self.n:
+            raise ValidationError("split position must be inside 1..n-1")
+        for (x, y) in self.pairs:
+            if len(x) != self.m or len(y) != self.n - self.m:
+                raise ValidationError("pair has wrong part lengths")
+        if len(set(self.pairs)) != len(self.pairs):
+            raise ValidationError("fooling set contains duplicate pairs")
+
+    @property
+    def size(self) -> int:
+        return len(self.pairs)
+
+
+def verify_fooling_set(f: BooleanFunction, fooling: FoolingSet) -> bool:
+    """Check Definition 6.1 exhaustively."""
+    b = fooling.value
+    for (x, y) in fooling.pairs:
+        if f(tuple(x) + tuple(y)) != b:
+            return False
+    pairs = fooling.pairs
+    for i in range(len(pairs)):
+        for j in range(i + 1, len(pairs)):
+            (x, y), (x2, y2) = pairs[i], pairs[j]
+            if f(tuple(x) + tuple(y2)) == b and f(tuple(x2) + tuple(y)) == b:
+                return False
+    return True
+
+
+def cut_edges(topology: Topology, m: int) -> tuple[list[Edge], list[Edge]]:
+    """The C (leaving {0..m-1}) and D (entering {0..m-1}) edge sets."""
+    if not 0 < m < topology.n:
+        raise ValidationError("cut position must be inside 1..n-1")
+    out_cut = [(i, j) for (i, j) in topology.edges if i < m <= j]
+    in_cut = [(i, j) for (i, j) in topology.edges if j < m <= i]
+    return out_cut, in_cut
+
+
+def verify_cut_condition(
+    fooling: FoolingSet, out_cut: Sequence[Edge], in_cut: Sequence[Edge]
+) -> bool:
+    """Theorem 6.2's agreement requirement on cut-adjacent inputs.
+
+    Every C-edge source i (< m) must have ``x_i`` constant over the set;
+    every D-edge source i (>= m) must have ``y_{i-m}`` constant.
+    """
+    fixed_x = {i for (i, _) in out_cut}
+    fixed_y = {i - fooling.m for (i, _) in in_cut}
+    reference_x, reference_y = fooling.pairs[0]
+    for (x, y) in fooling.pairs[1:]:
+        if any(x[i] != reference_x[i] for i in fixed_x):
+            return False
+        if any(y[i] != reference_y[i] for i in fixed_y):
+            return False
+    return True
+
+
+def label_complexity_bound(
+    fooling: FoolingSet, out_cut: Sequence[Edge], in_cut: Sequence[Edge]
+) -> float:
+    """Theorem 6.2: L_n >= log2(|S|) / (|C| + |D|)."""
+    crossing = len(out_cut) + len(in_cut)
+    if crossing == 0:
+        raise ValidationError("the cut crosses no edges")
+    return math.log2(fooling.size) / crossing
+
+
+def ring_bound(topology: Topology, m: int, fooling: FoolingSet) -> float:
+    """Convenience: verify the cut condition on ``topology`` and compute the
+    Theorem 6.2 bound."""
+    out_cut, in_cut = cut_edges(topology, m)
+    if not verify_cut_condition(fooling, out_cut, in_cut):
+        raise ValidationError("fooling set violates the cut condition")
+    return label_complexity_bound(fooling, out_cut, in_cut)

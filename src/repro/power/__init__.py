@@ -1,0 +1,69 @@
+"""Computational power of stateless protocols (Sections 2 and 5)."""
+
+from repro.power.circuit_of_protocol import unroll_protocol
+from repro.power.counters import (
+    CounterFields,
+    RingCounterSpec,
+    d_counter_label_complexity,
+    d_counter_protocol,
+    spatial_phase,
+    two_counter_protocol,
+)
+from repro.power.counting_bound import (
+    counting_lower_bound,
+    functions_count,
+    protocol_count_upper_bound,
+    smallest_sufficient_label_bits,
+    two_ring_census,
+)
+from repro.power.generic_protocol import generic_protocol, generic_round_bound
+from repro.power.one_round import one_round_clique_protocol
+from repro.power.ring_circuit import (
+    RingCircuitLayout,
+    circuit_ring_protocol,
+    ring_inputs,
+    trivial_flood_protocol,
+)
+from repro.power.ring_tm import (
+    bp_ring_protocol,
+    bp_ring_round_bound,
+    machine_ring_protocol,
+    machine_ring_round_bound,
+)
+from repro.power.tm_of_protocol import diagonal_labels, simulate_unidirectional
+from repro.power.unidirectional import (
+    unidirectional_round_bound,
+    worst_case_protocol,
+    worst_case_round_complexity,
+)
+
+__all__ = [
+    "CounterFields",
+    "RingCircuitLayout",
+    "RingCounterSpec",
+    "bp_ring_protocol",
+    "bp_ring_round_bound",
+    "circuit_ring_protocol",
+    "counting_lower_bound",
+    "d_counter_label_complexity",
+    "d_counter_protocol",
+    "diagonal_labels",
+    "functions_count",
+    "generic_protocol",
+    "machine_ring_protocol",
+    "machine_ring_round_bound",
+    "one_round_clique_protocol",
+    "protocol_count_upper_bound",
+    "ring_inputs",
+    "generic_round_bound",
+    "unidirectional_round_bound",
+    "simulate_unidirectional",
+    "smallest_sufficient_label_bits",
+    "spatial_phase",
+    "trivial_flood_protocol",
+    "two_counter_protocol",
+    "two_ring_census",
+    "unroll_protocol",
+    "worst_case_protocol",
+    "worst_case_round_complexity",
+]

@@ -1,0 +1,122 @@
+"""Unrolling protocols into Boolean circuits (Theorem 5.4, converse direction).
+
+``OS~^b_log subset P/poly``: a synchronous run of any stateless protocol with
+round complexity T can be written as a T-layer Boolean circuit — one
+sub-circuit per (node, round) computing the node's reaction from the previous
+layer's labels and the global input bits.  The circuit's size is
+``T * n * poly(2^{label bits})``, polynomial whenever the label complexity is
+logarithmic and T polynomial.
+
+The construction here is the proof's, literally: labels are binary-encoded,
+every reaction output bit is synthesized as a DNF over the (few) incoming
+label bits plus the node's input bit, layer t's wires feed layer t+1
+according to the topology, and the output gate is the designated node's
+output wire after the last layer.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.core.configuration import Labeling
+from repro.core.protocol import StatelessProtocol
+from repro.exceptions import SearchBudgetExceeded, ValidationError
+from repro.substrates.circuits import Circuit, CircuitBuilder
+
+MAX_LABEL_SPACE = 64
+MAX_TABLE_BITS = 16
+
+
+def unroll_protocol(
+    protocol: StatelessProtocol,
+    rounds: int,
+    node: int = 0,
+    initial_labeling: Labeling | None = None,
+) -> Circuit:
+    """Build a circuit computing node ``node``'s output after ``rounds``
+    synchronous rounds on binary inputs, from ``initial_labeling`` (default:
+    every edge carries the label space's first label — the proof's constant
+    initialization circuit C0).
+    """
+    if rounds < 1:
+        raise ValidationError("need at least one round")
+    if protocol.is_stateful:
+        raise ValidationError("only stateless protocols can be unrolled")
+    topology = protocol.topology
+    n = topology.n
+    if not 0 <= node < n:
+        raise ValidationError("unknown output node")
+    labels = tuple(protocol.label_space)
+    if len(labels) > MAX_LABEL_SPACE:
+        raise SearchBudgetExceeded(
+            f"label space of size {len(labels)} too large to binary-encode"
+        )
+    index_of = {label: k for k, label in enumerate(labels)}
+    bits = max(1, math.ceil(math.log2(len(labels))))
+
+    if initial_labeling is None:
+        initial_labeling = Labeling.uniform(topology, labels[0])
+
+    builder = CircuitBuilder(n)
+    input_wires = [builder.input(i) for i in range(n)]
+
+    def encode_const(label) -> list[int]:
+        value = index_of[label]
+        return [builder.const((value >> b) & 1) for b in range(bits)]
+
+    # wires per edge, in topology edge order
+    label_wires: dict = {
+        edge: encode_const(initial_labeling[edge]) for edge in topology.edges
+    }
+    output_wires = [builder.const(0) for _ in range(n)]
+
+    # Precompute each node's reaction truth table over its incoming labels + x.
+    def reaction_table(i: int):
+        in_edges = topology.in_edges(i)
+        out_edges = topology.out_edges(i)
+        arity = len(in_edges) * bits + 1
+        if arity > MAX_TABLE_BITS:
+            raise SearchBudgetExceeded(
+                f"node {i} reaction table needs 2^{arity} rows"
+            )
+        table: dict[tuple[int, ...], tuple[dict, int]] = {}
+        for row in range(1 << arity):
+            bits_tuple = tuple((row >> k) & 1 for k in range(arity))
+            incoming = {}
+            for e_index, edge in enumerate(in_edges):
+                chunk = bits_tuple[e_index * bits : (e_index + 1) * bits]
+                value = sum(bit << k for k, bit in enumerate(chunk)) % len(labels)
+                incoming[edge] = labels[value]
+            x = bits_tuple[-1]
+            outgoing, y = protocol.reaction(i)(incoming, x)
+            encoded = {edge: index_of[outgoing[edge]] for edge in out_edges}
+            table[bits_tuple] = (encoded, (1 if y else 0))
+        return in_edges, out_edges, arity, table
+
+    reaction_tables = [reaction_table(i) for i in range(n)]
+
+    for _ in range(rounds):
+        new_label_wires: dict = {}
+        new_output_wires = list(output_wires)
+        for i in range(n):
+            in_edges, out_edges, arity, table = reaction_tables[i]
+            arg_wires = []
+            for edge in in_edges:
+                arg_wires.extend(label_wires[edge])
+            arg_wires.append(input_wires[i])
+            for edge in out_edges:
+                new_label_wires[edge] = [
+                    builder.table(
+                        arg_wires,
+                        lambda *row, edge=edge, b=b: (table[row][0][edge] >> b) & 1,
+                    )
+                    for b in range(bits)
+                ]
+            new_output_wires[i] = builder.table(
+                arg_wires, lambda *row: table[row][1]
+            )
+        label_wires = new_label_wires
+        output_wires = new_output_wires
+
+    return builder.build(output_wires[node])

@@ -1,0 +1,223 @@
+"""Self-stabilizing synchronous counters on odd bidirectional rings.
+
+Claims 5.5 and 5.6 of the paper: on every odd-sized bidirectional ring there
+are stateless protocols that, regardless of the initial labeling, converge to
+a regime where **all nodes simultaneously hold the same counter value**, which
+then cycles ``0, 1, ..., D-1`` forever.  The counter is the clock that drives
+the circuit simulation of Theorem 5.4.
+
+Construction (paper indices shifted to 0-based; "clockwise" = increasing
+index; every node broadcasts the same label in both directions):
+
+* **2-counter** (Claim 5.5) — labels ``(b1, b2)``:
+  node 0 negates node 1's ``b1`` and copies node n-1's ``b1`` into ``b2``;
+  node n-1 XORs the ``b1`` of nodes 0 and n-2; middle nodes copy ``b1`` from
+  their predecessor and copy (j even) or negate (j odd) its ``b2``.  Node 0's
+  ``b1`` walks the 4-cycle 00,10,11,01, so its square wave XORed with its own
+  odd shift (n odd!) makes node n-1 emit an alternating bit, which the chain
+  distributes: after O(n) rounds every node's ``b2`` alternates every step
+  with the spatial pattern ``b2_j(t) = phi(t) XOR s_j``, ``s_j = floor(j/2)
+  mod 2`` (verified empirically and frozen in the tests).
+
+* **D-counter** (Claim 5.6) — labels ``(b1, b2, z, g, c)``:
+  the ``z`` field increments clockwise (``z_j(t+1) = z_{j-1}(t) + 1 mod D``)
+  except that node 0 reads node 1, so the pair (0,1) forms the two-node
+  incrementing core of the paper's n=2 intuition.  In the stabilized regime
+  ``z_j(t) = A + t`` when ``t = j (mod 2)`` and ``B + t`` otherwise: two
+  interleaved arithmetic sequences.  Node 0 sees both sequences at once (its
+  neighbors 1 and n-1 have opposite position parity — odd n again) and
+  publishes the gap ``g`` which converts one sequence into the other; the
+  2-counter phase bit tells each node which sequence its ``z`` currently
+  rides, so every node simultaneously computes ``c = C + t (mod D)``.
+
+  Two global sign conventions (which subsequence to count on, and the
+  phase-bit polarity) are free; we fix SIGMA = 1, KAPPA = 0 — both
+  consistent choices were confirmed by calibration, see DESIGN.md.
+
+Label complexity: 2 bits for the 2-counter; ``2 + 3*log2(D)`` bits for the
+D-counter (the paper's figure).  Round complexity: O(n) to stabilize
+(paper: 4n); the tests measure it exactly.
+
+These protocols never *label*-stabilize — their labels are supposed to cycle
+forever; the stabilization statement is about reaching the synchronized
+counting regime.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.core.labels import BitStrings, ExplicitLabelSpace, IntegerRange, ProductSpace
+from repro.core.protocol import StatelessProtocol
+from repro.core.reaction import UniformReaction
+from repro.exceptions import ValidationError
+from repro.graphs.standard import bidirectional_ring
+
+#: Frozen calibration constants (see module docstring and DESIGN.md).
+SIGMA = 1
+KAPPA = 0
+
+
+class CounterFields(NamedTuple):
+    """The counter-carrying part of a label."""
+
+    b1: int
+    b2: int
+    z: int
+    g: int
+
+
+def spatial_phase(j: int) -> int:
+    """The stabilized spatial pattern of the b2 field: s_j = floor(j/2) mod 2."""
+    return (j // 2) % 2
+
+
+class RingCounterSpec:
+    """Field-update rules for the D-counter, reusable by the circuit compiler.
+
+    All methods are pure: they map the *previous* labels of the two ring
+    neighbors to the node's new counter fields and current counter value,
+    which is exactly the information a stateless reaction has.
+    """
+
+    def __init__(self, n: int, modulus: int, sigma: int = SIGMA, kappa: int = KAPPA):
+        if n < 3 or n % 2 == 0:
+            raise ValidationError("the counter needs an odd ring of size >= 3")
+        if modulus < 2:
+            raise ValidationError("counter modulus must be >= 2")
+        if sigma not in (0, 1) or kappa not in (0, 1):
+            raise ValidationError("calibration constants are bits")
+        self.n = n
+        self.modulus = modulus
+        self.sigma = sigma
+        self.kappa = kappa
+
+    def update(
+        self, j: int, pred: CounterFields, succ: CounterFields
+    ) -> CounterFields:
+        """New counter fields of node j.
+
+        ``pred`` is the previous label of node ``j-1 mod n`` (counterclockwise
+        neighbor), ``succ`` of node ``j+1 mod n``.
+        """
+        n, modulus = self.n, self.modulus
+        if j == 0:
+            b1 = 1 - succ.b1  # negate node 1's b1
+            b2 = pred.b1  # copy node n-1's b1
+            z = (succ.z + 1) % modulus  # read node 1 (two-node core)
+            phase = pred.b2 ^ spatial_phase(n - 1)
+            if phase == self.sigma:
+                g = (succ.z - pred.z) % modulus
+            else:
+                g = (pred.z - succ.z) % modulus
+        elif j == n - 1:
+            b1 = succ.b1 ^ pred.b1  # XOR of nodes 0 and n-2
+            b2 = pred.b2
+            z = (pred.z + 1) % modulus
+            g = pred.g
+        else:
+            b1 = pred.b1
+            b2 = (1 - pred.b2) if j % 2 == 1 else pred.b2
+            z = (pred.z + 1) % modulus
+            g = pred.g
+        return CounterFields(b1, b2, z, g)
+
+    def counter_value(self, j: int, pred: CounterFields, new: CounterFields) -> int:
+        """The node's counter value at this activation.
+
+        In the stabilized regime every node computes the same value, and it
+        increments by 1 (mod D) at every synchronous step.
+        """
+        predicate = (
+            pred.b2
+            ^ spatial_phase((j - 1) % self.n)
+            ^ ((j + 1) % 2)
+            ^ self.kappa
+        )
+        if predicate:
+            return (new.z + new.g) % self.modulus
+        return new.z
+
+    def stabilization_bound(self) -> int:
+        """The paper's R_n = 4n bound for reaching the counting regime."""
+        return 4 * self.n
+
+
+def two_counter_protocol(n: int) -> StatelessProtocol:
+    """Claim 5.5: the 2-counter on the odd bidirectional n-ring.
+
+    Each node outputs its freshly computed ``b2`` bit; once stabilized,
+    outputs alternate every round with the fixed spatial pattern
+    ``phi(t) XOR s_j``.
+    """
+    if n < 3 or n % 2 == 0:
+        raise ValidationError("the 2-counter needs an odd ring of size >= 3")
+    topology = bidirectional_ring(n)
+
+    def make_reaction(j: int):
+        pred_edge = ((j - 1) % n, j)
+        succ_edge = ((j + 1) % n, j)
+
+        def react(incoming, _x):
+            pred = CounterFields(*incoming[pred_edge], 0, 0)
+            succ = CounterFields(*incoming[succ_edge], 0, 0)
+            spec = RingCounterSpec(n, 2)
+            fields = spec.update(j, pred, succ)
+            return (fields.b1, fields.b2), fields.b2
+
+        return UniformReaction(topology.out_edges(j), react)
+
+    return StatelessProtocol(
+        topology,
+        BitStrings(2),
+        [make_reaction(j) for j in range(n)],
+        name=f"2-counter({n})",
+    )
+
+
+def d_counter_protocol(n: int, modulus: int) -> StatelessProtocol:
+    """Claim 5.6: the D-counter on the odd bidirectional n-ring.
+
+    Labels are ``(b1, b2, z, g, c)`` — the paper's layout, with label
+    complexity ``2 + 3*log2(D)``.  Each node outputs its counter value; once
+    stabilized, all outputs agree and increment by 1 mod D every round.
+    """
+    spec = RingCounterSpec(n, modulus)
+    topology = bidirectional_ring(n)
+    label_space = ProductSpace(
+        (
+            ExplicitLabelSpace((0, 1), name="b1"),
+            ExplicitLabelSpace((0, 1), name="b2"),
+            IntegerRange(modulus, name="z"),
+            IntegerRange(modulus, name="g"),
+            IntegerRange(modulus, name="c"),
+        ),
+        name=f"d-counter({modulus})",
+    )
+
+    def make_reaction(j: int):
+        pred_edge = ((j - 1) % n, j)
+        succ_edge = ((j + 1) % n, j)
+
+        def react(incoming, _x):
+            pred = CounterFields(*incoming[pred_edge][:4])
+            succ = CounterFields(*incoming[succ_edge][:4])
+            fields = spec.update(j, pred, succ)
+            value = spec.counter_value(j, pred, fields)
+            return (*fields, value), value
+
+        return UniformReaction(topology.out_edges(j), react)
+
+    return StatelessProtocol(
+        topology,
+        label_space,
+        [make_reaction(j) for j in range(n)],
+        name=f"d-counter({n},{modulus})",
+    )
+
+
+def d_counter_label_complexity(modulus: int) -> float:
+    """The paper's L_n = 2 + 3 log2(D)."""
+    import math
+
+    return 2 + 3 * math.log2(modulus)

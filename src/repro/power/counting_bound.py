@@ -1,0 +1,150 @@
+"""The counting lower bound of Theorem 5.10 and an exact tiny-case census.
+
+Theorem 5.10: on any constant-max-degree-k graph family, for every ``n > 8``
+some function ``f : {0,1}^n -> {0,1}`` cannot be computed by any protocol
+with label complexity below ``n / (4k)``.  The proof counts protocols
+(at most ``(2 |Sigma|^k)^(2 n |Sigma|^k)``) against functions (``2^(2^n)``).
+
+Alongside the arithmetic, this module performs an *exact census* for the
+smallest interesting system — the 2-node unidirectional ring — enumerating
+every protocol over a given label space and deciding exactly which of the 16
+two-bit Boolean functions each computes (output stabilization under the
+synchronous schedule, from every initial labeling).  This exhibits the
+counting phenomenon concretely: with ``|Sigma| = 1`` only the two constant
+functions are computable; ``|Sigma| = 2`` unlocks the rest.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import product
+
+from repro.exceptions import ValidationError
+
+
+def counting_lower_bound(n: int, k: int) -> float:
+    """Theorem 5.10: some f needs L_n >= n / (4k) (stated for n > 8)."""
+    if n <= 0 or k <= 0:
+        raise ValidationError("n and k must be positive")
+    return n / (4 * k)
+
+
+def protocol_count_upper_bound(n: int, k: int, sigma_size: int) -> int:
+    """The proof's bound on the number of distinct protocols.
+
+    Each node's reaction maps ``Sigma^k x {0,1}`` to ``Sigma^k x {0,1}``:
+    at most ``(2 |Sigma|^k)^(2 |Sigma|^k)`` choices per node, i.e.
+    ``(2 |Sigma|^k)^(2 n |Sigma|^k)`` protocols overall.
+    """
+    base = 2 * sigma_size**k
+    exponent = 2 * n * sigma_size**k
+    return base**exponent
+
+
+def functions_count(n: int) -> int:
+    """Number of Boolean functions on n bits: 2^(2^n)."""
+    return 2 ** (2**n)
+
+
+def smallest_sufficient_label_bits(n: int, k: int, max_bits: int = 4096) -> int:
+    """Smallest L with (2 * 2^(Lk))^(2n * 2^(Lk)) >= 2^(2^n).
+
+    Computed in doubly-logarithmic space: the condition is equivalent to
+    ``log2(2n) + Lk + log2(Lk + 1) >= n``, which never overflows.
+    """
+    for bits in range(max_bits + 1):
+        lk = bits * k
+        log2_of_protocols_log2 = math.log2(2 * n) + lk + math.log2(lk + 1)
+        if log2_of_protocols_log2 >= n:
+            return bits
+    raise ValidationError("max_bits too small for this n")
+
+
+# -- exact census on the 2-ring ----------------------------------------------
+
+
+def two_ring_census(sigma_size: int) -> dict[tuple[int, int, int, int], bool]:
+    """Which 2-bit functions are computable on the 2-node unidirectional ring.
+
+    Enumerates *every* protocol with the given label space (each node's
+    reaction is a table ``(incoming label, x) -> (outgoing label, y)``) and
+    every truth table ``f = (f(0,0), f(0,1), f(1,0), f(1,1))``; the result
+    maps each truth table to whether some protocol computes it, in the sense
+    of Section 2.2: under the synchronous schedule, from every initial
+    labeling and for every input, every node's output converges to ``f(x)``.
+    """
+    if sigma_size < 1:
+        raise ValidationError("label space must be nonempty")
+    labels = range(sigma_size)
+    # A node's reaction table: maps (incoming, x) -> (outgoing, y).
+    entries = [(lbl, x) for lbl in labels for x in (0, 1)]
+    outcomes = [(lbl, y) for lbl in labels for y in (0, 1)]
+    tables = [
+        dict(zip(entries, choice))
+        for choice in product(outcomes, repeat=len(entries))
+    ]
+
+    inputs = [(0, 0), (0, 1), (1, 0), (1, 1)]
+    computable: dict[tuple[int, int, int, int], bool] = {}
+    candidate_functions = set(product((0, 1), repeat=4))
+
+    found: set[tuple[int, int, int, int]] = set()
+    for table0 in tables:
+        for table1 in tables:
+            truth = _computed_function(table0, table1, labels, inputs)
+            if truth is not None:
+                found.add(truth)
+        if len(found) == len(candidate_functions):
+            break
+    for truth in sorted(candidate_functions):
+        computable[truth] = truth in found
+    return computable
+
+
+def _computed_function(table0, table1, labels, inputs):
+    """The function this 2-ring protocol computes, or None.
+
+    State is ``(l01, l10)``; the synchronous update is
+    ``l01', y0 = table0[l10, x0]`` and ``l10', y1 = table1[l01, x1]``.
+    The protocol computes f iff for every input and every initial labeling
+    the run's eventual outputs are constant and both equal f(x).
+    """
+    truth = []
+    for x in inputs:
+        value = None
+        for init in product(labels, repeat=2):
+            result = _eventual_output(table0, table1, init, x, len(labels))
+            if result is None:
+                return None
+            if value is None:
+                value = result
+            elif value != result:
+                return None
+        truth.append(value)
+    return tuple(truth)
+
+
+def _eventual_output(table0, table1, init, x, sigma_size):
+    """Stable common output of a synchronous run, or None."""
+    l01, l10 = init
+    seen = {}
+    trace = []
+    state = (l01, l10)
+    while state not in seen:
+        seen[state] = len(trace)
+        trace.append(state)
+        l01_next, y0 = table0[(state[1], x[0])]
+        l10_next, y1 = table1[(state[0], x[1])]
+        state = (l01_next, l10_next)
+    cycle = trace[seen[state]:]
+    outputs = set()
+    for (a, b) in cycle:
+        _, y0 = table0[(b, x[0])]
+        _, y1 = table1[(a, x[1])]
+        outputs.add((y0, y1))
+    if len(outputs) != 1:
+        return None
+    y0, y1 = outputs.pop()
+    if y0 != y1:
+        return None
+    return y0

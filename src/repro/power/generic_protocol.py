@@ -1,0 +1,119 @@
+"""The generic computation protocol of Proposition 2.3.
+
+For any strongly connected digraph ``G`` and any Boolean function
+``f : {0,1}^n -> {0,1}`` there is a *label-stabilizing* protocol computing f
+with label complexity ``L_n = n + 1`` and round complexity ``R_n <= 2n``.
+
+Construction (Appendix A): fix two spanning trees rooted at node 0 — ``T1``
+with a path from the root to every node (broadcast) and ``T2`` with a path
+from every node to the root (convergecast).  Labels are pairs ``(z, b)``:
+
+* ``z in {0,1}^n`` accumulates input bits: node i sends, toward its T2
+  parent, ``w_i OR (bitwise-OR of the z's received from its T2 children)``,
+  where ``w_i`` is all-zeros except coordinate i which carries ``x_i``.
+  Garbage in z flushes bottom-up: after depth(T2) synchronous rounds the
+  root's children deliver the exact input vector.
+* ``b`` carries the answer: the root evaluates ``f`` on the assembled vector
+  and floods the bit down ``T1``; every node outputs the ``b`` received from
+  its T1 parent.
+
+Edges in neither tree carry the all-zero label, so the final labeling is a
+global fixed point: the protocol is label-stabilizing, not merely
+output-stabilizing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.core.labels import BitStrings, ProductSpace, binary
+from repro.core.protocol import StatelessProtocol
+from repro.core.reaction import LambdaReaction
+from repro.graphs.spanning import broadcast_tree, convergecast_tree
+from repro.graphs.topology import Topology
+
+BooleanFunction = Callable[[Sequence[int]], int]
+
+
+def generic_protocol(
+    topology: Topology, f: BooleanFunction, root: int = 0
+) -> StatelessProtocol:
+    """Build the Proposition 2.3 protocol for ``f`` on ``topology``."""
+    n = topology.n
+    t1 = broadcast_tree(topology, root)  # root -> everyone
+    t2 = convergecast_tree(topology, root)  # everyone -> root
+    zeros = (0,) * n
+    label_space = ProductSpace((BitStrings(n), binary()), name=f"bits^{n} x bit")
+
+    def or_vectors(vectors):
+        result = list(zeros)
+        for vector in vectors:
+            for coordinate, bit in enumerate(vector):
+                if bit:
+                    result[coordinate] = 1
+        return tuple(result)
+
+    def gather(i, incoming, x):
+        """w_i OR the z-components received from i's T2 children."""
+        child_vectors = []
+        for child in t2.children[i]:
+            z, _ = incoming[(child, i)]
+            child_vectors.append(z)
+        combined = list(or_vectors(child_vectors))
+        if x:
+            combined[i] = 1
+        return tuple(combined)
+
+    def make_root_reaction():
+        def react(incoming, x):
+            answer = f(gather(root, incoming, x)) & 1
+            outgoing = {}
+            for edge in topology.out_edges(root):
+                _, j = edge
+                if j in t1.children[root]:
+                    outgoing[edge] = (zeros, answer)
+                else:
+                    outgoing[edge] = (zeros, 0)
+            return outgoing, answer
+
+        return LambdaReaction(react)
+
+    def make_reaction(i):
+        parent1 = t1.parent[i]  # receives the answer bit from this node
+        parent2 = t2.parent[i]  # forwards the gathered vector to this node
+
+        def react(incoming, x):
+            _, answer = incoming[(parent1, i)]
+            vector = gather(i, incoming, x)
+            outgoing = {}
+            for edge in topology.out_edges(i):
+                _, j = edge
+                to_child1 = j in t1.children[i]
+                if j == parent2 and to_child1:
+                    outgoing[edge] = (vector, answer)
+                elif to_child1:
+                    outgoing[edge] = (zeros, answer)
+                elif j == parent2:
+                    outgoing[edge] = (vector, 0)
+                else:
+                    outgoing[edge] = (zeros, 0)
+            return outgoing, answer
+
+        return LambdaReaction(react)
+
+    reactions = [
+        make_root_reaction() if i == root else make_reaction(i) for i in range(n)
+    ]
+    return StatelessProtocol(
+        topology, label_space, reactions, name=f"generic-f on {topology.name}"
+    )
+
+
+def generic_round_bound(n: int) -> int:
+    """The paper's R_n <= 2n for the generic protocol."""
+    return 2 * n
+
+
+def label_complexity(n: int) -> int:
+    """The paper's L_n = n + 1 for the generic protocol."""
+    return n + 1

@@ -1,0 +1,55 @@
+"""One-round computation on highly connected topologies (Section 5, opening).
+
+"Consider the clique topology K_n.  Note that every Boolean function can be
+computed using a 1-bit label and within one round."  Each node broadcasts its
+input bit; after one synchronous round every node sees the full input vector
+(its own bit plus n-1 incoming labels) and evaluates f directly.
+
+This is the baseline against which the ring results of Sections 5 and 6 are
+interesting: the *same* functions need linear labels on the ring (equality,
+Corollary 6.3) but only one bit here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.core.labels import binary
+from repro.core.protocol import StatelessProtocol
+from repro.core.reaction import UniformReaction
+from repro.exceptions import ValidationError
+from repro.graphs.standard import clique
+
+BooleanFunction = Callable[[Sequence[int]], int]
+
+
+def one_round_clique_protocol(n: int, f: BooleanFunction) -> StatelessProtocol:
+    """The 1-bit-label, 1-round protocol computing ``f`` on K_n.
+
+    Node i broadcasts ``x_i`` and outputs ``f`` applied to the incoming bits
+    with its own input spliced in at position i.  The labeling is stable
+    after every node has been activated once, and outputs are correct from
+    then on — under the synchronous schedule that is one round.
+    """
+    if n < 2:
+        raise ValidationError("need at least two nodes")
+    topology = clique(n)
+
+    def make_reaction(i: int):
+        def react(incoming, x):
+            assembled = []
+            for j in range(n):
+                if j == i:
+                    assembled.append(x & 1)
+                else:
+                    assembled.append(incoming[(j, i)])
+            return x & 1, f(tuple(assembled)) & 1
+
+        return UniformReaction(topology.out_edges(i), react)
+
+    return StatelessProtocol(
+        topology,
+        binary(),
+        [make_reaction(i) for i in range(n)],
+        name=f"one-round-clique({n})",
+    )

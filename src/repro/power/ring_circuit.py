@@ -1,0 +1,328 @@
+"""Simulating Boolean circuits on the bidirectional ring (Theorem 5.4).
+
+``P/poly subset OS~^b_log``: every polynomial-size circuit is evaluated by a
+stateless protocol on a (polynomially larger, odd) bidirectional ring with
+logarithmic labels and polynomial round complexity.
+
+Layout.  For a fan-in-2 circuit with inputs ``x_0..x_{n-1}`` and ``m`` real
+(non-INPUT, non-CONST) gates in topological order, the ring has
+
+    N = n + 2m   nodes (plus one idle padding node if that is even):
+    ring node i < n        holds input x_i;
+    ring node n + 2q       computes gate q        ("compute node" p_q);
+    ring node n + 2q + 1   remembers gate q's value ("memory node").
+
+Clock.  All nodes run the Claim 5.6 D-counter with ``D = m * P``,
+``P = N + 4``; once the counter synchronizes, counter value ``c`` decomposes
+as ``c = q * P + phase``: the ring is globally inside *interval* q, dedicated
+to computing gate q.
+
+Data movement inside interval q (everything flows clockwise, one hop/step):
+
+* the *injector* of each non-constant operand (an input node, or the memory
+  node of an earlier gate) writes the operand's value into the ``i1``/``i2``
+  stream fields for two consecutive phases; injection phases are staggered by
+  the clockwise distances so that both operands arrive at the compute node
+  **together**, at phases ``{d_far, d_far + 1}``;
+* at exactly those phases the compute node latches ``v := op(i1, i2)``
+  (constants folded at compile time); writing in two consecutive steps makes
+  both directions of the compute/memory pair carry the value — the paper's
+  ping-pong memory idiom — after which the pair broadcasts the gate value
+  forever;
+* the memory node of the circuit's output gate continuously copies its held
+  value into the ``o`` field, which floods clockwise; every node outputs
+  ``o``.
+
+The paper packs interval q into ``d_q + 1`` phases; we use the uniform
+``P = N + 4`` (same asymptotics, simpler invariants — documented in
+DESIGN.md).  Labels are ``(b1, b2, z, g, i1, i2, v, o)``:
+``2 + 2 log2(D) + 4`` bits, i.e. O(log) in the circuit size.  Round
+complexity: counter stabilization (4N) + at most two counter cycles (2D) +
+one output lap (N).
+
+Self-stabilization: every cycle re-injects, re-latches and re-floods, so any
+garbage laid down while the counter was converging is overwritten during the
+first synchronized cycle and the outputs never change again — the protocol
+output-stabilizes to the circuit value from *every* initial labeling.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.labels import ExplicitLabelSpace, IntegerRange, ProductSpace, binary
+from repro.core.protocol import StatelessProtocol
+from repro.core.reaction import UniformReaction
+from repro.exceptions import ValidationError
+from repro.graphs.standard import bidirectional_ring
+from repro.power.counters import CounterFields, RingCounterSpec
+from repro.substrates.circuits import Circuit
+
+# Label field indices.
+_B1, _B2, _Z, _G, _I1, _I2, _V, _O = range(8)
+
+
+@dataclass(frozen=True)
+class _GatePlan:
+    """Compile-time schedule for one real gate."""
+
+    interval: int  # q: which counter interval computes this gate
+    latch_phases: tuple[int, int]
+    compute: Callable[[int, int], int]  # (i1, i2) -> gate value
+
+
+@dataclass(frozen=True)
+class _Injection:
+    """One injection duty: write ``stream`` from ``source`` at this phase."""
+
+    stream: int  # _I1 or _I2
+    source: str  # "x" (own input) or "pred_v" (held gate value)
+
+
+class RingCircuitLayout:
+    """Static layout + schedule shared by the protocol and its tests."""
+
+    def __init__(self, circuit: Circuit):
+        if circuit.n_inputs < 1:
+            raise ValidationError("the ring compiler needs at least one input")
+        self.circuit = circuit
+        self.n_inputs = circuit.n_inputs
+        #: wire index -> real gate index (topological), for non-trivial gates.
+        self.real_index: dict[int, int] = {}
+        for wire, gate in enumerate(circuit.gates):
+            if gate.op not in ("INPUT", "CONST"):
+                self.real_index[wire] = len(self.real_index)
+        self.m = len(self.real_index)
+        if self.m == 0:
+            raise ValidationError(
+                "trivial circuit (output is an input/constant): "
+                "use trivial_flood_protocol instead"
+            )
+        if circuit.gates[circuit.output].op in ("INPUT", "CONST"):
+            raise ValidationError(
+                "output wire is an input/constant: use trivial_flood_protocol"
+            )
+        base = self.n_inputs + 2 * self.m
+        self.ring_size = base if base % 2 == 1 else base + 1
+        self.interval_length = self.ring_size + 4  # P
+        self.modulus = self.m * self.interval_length  # D
+        self.output_memory = self.memory_node(self.real_index[circuit.output])
+        self._plan()
+
+    def compute_node(self, q: int) -> int:
+        return self.n_inputs + 2 * q
+
+    def memory_node(self, q: int) -> int:
+        return self.n_inputs + 2 * q + 1
+
+    def _source_of(self, wire: int):
+        """Resolve an argument wire to ('node', ring_node) or ('const', bit)."""
+        gate = self.circuit.gates[wire]
+        if gate.op == "INPUT":
+            return ("node", gate.payload)
+        if gate.op == "CONST":
+            return ("const", gate.payload)
+        return ("node", self.memory_node(self.real_index[wire]))
+
+    def _plan(self) -> None:
+        n_ring = self.ring_size
+        #: node -> {(interval, phase): [Injection, ...]}
+        self.injections: dict[int, dict[tuple[int, int], list[_Injection]]] = {}
+        #: compute node -> _GatePlan
+        self.gate_plans: dict[int, _GatePlan] = {}
+
+        def add_injection(node: int, q: int, phase: int, stream: int):
+            source = "x" if node < self.n_inputs else "pred_v"
+            table = self.injections.setdefault(node, {})
+            for offset in (0, 1):
+                table.setdefault((q, phase + offset), []).append(
+                    _Injection(stream, source)
+                )
+
+        for wire, q in self.real_index.items():
+            gate = self.circuit.gates[wire]
+            p_q = self.compute_node(q)
+            sources = [self._source_of(a) for a in gate.args]
+            node_sources = [
+                (k, src[1]) for k, src in enumerate(sources) if src[0] == "node"
+            ]
+            consts = {
+                k: src[1] for k, src in enumerate(sources) if src[0] == "const"
+            }
+
+            def distance(node: int) -> int:
+                return (p_q - node) % n_ring
+
+            if not node_sources:
+                latch = (0, 1)
+                stream_of_arg: dict[int, int] = {}
+            elif len(node_sources) == 1:
+                (arg_k, node) = node_sources[0]
+                d = distance(node)
+                add_injection(node, q, 0, _I1)
+                latch = (d, d + 1)
+                stream_of_arg = {arg_k: _I1}
+            else:
+                (ka, na), (kb, nb) = node_sources
+                da, db = distance(na), distance(nb)
+                if da >= db:
+                    far_arg, far_node, d_far = ka, na, da
+                    near_arg, near_node, d_near = kb, nb, db
+                else:
+                    far_arg, far_node, d_far = kb, nb, db
+                    near_arg, near_node, d_near = ka, na, da
+                add_injection(far_node, q, 0, _I1)
+                add_injection(near_node, q, d_far - d_near, _I2)
+                latch = (d_far, d_far + 1)
+                stream_of_arg = {far_arg: _I1, near_arg: _I2}
+
+            op = gate.op
+
+            def make_compute(op=op, stream_of_arg=stream_of_arg, consts=consts):
+                def operand(k: int, i1: int, i2: int) -> int:
+                    if k in consts:
+                        return consts[k]
+                    return i1 if stream_of_arg[k] == _I1 else i2
+
+                def compute(i1: int, i2: int) -> int:
+                    if op == "NOT":
+                        return 1 - operand(0, i1, i2)
+                    a = operand(0, i1, i2)
+                    b = operand(1, i1, i2)
+                    if op == "AND":
+                        return a & b
+                    if op == "OR":
+                        return a | b
+                    return a ^ b  # XOR
+
+                return compute
+
+            self.gate_plans[p_q] = _GatePlan(q, latch, make_compute())
+
+    def round_bound(self) -> int:
+        """Counter stabilization + two full cycles + one output lap."""
+        return 4 * self.ring_size + 2 * self.modulus + self.ring_size
+
+
+def circuit_ring_protocol(circuit: Circuit) -> StatelessProtocol:
+    """Compile a circuit into the Theorem 5.4 bidirectional-ring protocol.
+
+    Inputs of the returned protocol: ring node ``i < circuit.n_inputs`` takes
+    ``x_i``; all other nodes ignore their input (pass 0).  Under the
+    synchronous schedule, from any initial labeling, all outputs converge to
+    ``circuit.evaluate(x)``.
+    """
+    layout = RingCircuitLayout(circuit)
+    n_ring = layout.ring_size
+    spec = RingCounterSpec(n_ring, layout.modulus)
+    topology = bidirectional_ring(n_ring)
+    interval_length = layout.interval_length
+    bit = binary()
+    label_space = ProductSpace(
+        (
+            bit,
+            ExplicitLabelSpace((0, 1), name="b2"),
+            IntegerRange(layout.modulus, name="z"),
+            IntegerRange(layout.modulus, name="g"),
+            ExplicitLabelSpace((0, 1), name="i1"),
+            ExplicitLabelSpace((0, 1), name="i2"),
+            ExplicitLabelSpace((0, 1), name="v"),
+            ExplicitLabelSpace((0, 1), name="o"),
+        ),
+        name=f"circuit-ring(D={layout.modulus})",
+    )
+
+    def make_reaction(j: int):
+        pred_edge = ((j - 1) % n_ring, j)
+        succ_edge = ((j + 1) % n_ring, j)
+        my_injections = layout.injections.get(j, {})
+        my_plan = layout.gate_plans.get(j)
+        is_output_memory = j == layout.output_memory
+
+        def react(incoming, x):
+            pred = incoming[pred_edge]
+            succ = incoming[succ_edge]
+            fields = spec.update(
+                j, CounterFields(*pred[:4]), CounterFields(*succ[:4])
+            )
+            counter = spec.counter_value(j, CounterFields(*pred[:4]), fields)
+            interval, phase = divmod(counter, interval_length)
+
+            i1, i2 = pred[_I1], pred[_I2]
+            for injection in my_injections.get((interval, phase), ()):
+                value = (x & 1) if injection.source == "x" else pred[_V]
+                if injection.stream == _I1:
+                    i1 = value
+                else:
+                    i2 = value
+
+            if my_plan is not None:
+                if interval == my_plan.interval and phase in my_plan.latch_phases:
+                    v = my_plan.compute(pred[_I1], pred[_I2])
+                else:
+                    v = succ[_V]
+            else:
+                v = pred[_V]
+
+            o = pred[_V] if is_output_memory else pred[_O]
+            label = (fields.b1, fields.b2, fields.z, fields.g, i1, i2, v, o)
+            return label, o
+
+        return UniformReaction(topology.out_edges(j), react)
+
+    return StatelessProtocol(
+        topology,
+        label_space,
+        [make_reaction(j) for j in range(n_ring)],
+        name=f"circuit-ring(size={circuit.size}, N={n_ring})",
+    )
+
+
+def ring_inputs(layout_or_protocol, x) -> tuple[int, ...]:
+    """Pad circuit inputs ``x`` with zeros for the helper ring nodes."""
+    if isinstance(layout_or_protocol, RingCircuitLayout):
+        n_ring = layout_or_protocol.ring_size
+        n_inputs = layout_or_protocol.n_inputs
+    else:
+        n_ring = layout_or_protocol.topology.n
+        n_inputs = len(x)
+    if len(x) > n_ring:
+        raise ValidationError("more inputs than ring nodes")
+    padded = list(x) + [0] * (n_ring - len(x))
+    return tuple(padded[:n_ring])
+
+
+def trivial_flood_protocol(circuit: Circuit) -> StatelessProtocol:
+    """Handle circuits whose output wire is an INPUT or CONST gate.
+
+    A one-bit flood on an odd ring: the node holding the value writes it into
+    ``o``; everyone else copies clockwise and outputs ``o``.
+    """
+    gate = circuit.gates[circuit.output]
+    if gate.op not in ("INPUT", "CONST"):
+        raise ValidationError("circuit is not trivial; use circuit_ring_protocol")
+    base = max(circuit.n_inputs, 3)
+    n_ring = base if base % 2 == 1 else base + 1
+    topology = bidirectional_ring(n_ring)
+    holder = gate.payload if gate.op == "INPUT" else 0
+    constant = gate.payload if gate.op == "CONST" else None
+
+    def make_reaction(j: int):
+        pred_edge = ((j - 1) % n_ring, j)
+
+        def react(incoming, x):
+            if j == holder:
+                o = constant if constant is not None else (x & 1)
+            else:
+                o = incoming[pred_edge]
+            return o, o
+
+        return UniformReaction(topology.out_edges(j), react)
+
+    return StatelessProtocol(
+        topology,
+        binary(),
+        [make_reaction(j) for j in range(n_ring)],
+        name=f"trivial-flood(N={n_ring})",
+    )

@@ -1,0 +1,160 @@
+"""Simulating machines on the unidirectional ring (Theorem 5.2, one direction).
+
+``L/poly subset OS^u_log``: any logspace Turing machine with advice can be
+simulated by a stateless protocol on the unidirectional n-ring with labels of
+length logarithmic in the number of machine configurations.
+
+The paper's construction: labels are ``(z, b, c, o)`` where ``z`` is a machine
+configuration, ``b`` an input bit, ``c`` an epoch counter and ``o`` the
+current answer.  Node 0 runs n interleaved simulations: every label
+circulating the ring is one simulation token; as a token passes node i, node
+i overwrites ``b`` with ``x_i`` whenever ``z``'s input head sits on position
+i, so by the time the token returns to node 0 it carries the bit the machine
+is about to read, and node 0 applies the transition ``pi(z, b)``.  Every
+``|Z|`` transitions node 0 publishes the accept bit ``F(z)`` in ``o`` and
+restarts the token from the initial configuration — which is what makes the
+protocol self-stabilizing: arbitrary junk tokens are flushed within one epoch.
+
+The same idea simulates **branching programs** directly (polynomial-size BPs
+are an equivalent presentation of L/poly): the token carries a BP node id;
+ring node i advances the token through every BP node that queries ``x_i``.
+
+Both protocols *output*-stabilize (the labels cycle forever by design).
+"""
+
+from __future__ import annotations
+
+from repro.core.labels import (
+    ExplicitLabelSpace,
+    IntegerRange,
+    ProductSpace,
+    binary,
+)
+from repro.core.protocol import StatelessProtocol
+from repro.core.reaction import UniformReaction
+from repro.exceptions import ValidationError
+from repro.graphs.standard import unidirectional_ring
+from repro.substrates.branching_programs import BranchingProgram
+from repro.substrates.turing import ConfigurationGraph
+
+
+def machine_ring_protocol(graph: ConfigurationGraph) -> StatelessProtocol:
+    """The Theorem 5.2 protocol simulating ``graph.machine`` on input length n.
+
+    The returned protocol runs on the unidirectional ring of ``graph.n``
+    nodes; with input ``x`` it output-stabilizes to ``M(x)`` at every node.
+    """
+    n = graph.n
+    if n < 2:
+        raise ValidationError("the ring simulation needs n >= 2")
+    topology = unidirectional_ring(n)
+    epoch = graph.size  # number of pi-applications per simulation epoch
+    label_space = ProductSpace(
+        (
+            ExplicitLabelSpace(tuple(graph.configs), name="Z"),
+            binary(),
+            IntegerRange(epoch + 1, name="epoch"),
+            binary(),
+        ),
+        name=f"tm-ring({graph.machine.name})",
+    )
+
+    def head_reaction(incoming, x):
+        ((z, b, c, o),) = incoming.values()
+        if c < epoch:
+            label = (graph.pi(z, b), x & 1, c + 1, o)
+            return label, o
+        answer = 1 if graph.accepting(z) else 0
+        return (graph.initial, x & 1, 0, answer), answer
+
+    def make_relay(i: int):
+        def relay(incoming, x):
+            ((z, b, c, o),) = incoming.values()
+            if graph.input_head(z) == i:
+                return (z, x & 1, c, o), o
+            return (z, b, c, o), o
+
+        return relay
+
+    reactions = [
+        UniformReaction(
+            topology.out_edges(i), head_reaction if i == 0 else make_relay(i)
+        )
+        for i in range(n)
+    ]
+    return StatelessProtocol(
+        topology,
+        label_space,
+        reactions,
+        name=f"ring-sim({graph.machine.name}, n={n})",
+    )
+
+
+def machine_ring_round_bound(graph: ConfigurationGraph) -> int:
+    """Convergence bound: one junk epoch + one honest epoch + propagation.
+
+    Every token is reset within ``(|Z|+1) n`` steps, completes an honest
+    epoch in another ``(|Z|+1) n``, and the answer reaches all nodes within n
+    more steps.
+    """
+    return (2 * (graph.size + 1) + 1) * graph.n
+
+
+def bp_ring_protocol(bp: BranchingProgram) -> StatelessProtocol:
+    """A stateless unidirectional-ring protocol evaluating a branching program.
+
+    Labels are ``(node_id, lap, o)``: the token's current BP node, an epoch
+    lap counter, and the published answer.  Ring node i advances the token
+    through every BP node querying ``x_i``; node 0 additionally counts laps
+    and restarts the token every ``bp.size + 1`` laps (a lap always either
+    finishes at a sink or advances the token at the node holding its queried
+    variable, so ``size + 1`` laps complete any honest evaluation).
+    """
+    n = bp.n_inputs
+    if n < 2:
+        raise ValidationError("the ring simulation needs n >= 2")
+    topology = unidirectional_ring(n)
+    laps = bp.size + 1
+    label_space = ProductSpace(
+        (
+            IntegerRange(bp.size + 2, name="bp-node"),
+            IntegerRange(laps + 1, name="lap"),
+            binary(),
+        ),
+        name="bp-ring",
+    )
+
+    def advance(node_id: int, i: int, bit: int) -> int:
+        while not bp.is_sink(node_id) and bp.nodes[node_id].var == i:
+            node_id = bp.step(node_id, bit)
+        return node_id
+
+    def head_reaction(incoming, x):
+        ((node_id, lap, o),) = incoming.values()
+        node_id = advance(node_id, 0, x & 1)
+        if lap < laps:
+            return (node_id, lap + 1, o), o
+        answer = bp.sink_value(node_id) if bp.is_sink(node_id) else 0
+        return (bp.root, 0, answer), answer
+
+    def make_relay(i: int):
+        def relay(incoming, x):
+            ((node_id, lap, o),) = incoming.values()
+            return (advance(node_id, i, x & 1), lap, o), o
+
+        return relay
+
+    reactions = [
+        UniformReaction(
+            topology.out_edges(i), head_reaction if i == 0 else make_relay(i)
+        )
+        for i in range(n)
+    ]
+    return StatelessProtocol(
+        topology, label_space, reactions, name=f"bp-ring(size={bp.size}, n={n})"
+    )
+
+
+def bp_ring_round_bound(bp: BranchingProgram) -> int:
+    """Junk epoch + honest epoch + propagation, in ring steps."""
+    return (2 * (bp.size + 2) + 1) * bp.n_inputs

@@ -1,0 +1,87 @@
+"""Simulating unidirectional-ring protocols in logarithmic space
+(Theorem 5.2, the other direction: ``OS^u_log subset L/poly``).
+
+The proof's key observation: on the unidirectional ring, run from a *uniform*
+initial labeling under the synchronous schedule, the diagonal sequence
+
+    l_t = outgoing label of node (t mod n) at time t
+
+satisfies the one-dimensional recurrence ``l_t = delta_{t mod n}(l_{t-1},
+x_{t mod n})`` — so a machine holding a *single* label (plus two counters)
+can compute any node's output at any time.  Since the protocol
+output-stabilizes within ``n |Sigma|`` rounds (Lemma C.2(1)), running the
+recurrence for ``n |Sigma|`` iterations lands on the converged output.
+
+:func:`simulate_unidirectional` is that machine, word for word; it uses
+O(log) working state (one label, one node index, one step counter) and is
+differentially tested against the full engine.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from repro.core.labels import Label
+from repro.core.protocol import StatelessProtocol
+from repro.exceptions import ValidationError
+
+
+def _check_unidirectional_ring(protocol: StatelessProtocol) -> int:
+    topology = protocol.topology
+    n = topology.n
+    for i in range(n):
+        if topology.out_neighbors(i) != ((i + 1) % n,):
+            raise ValidationError("protocol does not run on the unidirectional ring")
+    return n
+
+
+def simulate_unidirectional(
+    protocol: StatelessProtocol,
+    inputs: Sequence[Any],
+    initial_label: Label,
+    steps: int | None = None,
+) -> Any:
+    """The paper's logspace-style simulation loop.
+
+    Equivalent to running the protocol synchronously from the uniform
+    ``initial_label`` labeling for ``steps`` rounds (default ``n |Sigma|``)
+    and reporting the output of node ``steps mod n`` — which, past
+    convergence, is every node's output.
+    """
+    n = _check_unidirectional_ring(protocol)
+    if len(inputs) != n:
+        raise ValidationError(f"need {n} inputs")
+    if steps is None:
+        steps = n * protocol.label_space.size
+    label = initial_label
+    output = None
+    j = 0  # the node whose reaction is applied next
+    for _ in range(steps):
+        in_edge = ((j - 1) % n, j)
+        out_edge = (j, (j + 1) % n)
+        outgoing, output = protocol.reaction(j)({in_edge: label}, inputs[j])
+        label = outgoing[out_edge]
+        j = (j + 1) % n
+    return output
+
+
+def diagonal_labels(
+    protocol: StatelessProtocol,
+    inputs: Sequence[Any],
+    initial_label: Label,
+    steps: int,
+) -> list[Label]:
+    """The sequence l_1 .. l_steps of diagonal labels (for testing)."""
+    n = _check_unidirectional_ring(protocol)
+    label = initial_label
+    labels = []
+    j = 0
+    for _ in range(steps):
+        in_edge = ((j - 1) % n, j)
+        out_edge = (j, (j + 1) % n)
+        outgoing, _ = protocol.reaction(j)({in_edge: label}, inputs[j])
+        label = outgoing[out_edge]
+        labels.append(label)
+        j = (j + 1) % n
+    return labels

@@ -1,0 +1,64 @@
+"""Round complexity on the unidirectional ring (Lemma C.2).
+
+Lemma C.2 proves two facts about unidirectional-ring protocols:
+
+1. ``R_n <= n * |Sigma|`` for every protocol (the incoming-label history of a
+   node becomes periodic within ``|Sigma|`` laps of the ring);
+2. the bound is near-tight: there is a protocol with
+   ``R_n = n * (|Sigma| - 1)``.
+
+The worst-case protocol: labels are ``0 .. q-1``; node 0 increments the value
+circulating around the ring and pins it at ``q-1``; other nodes forward.
+Starting from the all-zero labeling, the circulating value steps up once per
+lap until saturation, so the labels change for exactly ``n (q-1)`` steps.
+"""
+
+from __future__ import annotations
+
+from repro.core.labels import IntegerRange
+from repro.core.protocol import StatelessProtocol
+from repro.core.reaction import UniformReaction
+from repro.exceptions import ValidationError
+from repro.graphs.standard import unidirectional_ring
+
+
+def unidirectional_round_bound(n: int, sigma_size: int) -> int:
+    """Lemma C.2(1): R_n <= n * |Sigma| on the unidirectional ring."""
+    return n * sigma_size
+
+
+def worst_case_protocol(n: int, q: int) -> StatelessProtocol:
+    """The Lemma C.2(2) protocol with R_n = n(q-1) from the all-zero labeling.
+
+    Node 0: on incoming ``q-1`` emit ``q-1`` and output 1, else emit
+    ``incoming + 1`` and output 0.  Node i != 0: forward the incoming label,
+    outputting 1 exactly on ``q-1``.
+    """
+    if q < 2:
+        raise ValidationError("need a label space of size >= 2")
+    topology = unidirectional_ring(n)
+
+    def head(incoming, _x):
+        (value,) = incoming.values()
+        if value == q - 1:
+            return q - 1, 1
+        return value + 1, 0
+
+    def forward(incoming, _x):
+        (value,) = incoming.values()
+        if value == q - 1:
+            return q - 1, 1
+        return value, 0
+
+    reactions = [
+        UniformReaction(topology.out_edges(i), head if i == 0 else forward)
+        for i in range(n)
+    ]
+    return StatelessProtocol(
+        topology, IntegerRange(q), reactions, name=f"worst-case-ring({n},{q})"
+    )
+
+
+def worst_case_round_complexity(n: int, q: int) -> int:
+    """Lemma C.2(2): the protocol's label convergence time from all-zeros."""
+    return n * (q - 1)

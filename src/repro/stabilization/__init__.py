@@ -1,0 +1,38 @@
+"""Self-stabilization analysis: fixed points, states-graph, model checking."""
+
+from repro.stabilization.example_clique import (
+    example1_protocol,
+    one_token_labeling,
+    oscillating_schedule,
+    stable_labeling_pair,
+)
+from repro.stabilization.fixed_points import (
+    all_labelings,
+    broadcast_labelings,
+    is_stable_labeling,
+    stable_labelings,
+)
+from repro.stabilization.model_checker import (
+    OscillationWitness,
+    StabilizationVerdict,
+    decide_label_r_stabilizing,
+    decide_output_r_stabilizing,
+)
+from repro.stabilization.states_graph import StatesGraph, valid_activation_sets
+
+__all__ = [
+    "OscillationWitness",
+    "StabilizationVerdict",
+    "StatesGraph",
+    "all_labelings",
+    "broadcast_labelings",
+    "decide_label_r_stabilizing",
+    "decide_output_r_stabilizing",
+    "example1_protocol",
+    "is_stable_labeling",
+    "one_token_labeling",
+    "oscillating_schedule",
+    "stable_labeling_pair",
+    "stable_labelings",
+    "valid_activation_sets",
+]

@@ -1,0 +1,87 @@
+"""Stable labelings (global fixed points of all reaction functions).
+
+Section 3 of the paper: a *stable labeling* for a protocol ``(Sigma, delta)``
+is a labeling ``l`` with ``delta_i(l_{-i}, x_i) = (l_{+i}, y_i)`` for every
+node ``i``.  Theorem 3.1 shows that having two of them rules out label
+(n-1)-stabilization, so enumerating stable labelings is the entry point of
+every impossibility experiment.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from itertools import product
+from typing import Any
+
+from repro.core.configuration import Labeling
+from repro.core.labels import LabelSpace
+from repro.core.protocol import Protocol
+from repro.exceptions import SearchBudgetExceeded
+from repro.graphs.topology import Topology
+
+DEFAULT_ENUMERATION_BUDGET = 2_000_000
+
+
+def is_stable_labeling(protocol: Protocol, inputs: Sequence[Any], labeling: Labeling) -> bool:
+    """True when every node's reaction fixes its outgoing labels under ``labeling``."""
+    for i in range(protocol.n):
+        incoming = labeling.incoming(i)
+        own = labeling.outgoing(i)
+        if protocol.is_stateful:
+            outgoing, _ = protocol.reaction(i)(incoming, own, inputs[i])
+        else:
+            outgoing, _ = protocol.reaction(i)(incoming, inputs[i])
+        if any(outgoing[edge] != own[edge] for edge in own):
+            return False
+    return True
+
+
+def all_labelings(
+    topology: Topology,
+    space: LabelSpace,
+    budget: int = DEFAULT_ENUMERATION_BUDGET,
+) -> Iterator[Labeling]:
+    """Every labeling in ``Sigma^E`` (guarded by an explicit state budget)."""
+    total = space.size ** topology.m
+    if total > budget:
+        raise SearchBudgetExceeded(
+            f"{total} labelings exceed the enumeration budget of {budget}"
+        )
+    for values in product(tuple(space), repeat=topology.m):
+        yield Labeling(topology, values)
+
+
+def broadcast_labelings(
+    topology: Topology,
+    space: LabelSpace,
+    budget: int = DEFAULT_ENUMERATION_BUDGET,
+) -> Iterator[Labeling]:
+    """Labelings where each node writes one label on all its outgoing edges.
+
+    The paper's clique constructions (Example 1, Appendix B) all have this
+    shape, shrinking the search space from ``|Sigma|^m`` to ``|Sigma|^n``.
+    """
+    total = space.size ** topology.n
+    if total > budget:
+        raise SearchBudgetExceeded(
+            f"{total} broadcast labelings exceed the enumeration budget of {budget}"
+        )
+    for per_node in product(tuple(space), repeat=topology.n):
+        values = tuple(per_node[u] for (u, _) in topology.edges)
+        yield Labeling(topology, values)
+
+
+def stable_labelings(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    candidates: Iterable[Labeling] | None = None,
+    budget: int = DEFAULT_ENUMERATION_BUDGET,
+) -> list[Labeling]:
+    """All stable labelings among ``candidates`` (default: the full space)."""
+    if candidates is None:
+        candidates = all_labelings(protocol.topology, protocol.label_space, budget)
+    return [
+        labeling
+        for labeling in candidates
+        if is_stable_labeling(protocol, inputs, labeling)
+    ]

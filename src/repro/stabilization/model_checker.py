@@ -1,0 +1,346 @@
+"""Exact decision of r-stabilization for small systems.
+
+Deciding whether a protocol is label r-stabilizing is PSPACE-complete in
+general (Theorem 4.2), but for the paper-sized gadgets (cliques of 3-5 nodes,
+binary labels) it is perfectly tractable to decide *exactly* by exhausting the
+Theorem 3.1 states-graph:
+
+* the protocol is **not** label r-stabilizing  iff  some reachable cycle
+  contains a transition that changes the labeling;
+* it is **not** output r-stabilizing  iff  some reachable cycle (in the graph
+  enriched with output components) changes some node's output.
+
+Both checks reduce to scanning strongly connected components for an internal
+"changing" edge; when one is found the checker emits a concrete
+:class:`OscillationWitness` — an initial labeling plus an eventually periodic
+r-fair schedule under which the engine provably oscillates.
+
+State spaces are exponential, so callers can restrict the initial labelings
+(e.g. to broadcast labelings for clique protocols whose reactions send the
+same label to all neighbors — see ``broadcast_labelings``; reachable cycles
+of such protocols only ever contain broadcast labelings, so the restriction
+loses nothing).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Any
+
+from repro.core.configuration import Labeling
+from repro.core.protocol import Protocol
+from repro.core.schedule import LassoSchedule
+from repro.exceptions import SearchBudgetExceeded, ValidationError
+from repro.stabilization.fixed_points import all_labelings
+
+DEFAULT_STATE_BUDGET = 400_000
+
+
+@dataclass(frozen=True)
+class OscillationWitness:
+    """A concrete non-stabilization certificate.
+
+    Running the protocol from ``initial_labeling`` under the r-fair schedule
+    ``prefix`` + repeated ``loop`` changes the monitored quantity (labels or
+    outputs) infinitely often.
+    """
+
+    initial_labeling: Labeling
+    prefix: tuple[frozenset[int], ...]
+    loop: tuple[frozenset[int], ...]
+    r: int
+
+    def to_schedule(self, n: int) -> LassoSchedule:
+        return LassoSchedule(n, self.prefix, self.loop)
+
+
+@dataclass(frozen=True)
+class StabilizationVerdict:
+    """Outcome of an exact r-stabilization check."""
+
+    stabilizing: bool
+    kind: str  # "label" or "output"
+    r: int
+    states_explored: int
+    witness: OscillationWitness | None = None
+
+    def __bool__(self) -> bool:
+        return self.stabilizing
+
+
+def decide_label_r_stabilizing(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    r: int,
+    initial_labelings: Iterable[Labeling] | None = None,
+    budget: int = DEFAULT_STATE_BUDGET,
+) -> StabilizationVerdict:
+    """Exactly decide label r-stabilization by exhausting the states-graph."""
+    return _decide(protocol, inputs, r, initial_labelings, budget, track_outputs=False)
+
+
+def decide_output_r_stabilizing(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    r: int,
+    initial_labelings: Iterable[Labeling] | None = None,
+    budget: int = DEFAULT_STATE_BUDGET,
+) -> StabilizationVerdict:
+    """Exactly decide output r-stabilization (states also carry outputs)."""
+    return _decide(protocol, inputs, r, initial_labelings, budget, track_outputs=True)
+
+
+# ---------------------------------------------------------------------------
+
+
+def _decide(protocol, inputs, r, initial_labelings, budget, track_outputs):
+    if r < 1:
+        raise ValidationError("fairness parameter r must be >= 1")
+    topology = protocol.topology
+    n = protocol.n
+    if initial_labelings is None:
+        initial_labelings = all_labelings(topology, protocol.label_space, budget)
+
+    position = topology.edge_position
+    in_edges = [topology.in_edges(i) for i in range(n)]
+    out_edges = [topology.out_edges(i) for i in range(n)]
+    in_positions = [[position(e) for e in in_edges[i]] for i in range(n)]
+    out_positions = [[position(e) for e in out_edges[i]] for i in range(n)]
+    stateful = protocol.is_stateful
+    inputs = tuple(inputs)
+
+    def apply(values, outputs, countdown, active):
+        updates = {}
+        new_outputs = list(outputs) if track_outputs else outputs
+        for i in active:
+            incoming = {e: values[p] for e, p in zip(in_edges[i], in_positions[i])}
+            if stateful:
+                own = {e: values[p] for e, p in zip(out_edges[i], out_positions[i])}
+                outgoing, y = protocol.reaction(i)(incoming, own, inputs[i])
+            else:
+                outgoing, y = protocol.reaction(i)(incoming, inputs[i])
+            updates.update(outgoing)
+            if track_outputs:
+                new_outputs[i] = y
+        new_values = list(values)
+        for edge, label in updates.items():
+            new_values[position(edge)] = label
+        new_countdown = tuple(
+            r if i in active else countdown[i] - 1 for i in range(n)
+        )
+        if track_outputs:
+            return (tuple(new_values), tuple(new_outputs), new_countdown)
+        return (tuple(new_values), outputs, new_countdown)
+
+    # -- explore the reachable graph ---------------------------------------
+    start_countdown = (r,) * n
+    none_outputs = (None,) * n
+    index: dict = {}
+    states: list = []
+    successors: list[list[tuple[int, frozenset[int]]]] = []
+    parent: list[tuple[int, frozenset[int]] | None] = []
+    initial_index_of: list[int] = []
+    initial_labeling_objects: list[Labeling] = []
+
+    queue: deque[int] = deque()
+    for labeling in initial_labelings:
+        state = (labeling.values, none_outputs, start_countdown)
+        if state in index:
+            continue
+        index[state] = len(states)
+        states.append(state)
+        successors.append([])
+        parent.append(None)
+        initial_index_of.append(index[state])
+        initial_labeling_objects.append(labeling)
+        queue.append(index[state])
+
+    activation_cache: dict[tuple[int, ...], list[frozenset[int]]] = {}
+
+    def activations(countdown):
+        cached = activation_cache.get(countdown)
+        if cached is not None:
+            return cached
+        forced = frozenset(i for i in range(n) if countdown[i] == 1)
+        optional = [i for i in range(n) if i not in forced]
+        sets = []
+        for size in range(len(optional) + 1):
+            for extra in combinations(optional, size):
+                t = forced | frozenset(extra)
+                if t:
+                    sets.append(t)
+        activation_cache[countdown] = sets
+        return sets
+
+    while queue:
+        k = queue.popleft()
+        values, outputs, countdown = states[k]
+        for t in activations(countdown):
+            nxt = apply(values, outputs, countdown, t)
+            j = index.get(nxt)
+            if j is None:
+                if len(states) >= budget:
+                    raise SearchBudgetExceeded(
+                        f"model checker exceeded budget of {budget} states"
+                    )
+                j = len(states)
+                index[nxt] = j
+                states.append(nxt)
+                successors.append([])
+                parent.append((k, t))
+                queue.append(j)
+            successors[k].append((j, t))
+
+    # -- SCCs (iterative Tarjan) --------------------------------------------
+    scc_id = _tarjan(successors)
+
+    # -- hunt for a changing edge inside an SCC ------------------------------
+    def changes(a, b):
+        if states[a][0] != states[b][0]:
+            return True
+        return track_outputs and states[a][1] != states[b][1]
+
+    bad_edge = None
+    for k, succ in enumerate(successors):
+        for (j, t) in succ:
+            if scc_id[k] == scc_id[j] and changes(k, j):
+                bad_edge = (k, j, t)
+                break
+        if bad_edge:
+            break
+
+    if bad_edge is None:
+        return StabilizationVerdict(
+            stabilizing=True,
+            kind="output" if track_outputs else "label",
+            r=r,
+            states_explored=len(states),
+        )
+
+    witness = _build_witness(
+        bad_edge,
+        scc_id,
+        successors,
+        parent,
+        states,
+        initial_index_of,
+        initial_labeling_objects,
+        topology,
+        r,
+    )
+    return StabilizationVerdict(
+        stabilizing=False,
+        kind="output" if track_outputs else "label",
+        r=r,
+        states_explored=len(states),
+        witness=witness,
+    )
+
+
+def _tarjan(successors: list[list[tuple[int, frozenset[int]]]]) -> list[int]:
+    """Iterative Tarjan SCC; returns the component id of every vertex."""
+    size = len(successors)
+    ids = [-1] * size
+    low = [0] * size
+    order = [0] * size
+    on_stack = [False] * size
+    stack: list[int] = []
+    counter = 0
+    component = 0
+
+    for root in range(size):
+        if order[root] != 0:
+            continue
+        work = [(root, 0)]
+        while work:
+            v, pointer = work[-1]
+            if pointer == 0:
+                counter += 1
+                order[v] = counter
+                low[v] = counter
+                stack.append(v)
+                on_stack[v] = True
+            advanced = False
+            succ = successors[v]
+            while pointer < len(succ):
+                w = succ[pointer][0]
+                pointer += 1
+                if order[w] == 0:
+                    work[-1] = (v, pointer)
+                    work.append((w, 0))
+                    advanced = True
+                    break
+                if on_stack[w]:
+                    low[v] = min(low[v], order[w])
+            if advanced:
+                continue
+            work.pop()
+            if low[v] == order[v]:
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    ids[w] = component
+                    if w == v:
+                        break
+                component += 1
+            if work:
+                u = work[-1][0]
+                low[u] = min(low[u], low[v])
+    return ids
+
+
+def _build_witness(
+    bad_edge,
+    scc_id,
+    successors,
+    parent,
+    states,
+    initial_index_of,
+    initial_labeling_objects,
+    topology,
+    r,
+):
+    k, j, t = bad_edge
+    # Path from the exploration root of k back to k (roots are initial states).
+    prefix_actions: list[frozenset[int]] = []
+    current = k
+    while parent[current] is not None:
+        pred, action = parent[current]
+        prefix_actions.append(action)
+        current = pred
+    prefix_actions.reverse()
+    root = current
+    root_position = initial_index_of.index(root)
+    initial_labeling = initial_labeling_objects[root_position]
+
+    # Cycle: the bad edge k -> j, then a path j -> k inside the SCC.
+    component = scc_id[k]
+    back_parent: dict[int, tuple[int, frozenset[int]]] = {}
+    queue = deque((j,))
+    seen = {j}
+    while queue:
+        v = queue.popleft()
+        if v == k:
+            break
+        for (w, action) in successors[v]:
+            if scc_id[w] == component and w not in seen:
+                seen.add(w)
+                back_parent[w] = (v, action)
+                queue.append(w)
+    loop_actions: list[frozenset[int]] = []
+    current = k
+    while current != j:
+        pred, action = back_parent[current]
+        loop_actions.append(action)
+        current = pred
+    loop_actions.reverse()
+    loop = (t, *loop_actions)
+    return OscillationWitness(
+        initial_labeling=initial_labeling,
+        prefix=tuple(prefix_actions),
+        loop=loop,
+        r=r,
+    )

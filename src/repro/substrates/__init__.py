@@ -1,0 +1,26 @@
+"""Classical computation substrates: circuits, branching programs, TMs."""
+
+from repro.substrates import branching_programs, circuits, turing
+from repro.substrates.branching_programs import BPNode, BranchingProgram
+from repro.substrates.circuits import Circuit, CircuitBuilder, Gate
+from repro.substrates.turing import (
+    Config,
+    ConfigurationGraph,
+    LogspaceMachine,
+    Transition,
+)
+
+__all__ = [
+    "BPNode",
+    "BranchingProgram",
+    "Circuit",
+    "CircuitBuilder",
+    "Config",
+    "ConfigurationGraph",
+    "Gate",
+    "LogspaceMachine",
+    "Transition",
+    "branching_programs",
+    "circuits",
+    "turing",
+]

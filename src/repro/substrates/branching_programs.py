@@ -1,0 +1,231 @@
+"""Branching programs (the L/poly substrate of Theorem 5.2).
+
+A branching program is a DAG of decision nodes; node ``v`` queries one input
+variable and branches to its ``low``/``high`` successor; two terminal sinks
+carry the answers 0 and 1.  Polynomial-size branching programs decide exactly
+L/poly, the class Theorem 5.2 proves equal to ``OS^u_log`` (unidirectional-
+ring protocols with logarithmic labels).
+
+Nodes are stored topologically (successors have larger ids), with the two
+sinks at the end; evaluation walks from the root.  The ring compiler in
+``repro.power.ring_tm`` walks the same structure with a circulating token.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class BPNode:
+    """A decision node: query ``var``; go to ``low`` on 0, ``high`` on 1."""
+
+    var: int
+    low: int
+    high: int
+
+
+class BranchingProgram:
+    """An immutable branching program with topologically ordered nodes.
+
+    Ids ``0 .. len(nodes)-1`` are decision nodes; id ``len(nodes)`` is the
+    0-sink and ``len(nodes)+1`` the 1-sink.
+    """
+
+    def __init__(self, n_inputs: int, nodes: Sequence[BPNode], root: int = 0):
+        nodes = tuple(nodes)
+        sink0 = len(nodes)
+        sink1 = len(nodes) + 1
+        for k, node in enumerate(nodes):
+            if not 0 <= node.var < n_inputs:
+                raise ValidationError(f"node {k} queries unknown variable {node.var}")
+            for succ in (node.low, node.high):
+                if not (k < succ <= sink1):
+                    raise ValidationError(
+                        f"node {k} successor {succ} is not a later node or sink"
+                    )
+        if nodes and not 0 <= root < len(nodes):
+            raise ValidationError("root must be a decision node")
+        self.n_inputs = n_inputs
+        self.nodes = nodes
+        self.root = root
+        self.sink0 = sink0
+        self.sink1 = sink1
+
+    @property
+    def size(self) -> int:
+        """Number of decision nodes (sinks excluded)."""
+        return len(self.nodes)
+
+    def is_sink(self, node_id: int) -> bool:
+        return node_id >= len(self.nodes)
+
+    def sink_value(self, node_id: int) -> int:
+        if not self.is_sink(node_id):
+            raise ValidationError(f"{node_id} is not a sink")
+        return node_id - self.sink0
+
+    def step(self, node_id: int, bit: int) -> int:
+        """One decision step from a non-sink node."""
+        node = self.nodes[node_id]
+        return node.high if bit else node.low
+
+    def evaluate(self, x: Sequence[int]) -> int:
+        if len(x) != self.n_inputs:
+            raise ValidationError(f"expected {self.n_inputs} input bits")
+        current = self.root
+        while not self.is_sink(current):
+            current = self.step(current, x[self.nodes[current].var])
+        return self.sink_value(current)
+
+    def __repr__(self) -> str:
+        return f"<BranchingProgram inputs={self.n_inputs} size={self.size}>"
+
+
+# -- standard branching programs ---------------------------------------------
+
+
+def parity_bp(n: int) -> BranchingProgram:
+    """Width-2 parity: layer i tracks the running parity."""
+    if n < 1:
+        raise ValidationError("parity needs at least one input")
+    nodes: list[BPNode] = []
+    # layer i has nodes for parity 0 and parity 1 (layer n are the sinks)
+    # id of (layer, parity): layer*2 + parity for layer < n
+    sink0 = 2 * n
+    sink1 = 2 * n + 1
+
+    def node_id(layer: int, parity: int) -> int:
+        if layer == n:
+            return sink1 if parity else sink0
+        return 2 * layer + parity
+
+    for layer in range(n):
+        for parity in (0, 1):
+            nodes.append(
+                BPNode(
+                    var=layer,
+                    low=node_id(layer + 1, parity),
+                    high=node_id(layer + 1, 1 - parity),
+                )
+            )
+    bp = BranchingProgram(n, nodes, root=0)
+    # drop the unreachable (layer 0, parity 1) node? keep for simplicity
+    return bp
+
+
+def threshold_bp(n: int, k: int) -> BranchingProgram:
+    """Width-(k+1) counting program: 1 iff at least k inputs are 1."""
+    if n < 1:
+        raise ValidationError("threshold needs at least one input")
+    if k <= 0:
+        # trivially true: a single node whose both branches accept
+        return BranchingProgram(
+            n, [BPNode(var=0, low=2, high=2)], root=0
+        )
+    if k > n:
+        return BranchingProgram(n, [BPNode(var=0, low=1, high=1)], root=0)
+    width = k + 1  # counts 0..k (k is absorbing)
+    layers = n
+    nodes: list[BPNode] = []
+    sink0 = layers * width
+    sink1 = layers * width + 1
+
+    def node_id(layer: int, count: int) -> int:
+        count = min(count, k)
+        if layer == layers:
+            return sink1 if count >= k else sink0
+        return layer * width + count
+
+    for layer in range(layers):
+        for count in range(width):
+            nodes.append(
+                BPNode(
+                    var=layer,
+                    low=node_id(layer + 1, count),
+                    high=node_id(layer + 1, count + 1),
+                )
+            )
+    return BranchingProgram(n, nodes, root=0)
+
+
+def majority_bp(n: int) -> BranchingProgram:
+    """The paper's Maj_n as a counting branching program."""
+    return threshold_bp(n, (n + 1) // 2)
+
+
+def equality_bp(n: int) -> BranchingProgram:
+    """The paper's Eq_n: first half equals second half (n even), else 0.
+
+    Variables are queried in the order x_0, x_{n/2}, x_1, x_{n/2+1}, ...; the
+    program checks each pair with two nodes, giving width 2 and size ~2n.
+    """
+    if n % 2 == 1 or n == 0:
+        return BranchingProgram(
+            max(n, 1), [BPNode(var=0, low=1, high=1)], root=0
+        )
+    half = n // 2
+    nodes: list[BPNode] = []
+    sink0 = 3 * half
+    sink1 = 3 * half + 1
+    # per pair i: node a (query x_i), then nodes b0/b1 (query x_{i+half})
+    for i in range(half):
+        base = 3 * i
+        next_pair = 3 * (i + 1) if i + 1 < half else sink1
+        nodes.append(BPNode(var=i, low=base + 1, high=base + 2))  # a
+        nodes.append(BPNode(var=i + half, low=next_pair, high=sink0))  # b0
+        nodes.append(BPNode(var=i + half, low=sink0, high=next_pair))  # b1
+    return BranchingProgram(n, nodes, root=0)
+
+
+def from_function(fn: Callable[..., int], n: int) -> BranchingProgram:
+    """Complete decision tree over x_0..x_{n-1} (exponential; small n only)."""
+    if n < 1:
+        raise ValidationError("need at least one input")
+    # tree node for each prefix assignment; laid out level by level
+    nodes: list[BPNode] = []
+    level_start = [0]
+    for level in range(n):
+        level_start.append(level_start[-1] + (1 << level))
+    total = level_start[n]
+    sink0 = total
+    sink1 = total + 1
+
+    def tree_id(level: int, prefix: int) -> int:
+        return level_start[level] + prefix
+
+    for level in range(n):
+        for prefix in range(1 << level):
+            if level + 1 < n:
+                low = tree_id(level + 1, prefix << 1)
+                high = tree_id(level + 1, (prefix << 1) | 1)
+            else:
+                low_bits = _prefix_bits(prefix << 1, n)
+                high_bits = _prefix_bits((prefix << 1) | 1, n)
+                low = sink1 if fn(*low_bits) else sink0
+                high = sink1 if fn(*high_bits) else sink0
+            nodes.append(BPNode(var=level, low=low, high=high))
+    return BranchingProgram(n, nodes, root=0)
+
+
+def _prefix_bits(prefix: int, n: int) -> tuple[int, ...]:
+    return tuple((prefix >> (n - 1 - i)) & 1 for i in range(n))
+
+
+def random_bp(n_inputs: int, n_nodes: int, seed: int = 0) -> BranchingProgram:
+    """A seeded random (topological) branching program."""
+    if n_nodes < 1:
+        raise ValidationError("need at least one node")
+    rng = random.Random(seed)
+    sink0 = n_nodes
+    sink1 = n_nodes + 1
+    nodes = []
+    for k in range(n_nodes):
+        low = rng.randrange(k + 1, sink1 + 1)
+        high = rng.randrange(k + 1, sink1 + 1)
+        nodes.append(BPNode(var=rng.randrange(n_inputs), low=low, high=high))
+    return BranchingProgram(n_inputs, nodes, root=0)

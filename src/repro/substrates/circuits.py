@@ -1,0 +1,283 @@
+"""Boolean circuits (the P/poly substrate of Theorem 5.4).
+
+A circuit is a DAG of fan-in-<=2 gates over inputs ``x_0 .. x_{n-1}``.  Gates
+are stored in topological order (arguments always refer to earlier gates),
+which is exactly the order the bidirectional-ring compiler schedules them in.
+
+The module provides evaluation, a builder, synthesis from truth tables
+(DNF — exponential, used for small reaction functions by the protocol
+unroller), standard circuits (majority, parity, equality, threshold) and
+seeded random circuits for property-based testing.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from itertools import product
+
+from repro.exceptions import ValidationError
+
+#: Gate operations and their arities.
+OPS: dict[str, int] = {
+    "INPUT": 0,
+    "CONST": 0,
+    "NOT": 1,
+    "AND": 2,
+    "OR": 2,
+    "XOR": 2,
+}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate: an operation plus argument wire ids (earlier gate indices).
+
+    ``INPUT`` gates use ``payload`` as the input index; ``CONST`` gates use it
+    as the constant bit.
+    """
+
+    op: str
+    args: tuple[int, ...] = ()
+    payload: int = 0
+
+    def __post_init__(self):
+        if self.op not in OPS:
+            raise ValidationError(f"unknown gate op {self.op!r}")
+        if len(self.args) != OPS[self.op]:
+            raise ValidationError(
+                f"{self.op} takes {OPS[self.op]} args, got {len(self.args)}"
+            )
+
+
+class Circuit:
+    """An immutable fan-in-2 Boolean circuit."""
+
+    def __init__(self, n_inputs: int, gates: Sequence[Gate], output: int):
+        if n_inputs < 0:
+            raise ValidationError("n_inputs must be nonnegative")
+        gates = tuple(gates)
+        for k, gate in enumerate(gates):
+            for arg in gate.args:
+                if not 0 <= arg < k:
+                    raise ValidationError(
+                        f"gate {k} argument {arg} is not an earlier gate"
+                    )
+            if gate.op == "INPUT" and not 0 <= gate.payload < n_inputs:
+                raise ValidationError(f"gate {k} reads input {gate.payload}")
+            if gate.op == "CONST" and gate.payload not in (0, 1):
+                raise ValidationError("CONST payload must be a bit")
+        if not gates or not 0 <= output < len(gates):
+            raise ValidationError("output must name a gate")
+        self.n_inputs = n_inputs
+        self.gates = gates
+        self.output = output
+
+    @property
+    def size(self) -> int:
+        return len(self.gates)
+
+    def evaluate_all(self, x: Sequence[int]) -> list[int]:
+        """Value of every gate on input ``x``."""
+        if len(x) != self.n_inputs:
+            raise ValidationError(f"expected {self.n_inputs} input bits")
+        values: list[int] = []
+        for gate in self.gates:
+            if gate.op == "INPUT":
+                value = x[gate.payload] & 1
+            elif gate.op == "CONST":
+                value = gate.payload
+            elif gate.op == "NOT":
+                value = 1 - values[gate.args[0]]
+            elif gate.op == "AND":
+                value = values[gate.args[0]] & values[gate.args[1]]
+            elif gate.op == "OR":
+                value = values[gate.args[0]] | values[gate.args[1]]
+            else:  # XOR
+                value = values[gate.args[0]] ^ values[gate.args[1]]
+            values.append(value)
+        return values
+
+    def evaluate(self, x: Sequence[int]) -> int:
+        return self.evaluate_all(x)[self.output]
+
+    def depth(self) -> int:
+        depths = []
+        for gate in self.gates:
+            if gate.op in ("INPUT", "CONST"):
+                depths.append(0)
+            else:
+                depths.append(1 + max(depths[a] for a in gate.args))
+        return depths[self.output]
+
+    def __repr__(self) -> str:
+        return f"<Circuit inputs={self.n_inputs} size={self.size}>"
+
+
+class CircuitBuilder:
+    """Incremental circuit construction with wire handles."""
+
+    def __init__(self, n_inputs: int):
+        self.n_inputs = n_inputs
+        self._gates: list[Gate] = []
+        self._input_wires: dict[int, int] = {}
+        self._const_wires: dict[int, int] = {}
+
+    def _add(self, gate: Gate) -> int:
+        self._gates.append(gate)
+        return len(self._gates) - 1
+
+    def input(self, i: int) -> int:
+        if i not in self._input_wires:
+            self._input_wires[i] = self._add(Gate("INPUT", payload=i))
+        return self._input_wires[i]
+
+    def const(self, bit: int) -> int:
+        bit = bit & 1
+        if bit not in self._const_wires:
+            self._const_wires[bit] = self._add(Gate("CONST", payload=bit))
+        return self._const_wires[bit]
+
+    def not_(self, a: int) -> int:
+        return self._add(Gate("NOT", (a,)))
+
+    def and_(self, a: int, b: int) -> int:
+        return self._add(Gate("AND", (a, b)))
+
+    def or_(self, a: int, b: int) -> int:
+        return self._add(Gate("OR", (a, b)))
+
+    def xor(self, a: int, b: int) -> int:
+        return self._add(Gate("XOR", (a, b)))
+
+    def and_all(self, wires: Sequence[int]) -> int:
+        if not wires:
+            return self.const(1)
+        result = wires[0]
+        for wire in wires[1:]:
+            result = self.and_(result, wire)
+        return result
+
+    def or_all(self, wires: Sequence[int]) -> int:
+        if not wires:
+            return self.const(0)
+        result = wires[0]
+        for wire in wires[1:]:
+            result = self.or_(result, wire)
+        return result
+
+    def table(self, arg_wires: Sequence[int], fn: Callable[..., int]) -> int:
+        """Synthesize an arbitrary function of the given wires as a DNF.
+
+        ``fn`` receives one bit per wire; the builder enumerates all 2^k
+        assignments (so keep k small — this is used for reaction-function
+        truth tables in the protocol unroller).
+        """
+        minterms: list[int] = []
+        for assignment in product((0, 1), repeat=len(arg_wires)):
+            if fn(*assignment):
+                literals = [
+                    wire if bit else self.not_(wire)
+                    for wire, bit in zip(arg_wires, assignment)
+                ]
+                minterms.append(self.and_all(literals))
+        return self.or_all(minterms)
+
+    def build(self, output: int) -> Circuit:
+        return Circuit(self.n_inputs, self._gates, output)
+
+
+# -- standard circuits -------------------------------------------------------
+
+
+def and_circuit(n: int) -> Circuit:
+    builder = CircuitBuilder(n)
+    out = builder.and_all([builder.input(i) for i in range(n)])
+    return builder.build(out)
+
+
+def or_circuit(n: int) -> Circuit:
+    builder = CircuitBuilder(n)
+    out = builder.or_all([builder.input(i) for i in range(n)])
+    return builder.build(out)
+
+
+def parity_circuit(n: int) -> Circuit:
+    builder = CircuitBuilder(n)
+    out = builder.input(0)
+    for i in range(1, n):
+        out = builder.xor(out, builder.input(i))
+    if n == 1:
+        out = builder.input(0)
+    return builder.build(out)
+
+
+def threshold_circuit(n: int, k: int) -> Circuit:
+    """1 iff at least ``k`` of the n inputs are 1 (dynamic-programming adder).
+
+    Wire ``at_least[j]`` after processing input i means "at least j ones among
+    the first i inputs"; each input updates the running thresholds.
+    """
+    builder = CircuitBuilder(n)
+    if k <= 0:
+        return builder.build(builder.const(1))
+    if k > n:
+        return builder.build(builder.const(0))
+    at_least: list[int] = [builder.const(1)]  # at_least[0] is trivially true
+    for i in range(n):
+        xi = builder.input(i)
+        new: list[int] = [at_least[0]]
+        for j in range(1, min(i + 1, k) + 1):
+            carry = at_least[j] if j < len(at_least) else builder.const(0)
+            step = (
+                builder.and_(at_least[j - 1], xi)
+                if j - 1 < len(at_least)
+                else builder.const(0)
+            )
+            new.append(builder.or_(carry, step))
+        at_least = new
+    return builder.build(at_least[k])
+
+
+def majority_circuit(n: int) -> Circuit:
+    """The paper's Maj_n: 1 iff sum(x) >= n/2, i.e. at least ceil(n/2) ones."""
+    return threshold_circuit(n, (n + 1) // 2)
+
+
+def equality_circuit(n: int) -> Circuit:
+    """The paper's Eq_n: 1 iff n is even and the two input halves agree."""
+    builder = CircuitBuilder(n)
+    if n % 2 == 1:
+        return builder.build(builder.const(0))
+    half = n // 2
+    bits = [
+        builder.not_(builder.xor(builder.input(i), builder.input(i + half)))
+        for i in range(half)
+    ]
+    return builder.build(builder.and_all(bits))
+
+
+def from_function(fn: Callable[..., int], n: int) -> Circuit:
+    """DNF synthesis of an arbitrary n-bit function (exponential in n)."""
+    builder = CircuitBuilder(n)
+    wires = [builder.input(i) for i in range(n)]
+    return builder.build(builder.table(wires, fn))
+
+
+def random_circuit(n_inputs: int, n_gates: int, seed: int = 0) -> Circuit:
+    """A seeded random circuit for differential testing."""
+    if n_gates < 1:
+        raise ValidationError("need at least one gate")
+    rng = random.Random(seed)
+    builder = CircuitBuilder(n_inputs)
+    wires = [builder.input(i) for i in range(n_inputs)]
+    for _ in range(n_gates):
+        op = rng.choice(("NOT", "AND", "OR", "XOR"))
+        if op == "NOT":
+            wire = builder.not_(rng.choice(wires))
+        else:
+            a, b = rng.choice(wires), rng.choice(wires)
+            wire = getattr(builder, {"AND": "and_", "OR": "or_", "XOR": "xor"}[op])(a, b)
+        wires.append(wire)
+    return builder.build(wires[-1])

@@ -1,0 +1,301 @@
+"""Logspace Turing machines with advice (the L/poly substrate of Theorem 5.2).
+
+Theorem 5.2 simulates a logspace machine ``M`` with advice ``a(n)`` on the
+unidirectional ring.  The proof works with the machine's explicit
+*configuration space*
+
+    Z = Q x Gamma^s x [s] x [n] (x advice-head position)
+
+and the induced partial transition ``pi : Z x {0,1} -> Z`` ("if M is in
+configuration z and reads input bit b, its next configuration is pi(z, b)").
+
+This module provides a concrete machine model whose configuration graph is
+materialized exactly, plus a library of small machines (parity, mod-k,
+contains-one, first-equals-last, advice-equality) used by the ring-simulation
+experiments.
+
+Machine model:
+* binary input tape of length n, read-only; the head is clamped to
+  ``[0, n-1]`` and the transition function is told when it sits on the last
+  cell (the standard end-marker convention);
+* work tape of fixed length ``s`` over a finite alphabet, read/write, head
+  clamped similarly — a genuinely logspace machine for constant/log ``s``;
+* optional read-only advice string with its own clamped head;
+* the transition sees ``(state, input bit, work symbol, advice symbol,
+  at_end)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from itertools import product
+
+from repro.exceptions import ValidationError
+
+#: Head movements.
+LEFT, STAY, RIGHT = -1, 0, 1
+
+#: A machine configuration: (state, work tape, work head, input head,
+#: advice head).  Input bits are *not* part of the configuration — they are
+#: read from outside, which is exactly what lets the ring protocol supply
+#: them on the fly.
+Config = tuple[str, tuple[str, ...], int, int, int]
+
+
+@dataclass(frozen=True)
+class Transition:
+    """Result of one machine step."""
+
+    state: str
+    work_write: str
+    work_move: int
+    input_move: int
+    advice_move: int = STAY
+
+
+#: delta(state, input_bit, work_symbol, advice_symbol, at_end) -> Transition
+DeltaFunction = Callable[[str, int, str, str, bool], Transition]
+
+
+class LogspaceMachine:
+    """A deterministic machine with bounded work tape and optional advice.
+
+    Halting states (accept/reject) make their configurations fixed points of
+    the configuration graph (``pi`` self-loops), matching the paper's
+    requirement that the ring simulation can idle after halting.
+    """
+
+    def __init__(
+        self,
+        states: Sequence[str],
+        initial_state: str,
+        accept_states: Sequence[str],
+        reject_states: Sequence[str],
+        work_alphabet: Sequence[str],
+        work_length: int,
+        delta: DeltaFunction,
+        blank: str = "#",
+        name: str = "",
+    ):
+        self.states = tuple(states)
+        if initial_state not in self.states:
+            raise ValidationError("initial state unknown")
+        self.initial_state = initial_state
+        self.accept_states = frozenset(accept_states)
+        self.reject_states = frozenset(reject_states)
+        if not (self.accept_states <= set(self.states)):
+            raise ValidationError("accept states unknown")
+        if not (self.reject_states <= set(self.states)):
+            raise ValidationError("reject states unknown")
+        self.work_alphabet = tuple(work_alphabet)
+        if blank not in self.work_alphabet:
+            raise ValidationError("blank symbol must be in the work alphabet")
+        if work_length < 1:
+            raise ValidationError("work tape needs at least one cell")
+        self.work_length = work_length
+        self.delta = delta
+        self.blank = blank
+        self.name = name or "logspace-machine"
+
+    def is_halting(self, state: str) -> bool:
+        return state in self.accept_states or state in self.reject_states
+
+    def initial_config(self) -> Config:
+        return (self.initial_state, (self.blank,) * self.work_length, 0, 0, 0)
+
+    def run(self, x: Sequence[int], advice: str = "", max_steps: int = 1_000_000) -> int:
+        """Direct execution; returns 1 on accept, 0 on reject."""
+        graph = ConfigurationGraph(self, len(x), advice)
+        config = self.initial_config()
+        for _ in range(max_steps):
+            state = config[0]
+            if state in self.accept_states:
+                return 1
+            if state in self.reject_states:
+                return 0
+            config = graph.pi(config, x[config[3]])
+        raise ValidationError(f"{self.name} did not halt within {max_steps} steps")
+
+
+class ConfigurationGraph:
+    """The explicit configuration space Z and transition pi of Theorem 5.2."""
+
+    def __init__(self, machine: LogspaceMachine, n: int, advice: str = ""):
+        if n < 1:
+            raise ValidationError("input length must be >= 1")
+        self.machine = machine
+        self.n = n
+        self.advice = advice
+        advice_positions = max(len(advice), 1)
+        self.configs: list[Config] = [
+            (state, work, wh, ih, ah)
+            for state in machine.states
+            for work in product(machine.work_alphabet, repeat=machine.work_length)
+            for wh in range(machine.work_length)
+            for ih in range(n)
+            for ah in range(advice_positions)
+        ]
+        self.index: dict[Config, int] = {
+            config: k for k, config in enumerate(self.configs)
+        }
+        self.initial = machine.initial_config()
+
+    @property
+    def size(self) -> int:
+        """|Z| — the counter bound used by the ring protocol."""
+        return len(self.configs)
+
+    def input_head(self, config: Config) -> int:
+        """The input position this configuration is about to read."""
+        return config[3]
+
+    def accepting(self, config: Config) -> bool:
+        """The F(z) of the proof of Theorem 5.2."""
+        return config[0] in self.machine.accept_states
+
+    def pi(self, config: Config, input_bit: int) -> Config:
+        """One step of the machine; halting configurations self-loop."""
+        state, work, wh, ih, ah = config
+        if self.machine.is_halting(state):
+            return config
+        advice_symbol = self.advice[ah] if self.advice else "#"
+        transition = self.machine.delta(
+            state, input_bit, work[wh], advice_symbol, ih == self.n - 1
+        )
+        if transition.state not in self.machine.states:
+            raise ValidationError(f"transition to unknown state {transition.state!r}")
+        if transition.work_write not in self.machine.work_alphabet:
+            raise ValidationError("transition writes a foreign work symbol")
+        new_work = list(work)
+        new_work[wh] = transition.work_write
+
+        def clamp(value: int, bound: int) -> int:
+            return max(0, min(bound - 1, value))
+
+        return (
+            transition.state,
+            tuple(new_work),
+            clamp(wh + transition.work_move, self.machine.work_length),
+            clamp(ih + transition.input_move, self.n),
+            clamp(ah + transition.advice_move, max(len(self.advice), 1)),
+        )
+
+
+# -- concrete machines --------------------------------------------------------
+
+
+def mod_machine(
+    modulus: int, accept_residues: Sequence[int], name: str = ""
+) -> LogspaceMachine:
+    """Accept iff (number of ones mod ``modulus``) is in ``accept_residues``."""
+    if modulus < 2:
+        raise ValidationError("modulus must be >= 2")
+    states = tuple(f"r{k}" for k in range(modulus)) + ("accept", "reject")
+    accept_set = frozenset(accept_residues)
+
+    def delta(state, bit, work, _advice, at_end):
+        residue = int(state[1:])
+        new_residue = (residue + bit) % modulus
+        if at_end:
+            target = "accept" if new_residue in accept_set else "reject"
+            return Transition(target, work, STAY, STAY)
+        return Transition(f"r{new_residue}", work, STAY, RIGHT)
+
+    return LogspaceMachine(
+        states=states,
+        initial_state="r0",
+        accept_states=("accept",),
+        reject_states=("reject",),
+        work_alphabet=("#",),
+        work_length=1,
+        delta=delta,
+        name=name or f"mod{modulus}",
+    )
+
+
+def parity_machine() -> LogspaceMachine:
+    """Accept iff the input has an odd number of ones."""
+    return mod_machine(2, accept_residues=(1,), name="parity")
+
+
+def contains_one_machine() -> LogspaceMachine:
+    """Accept iff some input bit is 1 (left-to-right scan)."""
+    states = ("scan", "accept", "reject")
+
+    def delta(state, bit, work, _advice, at_end):
+        if bit == 1:
+            return Transition("accept", work, STAY, STAY)
+        if at_end:
+            return Transition("reject", work, STAY, STAY)
+        return Transition("scan", work, STAY, RIGHT)
+
+    return LogspaceMachine(
+        states=states,
+        initial_state="scan",
+        accept_states=("accept",),
+        reject_states=("reject",),
+        work_alphabet=("#",),
+        work_length=1,
+        delta=delta,
+        name="contains-one",
+    )
+
+
+def first_equals_last_machine() -> LogspaceMachine:
+    """Accept iff x_0 == x_{n-1}; stores x_0 on the work tape.
+
+    Exercises a machine that genuinely writes to its work tape.
+    """
+    states = ("start", "scan", "accept", "reject")
+
+    def delta(state, bit, work, _advice, at_end):
+        if state == "start":
+            stored = "1" if bit else "0"
+            if at_end:  # n == 1: first and last coincide
+                return Transition("accept", stored, STAY, STAY)
+            return Transition("scan", stored, STAY, RIGHT)
+        # scanning: work holds x_0
+        if at_end:
+            matches = (work == "1") == (bit == 1)
+            return Transition("accept" if matches else "reject", work, STAY, STAY)
+        return Transition("scan", work, STAY, RIGHT)
+
+    return LogspaceMachine(
+        states=states,
+        initial_state="start",
+        accept_states=("accept",),
+        reject_states=("reject",),
+        work_alphabet=("#", "0", "1"),
+        work_length=1,
+        delta=delta,
+        name="first-equals-last",
+    )
+
+
+def advice_equality_machine() -> LogspaceMachine:
+    """Accept iff the input equals the advice string (bitwise).
+
+    A genuinely nonuniform machine: the advice carries an arbitrary target
+    word per input length, demonstrating the "/poly" in L/poly.  The advice
+    string must have length exactly n.
+    """
+    states = ("cmp", "accept", "reject")
+
+    def delta(state, bit, work, advice_symbol, at_end):
+        if advice_symbol not in ("0", "1") or int(advice_symbol) != bit:
+            return Transition("reject", work, STAY, STAY)
+        if at_end:
+            return Transition("accept", work, STAY, STAY)
+        return Transition("cmp", work, STAY, RIGHT, advice_move=RIGHT)
+
+    return LogspaceMachine(
+        states=states,
+        initial_state="cmp",
+        accept_states=("accept",),
+        reject_states=("reject",),
+        work_alphabet=("#",),
+        work_length=1,
+        delta=delta,
+        name="advice-equality",
+    )

@@ -1,0 +1,66 @@
+"""Shared protocol builders and strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import (
+    Labeling,
+    LambdaReaction,
+    StatelessProtocol,
+    UniformReaction,
+    binary,
+)
+from repro.graphs import Topology, unidirectional_ring
+
+
+def constant_protocol(topology: Topology, label=0) -> StatelessProtocol:
+    """Every node always writes ``label`` everywhere and outputs it."""
+
+    def make(i):
+        def fn(incoming, x):
+            return {edge: label for edge in topology.out_edges(i)}, label
+
+        return LambdaReaction(fn)
+
+    return StatelessProtocol(
+        topology, binary(), [make(i) for i in range(topology.n)], name="constant"
+    )
+
+
+def copy_ring_protocol(n: int) -> StatelessProtocol:
+    """On the unidirectional ring every node forwards its incoming bit.
+
+    Any uniform labeling is stable; a mixed labeling rotates forever, which
+    makes this a convenient non-stabilizing example.
+    """
+    topology = unidirectional_ring(n)
+
+    def make(i):
+        def fn(incoming, x):
+            (value,) = incoming.values()
+            return value, value
+
+        return UniformReaction(topology.out_edges(i), fn)
+
+    return StatelessProtocol(
+        topology, binary(), [make(i) for i in range(n)], name=f"copy-ring({n})"
+    )
+
+
+def or_clique_protocol(topology: Topology) -> StatelessProtocol:
+    """Example-1-style protocol: broadcast 0 iff all incoming are 0."""
+
+    def bit(incoming, _x):
+        value = 0 if all(v == 0 for v in incoming.values()) else 1
+        return value, value
+
+    reactions = [
+        UniformReaction(topology.out_edges(i), bit) for i in range(topology.n)
+    ]
+    return StatelessProtocol(topology, binary(), reactions, name="or-clique")
+
+
+def random_bit_labeling(topology: Topology, seed: int) -> Labeling:
+    rng = random.Random(seed)
+    return Labeling(topology, tuple(rng.randrange(2) for _ in topology.edges))

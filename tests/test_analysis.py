@@ -1,0 +1,138 @@
+"""Tests for the measurement/reporting toolkit."""
+
+import pytest
+
+from repro.analysis import (
+    measure_round_complexity,
+    output_settle_time,
+    print_table,
+    render_table,
+    settled_outputs,
+)
+from repro.core import Labeling, default_inputs
+from repro.exceptions import ConvergenceError
+from repro.graphs import clique, unidirectional_ring
+from repro.stabilization import example1_protocol, one_token_labeling
+
+from tests.helpers import copy_ring_protocol, or_clique_protocol
+
+
+class TestSettledOutputs:
+    def test_converging_protocol_settles(self):
+        protocol = or_clique_protocol(clique(3))
+        outputs = settled_outputs(
+            protocol,
+            default_inputs(protocol),
+            one_token_labeling(3),
+            settle=5,
+            window=5,
+        )
+        assert outputs == (1, 1, 1)
+
+    def test_oscillating_protocol_raises(self):
+        protocol = copy_ring_protocol(3)
+        labeling = Labeling(protocol.topology, (1, 0, 0))
+        with pytest.raises(ConvergenceError):
+            settled_outputs(
+                protocol, default_inputs(protocol), labeling, settle=4, window=6
+            )
+
+
+class TestOutputSettleTime:
+    def test_reports_last_change(self):
+        protocol = example1_protocol(3)
+        settle, outputs = output_settle_time(
+            protocol,
+            default_inputs(protocol),
+            one_token_labeling(3),
+            horizon=20,
+            window=10,
+        )
+        assert outputs == (1, 1, 1)
+        assert 1 <= settle <= 5
+
+    def test_raises_when_still_moving(self):
+        protocol = copy_ring_protocol(3)
+        labeling = Labeling(protocol.topology, (1, 0, 0))
+        with pytest.raises(ConvergenceError):
+            output_settle_time(
+                protocol, default_inputs(protocol), labeling, horizon=5, window=9
+            )
+
+
+class TestMeasureRoundComplexity:
+    def test_aggregates_worst_case(self):
+        protocol = example1_protocol(3)
+        report = measure_round_complexity(
+            protocol,
+            input_vectors=[(0, 0, 0)],
+            labelings=[one_token_labeling(3), Labeling.uniform(protocol.topology, 0)],
+        )
+        assert report.runs == 2
+        assert report.all_label_stable
+        assert report.max_label_rounds >= 1
+
+    def test_flags_non_stabilizing_runs(self):
+        protocol = copy_ring_protocol(3)
+        report = measure_round_complexity(
+            protocol,
+            input_vectors=[(0, 0, 0)],
+            labelings=[Labeling(protocol.topology, (1, 0, 0))],
+        )
+        assert not report.all_label_stable
+
+
+class TestTables:
+    def test_render_alignment(self):
+        table = render_table(["a", "long header"], [[1, 2], ["xyz", 42]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "long header" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_print_table_smoke(self, capsys):
+        print_table("title", ["h"], [[1]])
+        captured = capsys.readouterr()
+        assert "title" in captured.out
+        assert "1" in captured.out
+
+
+class TestTopLevelAPI:
+    def test_version_and_exports(self):
+        import repro
+
+        assert repro.__version__
+        assert hasattr(repro, "Simulator")
+        assert hasattr(repro, "StatelessProtocol")
+        assert hasattr(repro, "synchronous_run")
+
+    def test_repr_strings(self):
+        protocol = example1_protocol(3)
+        assert "example1" in repr(protocol)
+        assert "clique" in repr(protocol.topology)
+        assert "Sigma" in repr(protocol.label_space)
+
+    def test_synchronous_run_helper(self):
+        from repro import synchronous_run
+
+        protocol = or_clique_protocol(clique(3))
+        report = synchronous_run(
+            protocol, (0, 0, 0), Labeling.uniform(protocol.topology, 0)
+        )
+        assert report.label_stable
+
+
+class TestUnidirectionalRoundBoundHolds:
+    def test_lemma_c2_bound_on_library_ring_protocols(self):
+        # R_n <= n |Sigma| holds for the worst-case protocol family.
+        from repro.core import Simulator, SynchronousSchedule
+        from repro.power import unidirectional_round_bound, worst_case_protocol
+
+        for n, q in ((3, 2), (4, 2), (5, 3)):
+            protocol = worst_case_protocol(n, q)
+            labeling = Labeling.uniform(protocol.topology, 0)
+            report = Simulator(protocol, (0,) * n).run(
+                labeling, SynchronousSchedule(n)
+            )
+            assert report.label_rounds <= unidirectional_round_bound(n, q)

@@ -1,0 +1,94 @@
+"""Unit tests for Labeling and Configuration."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import BitStrings, Configuration, Labeling, binary
+from repro.exceptions import ValidationError
+from repro.graphs import bidirectional_ring, unidirectional_ring
+
+
+class TestLabeling:
+    def test_uniform(self):
+        topo = unidirectional_ring(4)
+        labeling = Labeling.uniform(topo, 7)
+        assert all(labeling[edge] == 7 for edge in topo.edges)
+
+    def test_from_dict_roundtrip(self):
+        topo = unidirectional_ring(3)
+        mapping = {(0, 1): "a", (1, 2): "b", (2, 0): "c"}
+        labeling = Labeling.from_dict(topo, mapping)
+        assert labeling.as_dict() == mapping
+
+    def test_from_dict_requires_every_edge(self):
+        topo = unidirectional_ring(3)
+        with pytest.raises(ValidationError):
+            Labeling.from_dict(topo, {(0, 1): "a"})
+
+    def test_wrong_arity_rejected(self):
+        topo = unidirectional_ring(3)
+        with pytest.raises(ValidationError):
+            Labeling(topo, (1, 2))
+
+    def test_incoming_outgoing_views(self):
+        topo = bidirectional_ring(3)
+        labeling = Labeling(topo, tuple(range(topo.m)))
+        incoming = labeling.incoming(0)
+        assert set(incoming) == {(1, 0), (2, 0)}
+        outgoing = labeling.outgoing(0)
+        assert set(outgoing) == {(0, 1), (0, 2)}
+
+    def test_replace_creates_new_object(self):
+        topo = unidirectional_ring(3)
+        labeling = Labeling.uniform(topo, 0)
+        updated = labeling.replace({(0, 1): 9})
+        assert labeling[(0, 1)] == 0
+        assert updated[(0, 1)] == 9
+        assert updated[(1, 2)] == 0
+
+    def test_equality_and_hash(self):
+        topo = unidirectional_ring(3)
+        a = Labeling.uniform(topo, 1)
+        b = Labeling.uniform(topo, 1)
+        c = Labeling.uniform(topo, 0)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_random_respects_space(self):
+        topo = bidirectional_ring(5)
+        space = BitStrings(3)
+        labeling = Labeling.random(topo, space, random.Random(0))
+        labeling.validate(space)
+
+    def test_validate_rejects_foreign_labels(self):
+        topo = unidirectional_ring(3)
+        labeling = Labeling.uniform(topo, 5)
+        with pytest.raises(ValidationError):
+            labeling.validate(binary())
+
+    @given(st.integers(min_value=2, max_value=8), st.integers())
+    def test_random_labeling_deterministic_per_seed(self, n, seed):
+        topo = unidirectional_ring(n)
+        a = Labeling.random(topo, binary(), random.Random(seed))
+        b = Labeling.random(topo, binary(), random.Random(seed))
+        assert a == b
+
+
+class TestConfiguration:
+    def test_requires_output_per_node(self):
+        topo = unidirectional_ring(3)
+        labeling = Labeling.uniform(topo, 0)
+        with pytest.raises(ValidationError):
+            Configuration(labeling, (0, 1))
+
+    def test_equality_and_hash(self):
+        topo = unidirectional_ring(3)
+        labeling = Labeling.uniform(topo, 0)
+        a = Configuration(labeling, (0, 0, 1))
+        b = Configuration(labeling, (0, 0, 1))
+        c = Configuration(labeling, (1, 0, 1))
+        assert a == b and hash(a) == hash(b)
+        assert a != c

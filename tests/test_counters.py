@@ -1,0 +1,142 @@
+"""Tests for the 2-counter (Claim 5.5) and D-counter (Claim 5.6).
+
+The stabilization targets, from the paper:
+* 2-counter: after O(n) rounds every node's b2 bit alternates each round,
+  with the fixed spatial pattern phi(t) XOR s_j, s_j = floor(j/2) mod 2;
+* D-counter: R_n = 4n; after stabilization all nodes hold the same counter
+  value, incrementing by 1 mod D every round; L_n = 2 + 3 log2(D).
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Labeling, Simulator, SynchronousSchedule
+from repro.exceptions import ValidationError
+from repro.power import (
+    d_counter_label_complexity,
+    d_counter_protocol,
+    spatial_phase,
+    two_counter_protocol,
+)
+
+
+def trace_outputs(protocol, steps, seed):
+    rng = random.Random(seed)
+    labeling = Labeling.random(protocol.topology, protocol.label_space, rng)
+    simulator = Simulator(protocol, (0,) * protocol.n)
+    trace = simulator.run_trace(labeling, SynchronousSchedule(protocol.n), steps)
+    return trace
+
+
+def alternation_start(rows):
+    """First index from which every column flips at every step."""
+    horizon = len(rows)
+    for start in range(horizon - 1):
+        if all(
+            rows[t + 1][j] == 1 - rows[t][j]
+            for t in range(start, horizon - 1)
+            for j in range(len(rows[0]))
+        ):
+            return start
+    return None
+
+
+class TestTwoCounter:
+    @pytest.mark.parametrize("n", [3, 5, 7, 9])
+    def test_b2_alternates_within_4n(self, n):
+        protocol = two_counter_protocol(n)
+        for seed in range(5):
+            trace = trace_outputs(protocol, steps=4 * n + 10, seed=seed)
+            rows = [config.outputs for config in trace[1:]]
+            start = alternation_start(rows)
+            assert start is not None, f"no alternation (n={n}, seed={seed})"
+            assert start <= 4 * n
+
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    def test_spatial_pattern(self, n):
+        # After stabilization: b2_j(t) = phi(t) XOR floor(j/2) mod 2.
+        protocol = two_counter_protocol(n)
+        trace = trace_outputs(protocol, steps=4 * n + 6, seed=11)
+        late = trace[-1].outputs
+        phi = late[0] ^ spatial_phase(0)
+        for j in range(n):
+            assert late[j] == phi ^ spatial_phase(j)
+
+    def test_rejects_even_ring(self):
+        with pytest.raises(ValidationError):
+            two_counter_protocol(4)
+
+    def test_rejects_tiny_ring(self):
+        with pytest.raises(ValidationError):
+            two_counter_protocol(1)
+
+    def test_label_complexity_is_two_bits(self):
+        assert two_counter_protocol(5).label_complexity == 2.0
+
+
+def counter_sync_start(rows, modulus):
+    """First index from which all nodes agree and increment mod D."""
+    horizon = len(rows)
+    for start in range(horizon - 1):
+        good = True
+        for t in range(start, horizon - 1):
+            if len(set(rows[t])) != 1 or len(set(rows[t + 1])) != 1:
+                good = False
+                break
+            if rows[t + 1][0] != (rows[t][0] + 1) % modulus:
+                good = False
+                break
+        if good:
+            return start
+    return None
+
+
+class TestDCounter:
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    @pytest.mark.parametrize("modulus", [3, 8, 17])
+    def test_synchronized_counting_within_4n(self, n, modulus):
+        protocol = d_counter_protocol(n, modulus)
+        for seed in range(3):
+            trace = trace_outputs(protocol, steps=4 * n + 2 * modulus + 10, seed=seed)
+            rows = [config.outputs for config in trace[1:]]
+            start = counter_sync_start(rows, modulus)
+            assert start is not None, f"never synchronized (n={n}, D={modulus})"
+            assert start <= 4 * n
+
+    @given(
+        st.sampled_from([3, 5, 7, 9]),
+        st.integers(min_value=2, max_value=30),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_synchronization_property(self, n, modulus, seed):
+        protocol = d_counter_protocol(n, modulus)
+        trace = trace_outputs(protocol, steps=4 * n + modulus + 8, seed=seed)
+        rows = [config.outputs for config in trace[1:]]
+        start = counter_sync_start(rows, modulus)
+        assert start is not None
+        assert start <= 4 * n
+
+    def test_counter_field_matches_output(self):
+        # The label's c field is the broadcast counter value.
+        protocol = d_counter_protocol(5, 6)
+        trace = trace_outputs(protocol, steps=40, seed=0)
+        config = trace[-1]
+        for j in range(5):
+            for edge in protocol.topology.out_edges(j):
+                assert config.labeling[edge][4] == config.outputs[j]
+
+    def test_label_complexity_formula(self):
+        protocol = d_counter_protocol(5, 8)
+        assert math.isclose(d_counter_label_complexity(8), 2 + 3 * 3)
+        assert math.isclose(protocol.label_complexity, 2 + 3 * math.log2(8))
+
+    def test_rejects_even_ring_and_bad_modulus(self):
+        with pytest.raises(ValidationError):
+            d_counter_protocol(4, 5)
+        with pytest.raises(ValidationError):
+            d_counter_protocol(5, 1)

@@ -1,0 +1,84 @@
+"""Tests for Theorem 5.10 (counting bound) and the exact 2-ring census."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.power import (
+    counting_lower_bound,
+    functions_count,
+    protocol_count_upper_bound,
+    smallest_sufficient_label_bits,
+    two_ring_census,
+)
+
+
+class TestArithmetic:
+    def test_bound_value(self):
+        assert counting_lower_bound(16, 2) == 2.0
+        assert counting_lower_bound(100, 5) == 5.0
+
+    def test_bound_monotone_in_n(self):
+        values = [counting_lower_bound(n, 3) for n in range(9, 30)]
+        assert values == sorted(values)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValidationError):
+            counting_lower_bound(0, 3)
+        with pytest.raises(ValidationError):
+            counting_lower_bound(5, 0)
+
+    def test_functions_count(self):
+        assert functions_count(3) == 2**8
+
+    def test_protocol_count_formula(self):
+        # n=1, k=1, |Sigma|=2: (2*2)^(2*1*2) = 4^4 = 256
+        assert protocol_count_upper_bound(1, 1, 2) == 256
+
+    def test_proof_inequality_direction(self):
+        # With L below the bound, there are fewer protocols than functions.
+        n, k = 16, 2
+        bound_bits = counting_lower_bound(n, k)  # = 2 bits
+        small_sigma = 2 ** max(int(bound_bits) - 2, 0)
+        import math
+
+        protocols_log2 = (
+            2 * n * small_sigma**k * math.log2(2 * small_sigma**k)
+        )
+        assert protocols_log2 < 2**n
+
+    def test_smallest_sufficient_bits_reasonable(self):
+        # The sufficient label size is at least the lower bound / slack and
+        # grows with n.
+        for n in (10, 14, 18):
+            bits = smallest_sufficient_label_bits(n, 2)
+            assert bits >= 1
+        assert smallest_sufficient_label_bits(18, 2) >= smallest_sufficient_label_bits(
+            10, 2
+        )
+
+
+class TestTwoRingCensus:
+    def test_single_label_census_only_constants(self):
+        """With |Sigma| = 1 the ring carries no information: a node's output
+        depends only on its own input, so only constant functions compute."""
+        census = two_ring_census(1)
+        computable = {truth for truth, ok in census.items() if ok}
+        assert computable == {(0, 0, 0, 0), (1, 1, 1, 1)}
+
+    def test_census_covers_all_truth_tables(self):
+        census = two_ring_census(1)
+        assert len(census) == 16
+
+    def test_binary_census_includes_and_xor(self):
+        census = two_ring_census(2)
+        # f = (f(0,0), f(0,1), f(1,0), f(1,1))
+        and_truth = (0, 0, 0, 1)
+        xor_truth = (0, 1, 1, 0)
+        assert census[and_truth]
+        assert census[xor_truth]
+
+    def test_binary_census_superset_of_unary(self):
+        unary = {t for t, ok in two_ring_census(1).items() if ok}
+        binary_census = {t for t, ok in two_ring_census(2).items() if ok}
+        assert unary <= binary_census
+        assert len(binary_census) > len(unary)

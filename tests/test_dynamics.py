@@ -1,0 +1,335 @@
+"""Tests for the best-response dynamics layer (the Section 3 implications).
+
+Machine-verified corollaries of Theorem 3.1:
+* coordination games, BGP-DISAGREE, contagion, the SR latch — all with >= 2
+  stable labelings — are not label (n-1)-stabilizing;
+* BAD GADGET has *no* stable labeling and oscillates under every schedule;
+* GOOD GADGET and shortest-path routing converge.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    Labeling,
+    RandomRFairSchedule,
+    RunOutcome,
+    Simulator,
+    SynchronousSchedule,
+    default_inputs,
+)
+from repro.dynamics import (
+    NO_ROUTE,
+    TECH_A,
+    TECH_B,
+    adoption_counts,
+    anti_coordination_game,
+    bad_gadget,
+    best_response_protocol,
+    bgp_protocol,
+    congestion_game,
+    congestion_protocol,
+    contagion_protocol,
+    coordination_game,
+    disagree,
+    good_gadget,
+    link_loads,
+    ring_oscillator,
+    seeded_labeling,
+    shortest_path_instance,
+    sr_latch,
+)
+from repro.exceptions import ValidationError
+from repro.graphs import bidirectional_ring, clique, path
+from repro.stabilization import (
+    broadcast_labelings,
+    decide_label_r_stabilizing,
+    is_stable_labeling,
+    stable_labelings,
+)
+
+
+class TestBestResponseCompiler:
+    def test_stable_labelings_are_best_response_equilibria(self):
+        game = coordination_game(clique(3))
+        protocol = best_response_protocol(game)
+        inputs = default_inputs(protocol)
+        stables = stable_labelings(
+            protocol,
+            inputs,
+            broadcast_labelings(protocol.topology, protocol.label_space),
+        )
+        profiles = {
+            tuple(labeling[(i, (i + 1) % 3)] for i in range(3))
+            for labeling in stables
+        }
+        assert profiles == set(game.best_response_equilibria())
+
+    def test_best_response_equilibria_subset_of_nash(self):
+        game = coordination_game(clique(4))
+        br = set(game.best_response_equilibria())
+        nash = set(game.pure_nash_equilibria())
+        assert br <= nash
+        assert (0, 0, 0, 0) in br and (1, 1, 1, 1) in br
+
+    def test_coordination_not_n_minus_1_stabilizing(self):
+        # Theorem 3.1 corollary: two equilibria => no (n-1)-stabilization.
+        game = coordination_game(clique(3))
+        protocol = best_response_protocol(game)
+        verdict = decide_label_r_stabilizing(
+            protocol,
+            default_inputs(protocol),
+            2,
+            initial_labelings=broadcast_labelings(
+                protocol.topology, protocol.label_space
+            ),
+        )
+        assert not verdict.stabilizing
+
+    def test_anti_coordination_on_path_converges_synchronously(self):
+        game = anti_coordination_game(path(2))
+        protocol = best_response_protocol(game)
+        report = Simulator(protocol, default_inputs(protocol)).run(
+            Labeling.uniform(protocol.topology, 0), SynchronousSchedule(2)
+        )
+        # two players anti-coordinating synchronously flip forever
+        assert report.outcome in (RunOutcome.OSCILLATING, RunOutcome.LABEL_STABLE)
+
+
+class TestBGP:
+    def test_disagree_has_two_stable_solutions(self):
+        instance = disagree()
+        solutions = instance.stable_solutions()
+        assert len(solutions) == 2
+        chosen = {tuple(sorted((s[1], s[2]))) for s in solutions}
+        assert chosen == {
+            tuple(sorted(((1, 0), (2, 1, 0)))),
+            tuple(sorted(((1, 2, 0), (2, 0)))),
+        }
+
+    def test_disagree_protocol_stable_labelings_match_solutions(self):
+        instance = disagree()
+        protocol = bgp_protocol(instance)
+        inputs = default_inputs(protocol)
+        count = 0
+        for labeling in broadcast_labelings(
+            protocol.topology, protocol.label_space
+        ):
+            if is_stable_labeling(protocol, inputs, labeling):
+                count += 1
+        assert count == len(instance.stable_solutions())
+
+    def test_disagree_not_2_stabilizing(self):
+        # n = 3, so Theorem 3.1 rules out label 2-stabilization.
+        instance = disagree()
+        protocol = bgp_protocol(instance)
+        verdict = decide_label_r_stabilizing(
+            protocol,
+            default_inputs(protocol),
+            2,
+            initial_labelings=broadcast_labelings(
+                protocol.topology, protocol.label_space
+            ),
+        )
+        assert not verdict.stabilizing
+        assert verdict.witness is not None
+
+    def test_bad_gadget_has_no_stable_solution(self):
+        instance = bad_gadget()
+        assert instance.stable_solutions() == []
+
+    def test_bad_gadget_oscillates_synchronously(self):
+        instance = bad_gadget()
+        protocol = bgp_protocol(instance)
+        labeling = Labeling.uniform(protocol.topology, NO_ROUTE)
+        report = Simulator(protocol, default_inputs(protocol)).run(
+            labeling, SynchronousSchedule(protocol.n), max_steps=2000
+        )
+        assert report.outcome is RunOutcome.OSCILLATING
+
+    def test_bad_gadget_never_stabilizes_under_random_fair(self):
+        instance = bad_gadget()
+        protocol = bgp_protocol(instance)
+        rng = random.Random(0)
+        for seed in range(3):
+            labeling = Labeling.random(
+                protocol.topology, protocol.label_space, rng
+            )
+            report = Simulator(protocol, default_inputs(protocol)).run(
+                labeling,
+                RandomRFairSchedule(protocol.n, r=3, seed=seed),
+                max_steps=600,
+            )
+            assert report.outcome is RunOutcome.TIMEOUT  # never converges
+
+    def test_good_gadget_unique_solution_and_convergence(self):
+        instance = good_gadget()
+        solutions = instance.stable_solutions()
+        assert len(solutions) == 1
+        assert solutions[0][1] == (1, 0)
+        protocol = bgp_protocol(instance)
+        rng = random.Random(1)
+        for seed in range(4):
+            labeling = Labeling.random(
+                protocol.topology, protocol.label_space, rng
+            )
+            report = Simulator(protocol, default_inputs(protocol)).run(
+                labeling,
+                RandomRFairSchedule(protocol.n, r=3, seed=seed),
+                max_steps=4000,
+            )
+            assert report.label_stable
+            assert report.outputs[1] == (1, 0)
+
+    def test_shortest_path_instance_converges_to_shortest_paths(self):
+        topology = bidirectional_ring(5)
+        instance = shortest_path_instance(topology, destination=0)
+        protocol = bgp_protocol(instance)
+        report = Simulator(protocol, default_inputs(protocol)).run(
+            Labeling.uniform(protocol.topology, NO_ROUTE),
+            SynchronousSchedule(protocol.n),
+        )
+        assert report.label_stable
+        # nodes 1 and 4 are adjacent to the destination; 2 and 3 two hops out
+        assert report.outputs[1] == (1, 0)
+        assert report.outputs[4] == (4, 0)
+        assert len(report.outputs[2]) == 3
+        assert len(report.outputs[3]) == 3
+
+    def test_path_validation(self):
+        instance = disagree()
+        with pytest.raises(ValidationError):
+            SPPType = type(instance)
+            SPPType(
+                instance.topology,
+                0,
+                {1: [(1, 2)], 2: []},  # path not ending at destination
+            )
+
+
+class TestContagion:
+    def test_all_a_and_all_b_are_stable(self):
+        protocol = contagion_protocol(bidirectional_ring(5), theta=0.5)
+        inputs = default_inputs(protocol)
+        all_a = Labeling.uniform(protocol.topology, TECH_A)
+        all_b = Labeling.uniform(protocol.topology, TECH_B)
+        assert is_stable_labeling(protocol, inputs, all_a)
+        assert is_stable_labeling(protocol, inputs, all_b)
+
+    def test_not_n_minus_1_stabilizing(self):
+        topology = bidirectional_ring(4)
+        protocol = contagion_protocol(topology, theta=0.5)
+        verdict = decide_label_r_stabilizing(
+            protocol,
+            default_inputs(protocol),
+            3,
+            initial_labelings=broadcast_labelings(
+                protocol.topology, protocol.label_space
+            ),
+        )
+        assert not verdict.stabilizing
+
+    def test_contagion_spreads_on_ring(self):
+        # theta = 1/2 on the ring: two adjacent adopters convert everyone.
+        topology = bidirectional_ring(8)
+        protocol = contagion_protocol(topology, theta=0.5)
+        labeling = seeded_labeling(topology, adopters={0, 1})
+        report = Simulator(protocol, default_inputs(protocol)).run(
+            labeling, SynchronousSchedule(8)
+        )
+        assert report.label_stable
+        assert adoption_counts(report.outputs) == 8
+
+    def test_high_threshold_blocks_contagion(self):
+        topology = bidirectional_ring(8)
+        protocol = contagion_protocol(topology, theta=0.9)
+        labeling = seeded_labeling(topology, adopters={0, 1})
+        report = Simulator(protocol, default_inputs(protocol)).run(
+            labeling, SynchronousSchedule(8)
+        )
+        assert report.label_stable
+        assert adoption_counts(report.outputs) == 0
+
+
+class TestCongestion:
+    def test_equilibria_are_balanced(self):
+        game = congestion_game(4, 2)
+        for profile in game.best_response_equilibria():
+            loads = link_loads(profile, 2)
+            assert abs(loads[0] - loads[1]) <= 1
+
+    def test_multiple_equilibria_imply_instability(self):
+        game = congestion_game(3, 2)
+        assert len(game.best_response_equilibria()) >= 2
+        protocol = congestion_protocol(3, 2)
+        verdict = decide_label_r_stabilizing(
+            protocol,
+            default_inputs(protocol),
+            2,
+            initial_labelings=broadcast_labelings(
+                protocol.topology, protocol.label_space
+            ),
+        )
+        assert not verdict.stabilizing
+
+    def test_synchronous_herding_oscillates(self):
+        # Everyone on link 0 -> everyone hops to link 1 -> back: flapping.
+        protocol = congestion_protocol(4, 2)
+        labeling = Labeling.uniform(protocol.topology, 0)
+        report = Simulator(protocol, default_inputs(protocol)).run(
+            labeling, SynchronousSchedule(4), max_steps=100
+        )
+        assert report.outcome is RunOutcome.OSCILLATING
+
+
+class TestAsyncCircuits:
+    def test_sr_latch_holds_two_states(self):
+        protocol = sr_latch()
+        inputs = (0, 0)  # S = R = 0: hold
+        q_high = Labeling.from_dict(protocol.topology, {(0, 1): 1, (1, 0): 0})
+        q_low = Labeling.from_dict(protocol.topology, {(0, 1): 0, (1, 0): 1})
+        assert is_stable_labeling(protocol, inputs, q_high)
+        assert is_stable_labeling(protocol, inputs, q_low)
+
+    def test_sr_latch_metastable_oscillation(self):
+        protocol = sr_latch()
+        labeling = Labeling.uniform(protocol.topology, 0)
+        report = Simulator(protocol, (0, 0)).run(
+            labeling, SynchronousSchedule(2), max_steps=50
+        )
+        assert report.outcome is RunOutcome.OSCILLATING
+        assert report.cycle_length == 2
+
+    def test_sr_latch_not_1_stabilizing_with_hold_inputs(self):
+        protocol = sr_latch()
+        verdict = decide_label_r_stabilizing(protocol, (0, 0), 1)
+        assert not verdict.stabilizing
+
+    def test_sr_latch_set_input_forces_state(self):
+        protocol = sr_latch()
+        labeling = Labeling.uniform(protocol.topology, 0)
+        report = Simulator(protocol, (1, 0)).run(  # S = 1: force Q' side
+            labeling, SynchronousSchedule(2)
+        )
+        assert report.label_stable
+        assert report.outputs == (0, 1)
+
+    @pytest.mark.parametrize("n", [3, 5])
+    def test_ring_oscillator_has_no_stable_labeling(self, n):
+        protocol = ring_oscillator(n)
+        stables = stable_labelings(protocol, default_inputs(protocol))
+        assert stables == []
+
+    def test_ring_oscillator_oscillates(self):
+        protocol = ring_oscillator(3)
+        report = Simulator(protocol, default_inputs(protocol)).run(
+            Labeling.uniform(protocol.topology, 0),
+            SynchronousSchedule(3),
+            max_steps=100,
+        )
+        assert report.outcome is RunOutcome.OSCILLATING
+
+    def test_even_ring_oscillator_rejected(self):
+        with pytest.raises(ValidationError):
+            ring_oscillator(4)

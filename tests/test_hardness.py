@@ -1,0 +1,429 @@
+"""Tests for the Section 4 hardness constructions.
+
+Machine-verified dichotomies:
+* EQ gadget (Thm B.4, r=1): label 1-stabilizing iff x != y (exact model
+  check over all broadcast labelings);
+* EQ latch gadget (Thm B.4, general r): label r-stabilizing iff x != y;
+* DISJ gadget (Thm B.7): label r-stabilizing iff the sets are disjoint,
+  with Claim B.8's explicit oscillating schedule replayed for intersecting
+  inputs;
+* String-Oscillation reduction (Thm B.11): the stateful protocol is label
+  r-stabilizing iff the procedure halts from every string;
+* metanode compiler (Thm B.14): preserves (non-)stabilization.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    Labeling,
+    RandomRFairSchedule,
+    RoundRobinSchedule,
+    RunOutcome,
+    Simulator,
+    SynchronousSchedule,
+    default_inputs,
+    minimal_fairness,
+)
+from repro.exceptions import ValidationError
+from repro.hardness import (
+    HALT,
+    KNOWN_MAX_SNAKE_LENGTH,
+    SnakeOrientation,
+    abbott_katchalski_bounds,
+    always_halt,
+    disj_gadget_protocol,
+    disj_oscillating_schedule,
+    disj_snake_labeling,
+    eq_gadget_protocol,
+    eq_latch_gadget_protocol,
+    eq_latch_snake_labeling,
+    eq_snake_labeling,
+    expand_inputs,
+    expand_labeling,
+    find_snake,
+    halt_unless_all_b,
+    halt_when_uniform,
+    is_snake,
+    metanode_compile,
+    never_halt_rotate,
+    normalized_snake,
+    oscillating_start,
+    procedure_labeling,
+    run_procedure,
+    stateful_protocol_from_g,
+    toggle_forever,
+    translate_snake,
+)
+from repro.stabilization import broadcast_labelings, decide_label_r_stabilizing
+
+
+class TestSnake:
+    @pytest.mark.parametrize("d", [2, 3, 4])
+    def test_finds_known_maximum(self, d):
+        snake = find_snake(d)
+        assert is_snake(snake, d)
+        assert len(snake) == KNOWN_MAX_SNAKE_LENGTH[d]
+
+    def test_d5_best_effort_is_valid_and_long(self):
+        snake = find_snake(5)
+        assert is_snake(snake, 5)
+        assert len(snake) >= 10
+
+    def test_verifier_rejects_chords(self):
+        # 6-cycle with a chord: 0-1-3-2-6-4 has chord 0-2
+        assert not is_snake([0, 1, 3, 2, 6, 4], 3)
+
+    def test_verifier_rejects_non_adjacent_steps(self):
+        assert not is_snake([0, 3, 1, 2], 2)
+
+    def test_verifier_rejects_short_cycles(self):
+        assert not is_snake([0, 1], 2)
+
+    def test_translation_preserves_snakeness(self):
+        snake = find_snake(3)
+        for offset in range(8):
+            assert is_snake(translate_snake(snake, offset), 3)
+
+    @pytest.mark.parametrize("d", [3, 4, 5])
+    def test_normalized_snake_properties(self, d):
+        snake = normalized_snake(d)
+        assert is_snake(snake, d)
+        assert 0 not in set(snake)
+
+    def test_abbott_katchalski(self):
+        low, high = abbott_katchalski_bounds(10)
+        assert low == pytest.approx(0.3 * 1024)
+        assert high == 512
+        # known maxima respect the upper bound in its stated range (the
+        # theorem is for large d; it already holds from d = 4 on)
+        for d, length in KNOWN_MAX_SNAKE_LENGTH.items():
+            if d >= 4:
+                assert length <= 2 ** (d - 1)
+
+
+class TestSnakeOrientation:
+    def test_on_snake_moves_follow_cycle(self):
+        d = 3
+        snake = normalized_snake(d)
+        orientation = SnakeOrientation(snake, d)
+        # simultaneous application of phi to a snake vertex gives the successor
+        for k, vertex in enumerate(snake):
+            new = 0
+            for coord in range(d):
+                others = vertex & ~(1 << coord)
+                if orientation.phi(coord, others):
+                    new |= 1 << coord
+            assert new == snake[(k + 1) % len(snake)]
+
+    def test_rejects_snake_through_origin(self):
+        with pytest.raises(ValidationError):
+            SnakeOrientation([0, 1, 3, 2], 2)
+
+
+class TestEqGadget:
+    @pytest.mark.parametrize("n", [5, 6])
+    def test_equal_inputs_not_one_stabilizing(self, n):
+        snake = normalized_snake(n - 2)
+        x = tuple(k % 2 for k in range(len(snake)))
+        protocol = eq_gadget_protocol(n, x, x, snake)
+        verdict = decide_label_r_stabilizing(
+            protocol,
+            default_inputs(protocol),
+            1,
+            initial_labelings=broadcast_labelings(
+                protocol.topology, protocol.label_space
+            ),
+        )
+        assert not verdict.stabilizing
+
+    @pytest.mark.parametrize("n", [5, 6])
+    def test_unequal_inputs_one_stabilizing(self, n):
+        snake = normalized_snake(n - 2)
+        x = tuple(k % 2 for k in range(len(snake)))
+        y = tuple(1 - bit for bit in x)
+        protocol = eq_gadget_protocol(n, x, y, snake)
+        verdict = decide_label_r_stabilizing(
+            protocol,
+            default_inputs(protocol),
+            1,
+            initial_labelings=broadcast_labelings(
+                protocol.topology, protocol.label_space
+            ),
+        )
+        assert verdict.stabilizing
+
+    def test_equal_inputs_cycle_the_snake(self):
+        n = 6
+        snake = normalized_snake(n - 2)
+        x = tuple(k % 2 for k in range(len(snake)))
+        protocol = eq_gadget_protocol(n, x, x, snake)
+        simulator = Simulator(protocol, default_inputs(protocol))
+        report = simulator.run(
+            eq_snake_labeling(n, snake, 0, x[0]),
+            SynchronousSchedule(n),
+            max_steps=1000,
+        )
+        assert report.outcome is RunOutcome.OSCILLATING
+        assert report.cycle_length == len(snake)
+
+    def test_single_bit_difference_detected(self):
+        # x and y differing in ONE position must still stabilize.
+        n = 5
+        snake = normalized_snake(n - 2)
+        x = tuple(0 for _ in snake)
+        y = tuple(1 if k == 0 else 0 for k in range(len(snake)))
+        protocol = eq_gadget_protocol(n, x, y, snake)
+        verdict = decide_label_r_stabilizing(
+            protocol,
+            default_inputs(protocol),
+            1,
+            initial_labelings=broadcast_labelings(
+                protocol.topology, protocol.label_space
+            ),
+        )
+        assert verdict.stabilizing
+
+    def test_input_length_checked(self):
+        with pytest.raises(ValidationError):
+            eq_gadget_protocol(5, (0, 1), (0, 1))
+
+
+class TestEqLatchGadget:
+    def test_dichotomy_under_r_fair_model_check(self):
+        n, r = 7, 2
+        snake = normalized_snake(n - 4)
+        segments = (len(snake) + 3 * r - 1) // (3 * r)
+        equal = (1,) * segments
+        unequal = (0,) * segments
+        for y, expected in ((equal, False), (unequal, True)):
+            protocol = eq_latch_gadget_protocol(n, equal, y, r, snake)
+            verdict = decide_label_r_stabilizing(
+                protocol,
+                default_inputs(protocol),
+                r,
+                initial_labelings=broadcast_labelings(
+                    protocol.topology, protocol.label_space
+                ),
+                budget=900_000,
+            )
+            assert verdict.stabilizing == expected
+
+    def test_equal_inputs_oscillate_synchronously(self):
+        n, r = 7, 2
+        snake = normalized_snake(n - 4)
+        segments = (len(snake) + 3 * r - 1) // (3 * r)
+        x = (1,) * segments
+        protocol = eq_latch_gadget_protocol(n, x, x, r, snake)
+        simulator = Simulator(protocol, default_inputs(protocol))
+        report = simulator.run(
+            eq_latch_snake_labeling(n, snake, 0, 1),
+            SynchronousSchedule(n),
+            max_steps=1000,
+        )
+        assert report.outcome is RunOutcome.OSCILLATING
+
+    def test_latch_absorbs(self):
+        # Once (l2, l3) = (1, 1) the system must reach the frozen labeling.
+        n, r = 7, 2
+        snake = normalized_snake(n - 4)
+        segments = (len(snake) + 3 * r - 1) // (3 * r)
+        protocol = eq_latch_gadget_protocol(
+            n, (1,) * segments, (0,) * segments, r, snake
+        )
+        topology = protocol.topology
+        per_node = [1, 0, 1, 1, 0, 0, 0]
+        labeling = Labeling(
+            topology, tuple(per_node[u] for (u, _) in topology.edges)
+        )
+        report = Simulator(protocol, default_inputs(protocol)).run(
+            labeling, SynchronousSchedule(n)
+        )
+        assert report.label_stable
+        final = report.final.labeling
+        assert final[(2, 0)] == 1 and final[(3, 0)] == 1
+
+
+class TestDisjGadget:
+    def test_intersecting_sets_oscillate_via_claim_b8_schedule(self):
+        n = 5
+        snake = normalized_snake(n - 2)
+        q = 2
+        x = (1, 0)
+        y = (1, 1)  # intersection at element 0
+        protocol = disj_gadget_protocol(n, x, y, snake)
+        schedule = disj_oscillating_schedule(n, snake, q, element=0)
+        assert minimal_fairness(schedule, 300) <= 2 * q
+        report = Simulator(protocol, default_inputs(protocol)).run(
+            disj_snake_labeling(n, snake, 0), schedule, max_steps=3000
+        )
+        assert report.outcome is RunOutcome.OSCILLATING
+
+    def test_model_check_dichotomy(self):
+        n, q = 5, 2
+        r = 2 * q
+        snake = normalized_snake(n - 2)
+        cases = [
+            ((1, 0), (1, 0), False),  # intersect at 0
+            ((1, 1), (0, 1), False),  # intersect at 1
+            ((1, 0), (0, 1), True),  # disjoint
+            ((0, 0), (1, 1), True),  # disjoint (empty Alice)
+        ]
+        for x, y, expected in cases:
+            protocol = disj_gadget_protocol(n, x, y, snake)
+            verdict = decide_label_r_stabilizing(
+                protocol,
+                default_inputs(protocol),
+                r,
+                initial_labelings=broadcast_labelings(
+                    protocol.topology, protocol.label_space
+                ),
+                budget=900_000,
+            )
+            assert verdict.stabilizing == expected, (x, y)
+
+    def test_all_zero_labeling_is_stable(self):
+        n = 5
+        snake = normalized_snake(n - 2)
+        protocol = disj_gadget_protocol(n, (1, 0), (0, 1), snake)
+        from repro.stabilization import is_stable_labeling
+
+        labeling = Labeling.uniform(protocol.topology, 0)
+        assert is_stable_labeling(protocol, default_inputs(protocol), labeling)
+
+
+class TestStringOscillation:
+    def test_run_procedure_halts(self):
+        halted, steps = run_procedure(always_halt, ("a", "b"), 100)
+        assert halted and steps == 0
+
+    def test_decider_on_library(self):
+        cases = [
+            (always_halt, None),
+            (halt_when_uniform, None),
+            (never_halt_rotate, "any"),
+            (toggle_forever, "any"),
+            (halt_unless_all_b, ("b", "b")),
+        ]
+        for g, expected in cases:
+            witness = oscillating_start(g, ("a", "b"), 2)
+            if expected is None:
+                assert witness is None
+            elif expected == "any":
+                assert witness is not None
+            else:
+                assert witness == expected
+
+    def test_witness_really_oscillates(self):
+        witness = oscillating_start(halt_unless_all_b, ("a", "b"), 3)
+        halted, _ = run_procedure(halt_unless_all_b, witness, 10_000)
+        assert not halted
+
+
+class TestStatefulReduction:
+    @pytest.mark.parametrize(
+        "g,name",
+        [
+            (always_halt, "always_halt"),
+            (halt_when_uniform, "halt_when_uniform"),
+            (never_halt_rotate, "never_halt_rotate"),
+            (halt_unless_all_b, "halt_unless_all_b"),
+        ],
+    )
+    @pytest.mark.parametrize("r", [1, 2])
+    def test_equivalence_with_procedure(self, g, name, r):
+        alphabet = ("a", "b")
+        m = 2
+        witness = oscillating_start(g, alphabet, m)
+        protocol = stateful_protocol_from_g(g, alphabet, m)
+        verdict = decide_label_r_stabilizing(
+            protocol,
+            default_inputs(protocol),
+            r,
+            initial_labelings=broadcast_labelings(
+                protocol.topology, protocol.label_space
+            ),
+        )
+        assert verdict.stabilizing == (witness is None), name
+
+    def test_oscillation_witness_runs_forever(self):
+        g = halt_unless_all_b
+        protocol = stateful_protocol_from_g(g, ("a", "b"), 2)
+        labeling = procedure_labeling(protocol, g, ("b", "b"))
+        report = Simulator(protocol, default_inputs(protocol)).run(
+            labeling, RoundRobinSchedule(protocol.n), max_steps=3000
+        )
+        # labels never stabilize (the controller's position keeps cycling)
+        assert not report.label_stable
+        assert report.cycle_length is not None
+
+    def test_unique_stable_labeling_is_all_halt(self):
+        from repro.stabilization import stable_labelings
+
+        protocol = stateful_protocol_from_g(always_halt, ("a", "b"), 2)
+        stables = stable_labelings(
+            protocol,
+            default_inputs(protocol),
+            broadcast_labelings(protocol.topology, protocol.label_space),
+        )
+        assert len(stables) == 1
+        assert all(label[1] == HALT for label in stables[0].values)
+
+
+class TestMetanodeCompiler:
+    def test_oscillation_preserved(self):
+        g = never_halt_rotate
+        protocol = stateful_protocol_from_g(g, ("a", "b"), 2)
+        compiled = metanode_compile(protocol)
+        assert not compiled.is_stateful
+        assert compiled.n == 3 * protocol.n
+        labeling = expand_labeling(
+            protocol, procedure_labeling(protocol, g, ("a", "b"))
+        )
+        report = Simulator(compiled, expand_inputs(default_inputs(protocol))).run(
+            labeling, SynchronousSchedule(compiled.n), max_steps=3000
+        )
+        assert not report.label_stable
+
+    def test_stabilization_preserved(self):
+        protocol = stateful_protocol_from_g(always_halt, ("a", "b"), 2)
+        compiled = metanode_compile(protocol)
+        inputs = expand_inputs(default_inputs(protocol))
+        rng = random.Random(1)
+        for seed in range(3):
+            labeling = Labeling.random(
+                compiled.topology, compiled.label_space, rng
+            )
+            report = Simulator(compiled, inputs).run(
+                labeling,
+                RandomRFairSchedule(compiled.n, r=3, seed=seed),
+                max_steps=5000,
+            )
+            assert report.label_stable
+
+    def test_converges_to_all_omega(self):
+        from repro.hardness import OMEGA
+
+        g = always_halt
+        protocol = stateful_protocol_from_g(g, ("a", "b"), 2)
+        compiled = metanode_compile(protocol)
+        labeling = expand_labeling(
+            protocol, procedure_labeling(protocol, g, ("a", "b"))
+        )
+        report = Simulator(compiled, expand_inputs(default_inputs(protocol))).run(
+            labeling, SynchronousSchedule(compiled.n), max_steps=3000
+        )
+        assert report.label_stable
+        assert set(report.final.labeling.values) == {OMEGA}
+
+    def test_rejects_non_clique(self):
+        from repro.core import LambdaStatefulReaction, StatefulProtocol, binary
+        from repro.graphs import unidirectional_ring
+
+        topo = unidirectional_ring(3)
+        protocol = StatefulProtocol(
+            topo, binary(), [LambdaStatefulReaction(lambda i, o, x: ({}, 0))] * 3
+        )
+        with pytest.raises(ValidationError):
+            metanode_compile(protocol)

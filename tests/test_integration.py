@@ -1,0 +1,174 @@
+"""Cross-module integration tests: end-to-end chains through the library.
+
+These exercise multiple subsystems against each other:
+* circuit -> ring protocol -> unrolled circuit (Theorem 5.4 round trip);
+* TM -> configuration graph -> ring protocol -> diagonal simulation
+  (Theorem 5.2 round trip);
+* game -> protocol -> model checker -> witness -> engine replay;
+* substrates agreement: circuit vs BP vs TM on the same language.
+"""
+
+import random
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Labeling,
+    RunOutcome,
+    Simulator,
+    SynchronousSchedule,
+    default_inputs,
+    minimal_fairness,
+)
+from repro.dynamics import best_response_protocol, coordination_game
+from repro.graphs import clique
+from repro.power import (
+    bp_ring_protocol,
+    bp_ring_round_bound,
+    machine_ring_protocol,
+    machine_ring_round_bound,
+    simulate_unidirectional,
+    trivial_flood_protocol,
+    unroll_protocol,
+)
+from repro.stabilization import broadcast_labelings, decide_label_r_stabilizing
+from repro.substrates.branching_programs import majority_bp, parity_bp
+from repro.substrates.circuits import majority_circuit, parity_circuit
+from repro.substrates.turing import ConfigurationGraph, parity_machine
+
+
+def all_inputs(n):
+    return list(product((0, 1), repeat=n))
+
+
+class TestTheorem52RoundTrip:
+    """machine -> ring protocol -> single-label simulation -> same language."""
+
+    def test_parity_round_trip(self):
+        n = 4
+        graph = ConfigurationGraph(parity_machine(), n)
+        protocol = machine_ring_protocol(graph)
+        initial = next(iter(protocol.label_space))
+        steps = machine_ring_round_bound(graph) + 4 * n
+        for x in all_inputs(n):
+            direct = parity_machine().run(x)
+            engine = Simulator(protocol, x).run(
+                Labeling.uniform(protocol.topology, initial),
+                SynchronousSchedule(n),
+                max_steps=steps + 50,
+            )
+            diagonal = simulate_unidirectional(protocol, x, initial, steps)
+            assert direct == sum(x) % 2
+            assert set(engine.outputs) == {direct}
+            assert diagonal == direct
+
+
+class TestSubstrateAgreement:
+    """Three machine models computing the same functions must agree."""
+
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_parity_everywhere(self, n):
+        circuit = parity_circuit(n)
+        bp = parity_bp(n)
+        machine = parity_machine()
+        for x in all_inputs(n):
+            expected = sum(x) % 2
+            assert circuit.evaluate(x) == expected
+            assert bp.evaluate(x) == expected
+            assert machine.run(x) == expected
+
+    @pytest.mark.parametrize("n", [3, 5])
+    def test_majority_everywhere(self, n):
+        circuit = majority_circuit(n)
+        bp = majority_bp(n)
+        for x in all_inputs(n):
+            assert circuit.evaluate(x) == bp.evaluate(x)
+
+
+class TestBPRingVersusUnrolling:
+    """Run a BP on the ring, then unroll that very protocol into a circuit
+    and check the circuit agrees with the engine — two directions of
+    Theorems 5.2/5.4 composed.  Uses a tiny BP (x0 AND x2) so the unrolled
+    circuit stays small."""
+
+    @staticmethod
+    def _tiny_bp():
+        from repro.substrates.branching_programs import BPNode, BranchingProgram
+
+        # node 0 queries x0: 0 -> reject, 1 -> node 1; node 1 queries x2.
+        return BranchingProgram(
+            3, [BPNode(var=0, low=2, high=1), BPNode(var=2, low=2, high=3)]
+        )
+
+    def test_compose_midflight(self):
+        bp = self._tiny_bp()
+        protocol = bp_ring_protocol(bp)
+        n = 3
+        rounds = 10  # not necessarily converged: compare mid-flight outputs
+        circuit = unroll_protocol(protocol, rounds, node=1)
+        initial = Labeling.uniform(protocol.topology, next(iter(protocol.label_space)))
+        for x in all_inputs(n):
+            trace = Simulator(protocol, x).run_trace(
+                initial, SynchronousSchedule(n), rounds
+            )
+            engine_output = trace[rounds].outputs[1]
+            assert circuit.evaluate(x) == (1 if engine_output else 0)
+
+    def test_unrolled_converged_protocol_computes_bp(self):
+        bp = self._tiny_bp()
+        protocol = bp_ring_protocol(bp)
+        rounds = bp_ring_round_bound(bp) + 3
+        circuit = unroll_protocol(protocol, rounds, node=0)
+        for x in all_inputs(3):
+            assert circuit.evaluate(x) == bp.evaluate(x) == (x[0] & x[2])
+
+
+class TestGameToWitnessPipeline:
+    """game -> protocol -> model check -> witness -> engine replay."""
+
+    def test_coordination_game_witness_replay(self):
+        game = coordination_game(clique(3))
+        protocol = best_response_protocol(game)
+        inputs = default_inputs(protocol)
+        verdict = decide_label_r_stabilizing(
+            protocol,
+            inputs,
+            2,
+            initial_labelings=broadcast_labelings(
+                protocol.topology, protocol.label_space
+            ),
+        )
+        assert not verdict.stabilizing
+        witness = verdict.witness
+        schedule = witness.to_schedule(protocol.n)
+        assert minimal_fairness(schedule, 200) <= 2
+        report = Simulator(protocol, inputs).run(
+            witness.initial_labeling, schedule, max_steps=3000
+        )
+        assert report.outcome is RunOutcome.OSCILLATING
+
+
+class TestTrivialCircuitFloodIntegration:
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=10, deadline=None)
+    def test_flood_distributes_any_input_bit(self, seed):
+        from repro.substrates.circuits import CircuitBuilder
+
+        rng = random.Random(seed)
+        n = rng.randrange(2, 5)
+        target = rng.randrange(n)
+        builder = CircuitBuilder(n)
+        circuit = builder.build(builder.input(target))
+        protocol = trivial_flood_protocol(circuit)
+        n_ring = protocol.topology.n
+        x = [rng.randrange(2) for _ in range(n)]
+        padded = tuple(x + [0] * (n_ring - n))
+        report = Simulator(protocol, padded).run(
+            Labeling.random(protocol.topology, protocol.label_space, rng),
+            SynchronousSchedule(n_ring),
+        )
+        assert report.label_stable
+        assert set(report.outputs) == {x[target]}

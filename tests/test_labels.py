@@ -1,0 +1,135 @@
+"""Unit tests for label spaces."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.labels import (
+    BitStrings,
+    ExplicitLabelSpace,
+    IntegerRange,
+    ProductSpace,
+    binary,
+)
+from repro.exceptions import ValidationError
+
+
+class TestExplicitLabelSpace:
+    def test_size_and_iteration(self):
+        space = ExplicitLabelSpace(("a", "b", "c"))
+        assert space.size == 3
+        assert sorted(space) == ["a", "b", "c"]
+
+    def test_membership(self):
+        space = ExplicitLabelSpace((0, 1, 2))
+        assert 1 in space
+        assert 5 not in space
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            ExplicitLabelSpace(())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValidationError):
+            ExplicitLabelSpace((1, 1))
+
+    def test_unhashable_rejected(self):
+        with pytest.raises(ValidationError):
+            ExplicitLabelSpace(([1],))
+
+    def test_bit_length(self):
+        assert ExplicitLabelSpace(range(8)).bit_length == 3.0
+
+    def test_sample_is_member(self):
+        space = ExplicitLabelSpace(range(5))
+        rng = random.Random(0)
+        assert all(space.sample(rng) in space for _ in range(20))
+
+
+class TestBinary:
+    def test_binary_is_zero_one(self):
+        assert sorted(binary()) == [0, 1]
+        assert binary().bit_length == 1.0
+
+
+class TestBitStrings:
+    def test_size(self):
+        assert BitStrings(5).size == 32
+
+    def test_iteration_matches_size(self):
+        space = BitStrings(3)
+        values = list(space)
+        assert len(values) == 8
+        assert len(set(values)) == 8
+
+    def test_membership(self):
+        space = BitStrings(3)
+        assert (0, 1, 1) in space
+        assert (0, 1) not in space
+        assert (0, 1, 2) not in space
+        assert [0, 1, 1] not in space
+
+    def test_zero_length(self):
+        space = BitStrings(0)
+        assert space.size == 1
+        assert () in space
+
+    def test_sample_large_space_without_enumeration(self):
+        space = BitStrings(128)
+        rng = random.Random(7)
+        sample = space.sample(rng)
+        assert sample in space
+        assert space.bit_length == 128
+
+    @given(st.integers(min_value=1, max_value=10), st.integers())
+    def test_sample_always_member(self, k, seed):
+        space = BitStrings(k)
+        assert space.sample(random.Random(seed)) in space
+
+
+class TestIntegerRange:
+    def test_membership_excludes_bool(self):
+        space = IntegerRange(2)
+        assert 0 in space and 1 in space
+        assert True not in space
+        assert 2 not in space
+
+    def test_invalid_size(self):
+        with pytest.raises(ValidationError):
+            IntegerRange(0)
+
+    def test_iteration(self):
+        assert list(IntegerRange(4)) == [0, 1, 2, 3]
+
+
+class TestProductSpace:
+    def test_size_is_product(self):
+        space = ProductSpace((binary(), IntegerRange(3), BitStrings(2)))
+        assert space.size == 2 * 3 * 4
+
+    def test_membership_componentwise(self):
+        space = ProductSpace((binary(), IntegerRange(3)))
+        assert (1, 2) in space
+        assert (2, 2) not in space
+        assert (1,) not in space
+
+    def test_iteration_exhaustive(self):
+        space = ProductSpace((binary(), binary()))
+        assert sorted(space) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_sample(self):
+        space = ProductSpace((binary(), IntegerRange(10)))
+        rng = random.Random(1)
+        for _ in range(10):
+            assert space.sample(rng) in space
+
+    def test_empty_product_rejected(self):
+        with pytest.raises(ValidationError):
+            ProductSpace(())
+
+    def test_bit_length_additive(self):
+        space = ProductSpace((BitStrings(3), BitStrings(4)))
+        assert math.isclose(space.bit_length, 7.0)

@@ -1,0 +1,185 @@
+"""Soundness checks for the model checker itself.
+
+The library's exhaustive verdicts are only as good as the checker, so we
+test the checker against itself and against first principles:
+
+* **broadcast-space reduction soundness**: for protocols whose reactions
+  broadcast one label to all neighbors, restricting initial labelings to
+  broadcast labelings must not change the verdict (hypothesis-tested on
+  random broadcast protocols over K_3);
+* **monotonicity in r**: if a protocol is label r-stabilizing it is also
+  label r'-stabilizing for every r' < r (more schedules are allowed at
+  larger r);
+* **witness validity**: every negative verdict's witness must replay as a
+  genuine non-converging run under an r-fair schedule;
+* **Theorem 3.1 generality**: the OR-broadcast protocol has two stable
+  labelings on *any* topology, so it must fail (n-1)-stabilization on
+  rings, tori, hypercubes and stars alike.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    RunOutcome,
+    Simulator,
+    StatelessProtocol,
+    UniformReaction,
+    binary,
+    default_inputs,
+    minimal_fairness,
+)
+from repro.graphs import bidirectional_ring, clique, hypercube, star, torus
+from repro.stabilization import (
+    broadcast_labelings,
+    decide_label_r_stabilizing,
+    stable_labelings,
+)
+
+from tests.helpers import or_clique_protocol
+
+
+def random_broadcast_protocol(n: int, seed: int) -> StatelessProtocol:
+    """A random protocol on K_n where each node broadcasts one bit computed
+    from the multiset of incoming bits (a random monotone-free table)."""
+    rng = random.Random(seed)
+    topology = clique(n)
+
+    def make_reaction(i):
+        table = {k: rng.randrange(2) for k in range(n)}  # keyed by #ones seen
+
+        def react(incoming, _x):
+            ones = sum(incoming.values())
+            bit = table[ones]
+            return bit, bit
+
+        return UniformReaction(topology.out_edges(i), react)
+
+    return StatelessProtocol(
+        topology, binary(), [make_reaction(i) for i in range(n)], name=f"rand({seed})"
+    )
+
+
+class TestBroadcastReductionSoundness:
+    @given(st.integers(min_value=0, max_value=150), st.integers(min_value=1, max_value=2))
+    @settings(max_examples=25, deadline=None)
+    def test_full_and_broadcast_space_verdicts_agree(self, seed, r):
+        protocol = random_broadcast_protocol(3, seed)
+        inputs = default_inputs(protocol)
+        full = decide_label_r_stabilizing(protocol, inputs, r)
+        restricted = decide_label_r_stabilizing(
+            protocol,
+            inputs,
+            r,
+            initial_labelings=broadcast_labelings(
+                protocol.topology, protocol.label_space
+            ),
+        )
+        assert full.stabilizing == restricted.stabilizing
+
+
+class TestMonotonicityInR:
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_stabilizing_at_r_implies_stabilizing_below(self, seed):
+        protocol = random_broadcast_protocol(3, seed)
+        inputs = default_inputs(protocol)
+        verdicts = {
+            r: decide_label_r_stabilizing(
+                protocol,
+                inputs,
+                r,
+                initial_labelings=broadcast_labelings(
+                    protocol.topology, protocol.label_space
+                ),
+            ).stabilizing
+            for r in (1, 2, 3)
+        }
+        # non-stabilizing at small r implies non-stabilizing at larger r
+        if not verdicts[1]:
+            assert not verdicts[2] and not verdicts[3]
+        if not verdicts[2]:
+            assert not verdicts[3]
+
+
+class TestWitnessValidity:
+    @given(st.integers(min_value=0, max_value=150))
+    @settings(max_examples=20, deadline=None)
+    def test_every_negative_verdict_replays(self, seed):
+        protocol = random_broadcast_protocol(3, seed)
+        inputs = default_inputs(protocol)
+        verdict = decide_label_r_stabilizing(
+            protocol,
+            inputs,
+            2,
+            initial_labelings=broadcast_labelings(
+                protocol.topology, protocol.label_space
+            ),
+        )
+        if verdict.stabilizing:
+            return
+        witness = verdict.witness
+        schedule = witness.to_schedule(protocol.n)
+        assert minimal_fairness(schedule, 300) <= 2
+        report = Simulator(protocol, inputs).run(
+            witness.initial_labeling, schedule, max_steps=3000
+        )
+        # labels must keep changing forever (oscillating, or output-stable
+        # with a non-trivial label cycle)
+        assert report.outcome in (RunOutcome.OSCILLATING, RunOutcome.OUTPUT_STABLE)
+        assert not report.label_stable
+
+
+def or_broadcast_protocol(topology):
+    """The Example-1 reaction on an arbitrary topology."""
+
+    def bit(incoming, _x):
+        value = 0 if all(v == 0 for v in incoming.values()) else 1
+        return value, value
+
+    reactions = [
+        UniformReaction(topology.out_edges(i), bit) for i in range(topology.n)
+    ]
+    return StatelessProtocol(topology, binary(), reactions, name=f"or({topology.name})")
+
+
+class TestTheorem31AcrossTopologies:
+    """The impossibility is topology-independent; future-work item 3."""
+
+    @pytest.mark.parametrize(
+        "topology",
+        [
+            bidirectional_ring(4),
+            torus(2, 2),
+            hypercube(2),
+            star(4),
+        ],
+        ids=lambda t: t.name,
+    )
+    def test_two_stable_labelings_break_n_minus_1_everywhere(self, topology):
+        protocol = or_broadcast_protocol(topology)
+        inputs = default_inputs(protocol)
+        stables = stable_labelings(
+            protocol,
+            inputs,
+            broadcast_labelings(protocol.topology, protocol.label_space),
+        )
+        assert len(stables) >= 2
+        verdict = decide_label_r_stabilizing(
+            protocol,
+            inputs,
+            topology.n - 1,
+            initial_labelings=broadcast_labelings(
+                protocol.topology, protocol.label_space
+            ),
+        )
+        assert not verdict.stabilizing
+
+    def test_clique_case_matches_example1(self):
+        protocol = or_clique_protocol(clique(3))
+        inputs = default_inputs(protocol)
+        verdict = decide_label_r_stabilizing(protocol, inputs, 2)
+        assert not verdict.stabilizing

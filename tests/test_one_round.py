@@ -1,0 +1,126 @@
+"""Tests for the 1-round clique baseline and Lemma C.2(1) as a property.
+
+* Section 5, opening: any Boolean function computes on K_n with 1-bit labels
+  in one synchronous round — including equality, which needs *linear* labels
+  on the ring (the contrast the paper's Part II is about).
+* Lemma C.2(1): R_n <= n |Sigma| on the unidirectional ring holds for
+  *arbitrary* protocols — hypothesis-tested on random tabular protocols by
+  exhausting every initial labeling: each run either provably oscillates or
+  label-stabilizes within n |Sigma| rounds.
+"""
+
+import random
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Labeling,
+    RunOutcome,
+    Simulator,
+    StatelessProtocol,
+    SynchronousSchedule,
+    TabularReaction,
+    binary,
+)
+from repro.exceptions import ValidationError
+from repro.graphs import unidirectional_ring
+from repro.lowerbounds import equality_function, majority_function
+from repro.power.one_round import one_round_clique_protocol
+
+
+def all_inputs(n):
+    return list(product((0, 1), repeat=n))
+
+
+class TestOneRoundClique:
+    @pytest.mark.parametrize(
+        "f,name",
+        [
+            (equality_function, "equality"),
+            (majority_function, "majority"),
+            (lambda x: x[0] ^ x[-1], "xor-ends"),
+        ],
+    )
+    @pytest.mark.parametrize("n", [2, 4])
+    def test_computes_in_one_round(self, f, name, n):
+        protocol = one_round_clique_protocol(n, f)
+        assert protocol.label_complexity == 1.0
+        rng = random.Random(0)
+        for x in all_inputs(n):
+            labeling = Labeling.random(protocol.topology, protocol.label_space, rng)
+            report = Simulator(protocol, x).run(
+                labeling, SynchronousSchedule(n)
+            )
+            assert report.label_stable
+            assert all(y == f(x) & 1 for y in report.outputs)
+            # labels settle after the single broadcast round
+            assert report.label_rounds <= 1
+            # outputs settle one step later at worst (second activation sees
+            # the correct labels)
+            assert report.output_rounds <= 2
+
+    def test_contrast_with_ring_lower_bound(self):
+        # Equality: 1 bit suffices on the clique, but Corollary 6.3 proves
+        # (n-4)/8 bits are necessary on the ring — the paper's separation.
+        from repro.lowerbounds import equality_bound
+
+        n = 16
+        protocol = one_round_clique_protocol(n, equality_function)
+        assert protocol.label_complexity < equality_bound(n)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValidationError):
+            one_round_clique_protocol(1, lambda x: 0)
+
+
+def random_ring_protocol(n, sigma_size, seed):
+    rng = random.Random(seed)
+    topology = unidirectional_ring(n)
+    labels = tuple(range(sigma_size))
+    reactions = []
+    for i in range(n):
+        table = {}
+        for label in labels:
+            for x in (0, 1):
+                table[((label,), x)] = (
+                    (rng.randrange(sigma_size),),
+                    rng.randrange(2),
+                )
+        reactions.append(
+            TabularReaction(topology.in_edges(i), topology.out_edges(i), table)
+        )
+    from repro.core import ExplicitLabelSpace
+
+    return StatelessProtocol(
+        topology, ExplicitLabelSpace(labels), reactions, name=f"rand-ring({seed})"
+    )
+
+
+class TestLemmaC21Property:
+    @given(
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=300),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_convergence_within_n_sigma_or_oscillation(self, n, sigma_size, seed):
+        protocol = random_ring_protocol(n, sigma_size, seed)
+        bound = n * sigma_size
+        simulator = Simulator(protocol, (0,) * n)
+        for values in product(range(sigma_size), repeat=n):
+            labeling = Labeling(protocol.topology, values)
+            report = simulator.run(
+                labeling, SynchronousSchedule(n), max_steps=bound + n * sigma_size + 5
+            )
+            if report.outcome is RunOutcome.LABEL_STABLE:
+                assert report.label_rounds <= bound
+            else:
+                # non-stabilizing runs must be provable cycles, and even then
+                # the paper's claim is about output stabilization: if outputs
+                # stabilized, they did so within the bound
+                assert report.cycle_length is not None
+                if report.outcome is RunOutcome.OUTPUT_STABLE:
+                    assert report.output_rounds <= bound

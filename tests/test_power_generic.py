@@ -1,0 +1,162 @@
+"""Tests for Proposition 2.3 (generic protocol) and Lemma C.2 (unidirectional).
+
+These machine-verify:
+* L_n = n + 1 and R_n <= 2n for the generic protocol, on several topologies,
+  for random functions, from random initial labelings — including the
+  label-stabilization claim;
+* R_n = n(|Sigma|-1) exactly for the worst-case unidirectional protocol.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Labeling,
+    RandomRFairSchedule,
+    Simulator,
+    SynchronousSchedule,
+)
+from repro.graphs import (
+    bidirectional_ring,
+    clique,
+    random_strongly_connected,
+    star,
+    unidirectional_ring,
+)
+from repro.power import (
+    generic_protocol,
+    generic_round_bound,
+    worst_case_protocol,
+    worst_case_round_complexity,
+)
+from repro.power.generic_protocol import label_complexity
+
+
+def random_function(n, seed):
+    rng = random.Random(seed)
+    truth = {}
+
+    def f(bits):
+        key = tuple(bits)
+        if key not in truth:
+            truth[key] = rng.randrange(2)
+        return truth[key]
+
+    return f
+
+
+TOPOLOGY_FACTORIES = {
+    "uni-ring": unidirectional_ring,
+    "bi-ring": bidirectional_ring,
+    "clique": clique,
+    "star": star,
+}
+
+
+class TestGenericProtocol:
+    @pytest.mark.parametrize("family", sorted(TOPOLOGY_FACTORIES))
+    @pytest.mark.parametrize("n", [3, 5])
+    def test_computes_random_function(self, family, n):
+        topology = TOPOLOGY_FACTORIES[family](n)
+        f = random_function(n, seed=hash((family, n)) % 10_000)
+        protocol = generic_protocol(topology, f)
+        rng = random.Random(0)
+        for trial in range(4):
+            x = tuple(rng.randrange(2) for _ in range(n))
+            labeling = Labeling.random(topology, protocol.label_space, rng)
+            report = Simulator(protocol, x).run(labeling, SynchronousSchedule(n))
+            assert report.label_stable
+            assert all(y == f(x) for y in report.outputs)
+            assert report.label_rounds <= 2 * n
+
+    def test_label_complexity_is_n_plus_one(self):
+        n = 6
+        protocol = generic_protocol(unidirectional_ring(n), lambda bits: 0)
+        assert math.isclose(protocol.label_complexity, label_complexity(n))
+        assert label_complexity(n) == n + 1
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=20, deadline=None)
+    def test_random_graphs_random_functions(self, seed):
+        rng = random.Random(seed)
+        n = rng.randrange(3, 7)
+        topology = random_strongly_connected(n, rng.randrange(0, 5), seed=seed)
+        f = random_function(n, seed)
+        protocol = generic_protocol(topology, f)
+        x = tuple(rng.randrange(2) for _ in range(n))
+        labeling = Labeling.random(topology, protocol.label_space, rng)
+        report = Simulator(protocol, x).run(labeling, SynchronousSchedule(n))
+        assert report.label_stable
+        assert all(y == f(x) for y in report.outputs)
+        assert report.label_rounds <= generic_round_bound(n)
+
+    def test_converges_under_random_fair_schedules(self):
+        # Self-stabilization is not synchronous-only: r-fair schedules work
+        # too (each tree level still flushes after everyone activates).
+        n = 4
+        topology = clique(n)
+        f = lambda bits: (bits[0] ^ bits[3]) & 1  # noqa: E731
+        protocol = generic_protocol(topology, f)
+        rng = random.Random(7)
+        for seed in range(3):
+            x = tuple(rng.randrange(2) for _ in range(n))
+            labeling = Labeling.random(topology, protocol.label_space, rng)
+            schedule = RandomRFairSchedule(n, r=3, seed=seed)
+            report = Simulator(protocol, x).run(labeling, schedule, max_steps=5000)
+            assert report.label_stable
+            assert all(y == f(x) for y in report.outputs)
+
+    def test_stable_labeling_is_fixed_point(self):
+        from repro.stabilization import is_stable_labeling
+
+        n = 4
+        topology = unidirectional_ring(n)
+        f = lambda bits: bits[0] & 1  # noqa: E731
+        protocol = generic_protocol(topology, f)
+        x = (1, 0, 1, 1)
+        report = Simulator(protocol, x).run(
+            Labeling.uniform(topology, ((0,) * n, 0)), SynchronousSchedule(n)
+        )
+        assert report.label_stable
+        assert is_stable_labeling(protocol, x, report.final.labeling)
+
+
+class TestWorstCaseUnidirectional:
+    @pytest.mark.parametrize("n,q", [(3, 2), (3, 3), (4, 3), (5, 4), (6, 2)])
+    def test_exact_round_complexity_from_zero_labeling(self, n, q):
+        protocol = worst_case_protocol(n, q)
+        labeling = Labeling.uniform(protocol.topology, 0)
+        report = Simulator(protocol, (0,) * n).run(
+            labeling, SynchronousSchedule(n), max_steps=n * q + 10
+        )
+        assert report.label_stable
+        assert report.label_rounds == worst_case_round_complexity(n, q)
+
+    @pytest.mark.parametrize("n,q", [(3, 2), (4, 3), (5, 2)])
+    def test_all_initial_labelings_within_lemma_bound(self, n, q):
+        # Lemma C.2(1): R_n <= n |Sigma| over *all* initial labelings.
+        from itertools import product
+
+        protocol = worst_case_protocol(n, q)
+        worst = 0
+        for values in product(range(q), repeat=n):
+            labeling = Labeling(protocol.topology, values)
+            report = Simulator(protocol, (0,) * n).run(
+                labeling, SynchronousSchedule(n), max_steps=n * q + 10
+            )
+            assert report.label_stable
+            worst = max(worst, report.label_rounds)
+        assert worst <= n * q
+        assert worst == worst_case_round_complexity(n, q)
+
+    def test_outputs_all_one_at_convergence(self):
+        protocol = worst_case_protocol(4, 3)
+        labeling = Labeling.uniform(protocol.topology, 0)
+        report = Simulator(protocol, (0,) * 4).run(
+            labeling, SynchronousSchedule(4)
+        )
+        assert set(report.outputs) == {1}

@@ -1,0 +1,91 @@
+"""Unit tests for graph properties (radius, connectivity, degree)."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graphs import (
+    Topology,
+    all_pairs_distances,
+    bidirectional_ring,
+    clique,
+    diameter,
+    distances_from,
+    eccentricity,
+    hypercube,
+    is_strongly_connected,
+    max_degree,
+    radius,
+    star,
+    unidirectional_ring,
+)
+
+
+class TestDistances:
+    def test_distances_on_unidirectional_ring(self):
+        topo = unidirectional_ring(5)
+        assert distances_from(topo, 0) == [0, 1, 2, 3, 4]
+
+    def test_unreachable_marked(self):
+        topo = Topology(3, [(0, 1), (1, 0), (1, 2)])
+        dist = distances_from(topo, 2)
+        assert dist == [-1, -1, 0]
+
+    def test_all_pairs_shape(self):
+        topo = clique(4)
+        table = all_pairs_distances(topo)
+        assert len(table) == 4
+        assert all(table[i][i] == 0 for i in range(4))
+
+
+class TestConnectivity:
+    def test_ring_is_strongly_connected(self):
+        assert is_strongly_connected(unidirectional_ring(6))
+
+    def test_one_way_path_is_not(self):
+        topo = Topology(3, [(0, 1), (1, 2)])
+        assert not is_strongly_connected(topo)
+
+    def test_missing_backward_reachability_detected(self):
+        # Node 0 reaches everyone, but node 2 cannot reach node 0.
+        topo = Topology(3, [(0, 1), (1, 0), (0, 2)])
+        assert not is_strongly_connected(topo)
+
+
+class TestRadiusDiameter:
+    @pytest.mark.parametrize(
+        "n, expected_radius", [(3, 1), (5, 2), (7, 3), (8, 4)]
+    )
+    def test_bidirectional_ring_radius(self, n, expected_radius):
+        assert radius(bidirectional_ring(n)) == expected_radius
+
+    def test_unidirectional_ring_radius(self):
+        assert radius(unidirectional_ring(6)) == 5
+
+    def test_clique_radius(self):
+        assert radius(clique(5)) == 1
+        assert diameter(clique(5)) == 1
+
+    def test_star_diameter(self):
+        assert radius(star(6)) == 1
+        assert diameter(star(6)) == 2
+
+    def test_hypercube_diameter_is_dimension(self):
+        assert diameter(hypercube(4)) == 4
+
+    def test_eccentricity_requires_reachability(self):
+        topo = Topology(3, [(0, 1), (1, 2)])
+        # node 2 reaches nothing else, so its eccentricity is undefined
+        with pytest.raises(ValidationError):
+            eccentricity(topo, 2)
+
+
+class TestMaxDegree:
+    def test_ring_degree(self):
+        assert max_degree(bidirectional_ring(9)) == 2
+        assert max_degree(unidirectional_ring(9)) == 1
+
+    def test_clique_degree(self):
+        assert max_degree(clique(6)) == 5
+
+    def test_star_degree(self):
+        assert max_degree(star(7)) == 6

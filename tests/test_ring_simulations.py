@@ -1,0 +1,346 @@
+"""Tests for the ring-simulation constructions of Theorems 5.2 and 5.4.
+
+* TM-on-ring and BP-on-ring protocols output-stabilize to M(x)/BP(x) from
+  random initial labelings (self-stabilization included);
+* the logspace-style diagonal simulator agrees with the full engine;
+* the circuit-on-ring compiler computes C(x) for standard and random
+  circuits; the protocol-to-circuit unroller inverts the direction.
+"""
+
+import random
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import settled_outputs
+from repro.core import Labeling, Simulator, SynchronousSchedule
+from repro.exceptions import ValidationError
+from repro.power import (
+    RingCircuitLayout,
+    bp_ring_protocol,
+    bp_ring_round_bound,
+    circuit_ring_protocol,
+    machine_ring_protocol,
+    machine_ring_round_bound,
+    ring_inputs,
+    simulate_unidirectional,
+    trivial_flood_protocol,
+    unroll_protocol,
+    worst_case_protocol,
+)
+from repro.substrates.branching_programs import (
+    equality_bp,
+    majority_bp,
+    parity_bp,
+    random_bp,
+)
+from repro.substrates.circuits import (
+    CircuitBuilder,
+    and_circuit,
+    equality_circuit,
+    majority_circuit,
+    parity_circuit,
+    random_circuit,
+)
+from repro.substrates.turing import (
+    ConfigurationGraph,
+    advice_equality_machine,
+    contains_one_machine,
+    first_equals_last_machine,
+    parity_machine,
+)
+
+
+def all_inputs(n):
+    return list(product((0, 1), repeat=n))
+
+
+class TestMachineOnRing:
+    @pytest.mark.parametrize(
+        "machine_factory,reference",
+        [
+            (parity_machine, lambda x: sum(x) % 2),
+            (contains_one_machine, lambda x: int(any(x))),
+            (first_equals_last_machine, lambda x: int(x[0] == x[-1])),
+        ],
+    )
+    def test_computes_machine_language(self, machine_factory, reference):
+        machine = machine_factory()
+        n = 3
+        graph = ConfigurationGraph(machine, n)
+        protocol = machine_ring_protocol(graph)
+        bound = machine_ring_round_bound(graph)
+        rng = random.Random(0)
+        for x in all_inputs(n):
+            labeling = Labeling.random(protocol.topology, protocol.label_space, rng)
+            report = Simulator(protocol, x).run(
+                labeling, SynchronousSchedule(n), max_steps=bound + 200
+            )
+            assert report.output_stable
+            assert set(report.outputs) == {reference(x)}
+            assert report.output_rounds <= bound
+
+    def test_advice_machine_on_ring(self):
+        machine = advice_equality_machine()
+        n = 3
+        advice = "101"
+        graph = ConfigurationGraph(machine, n, advice=advice)
+        protocol = machine_ring_protocol(graph)
+        rng = random.Random(1)
+        for x in all_inputs(n):
+            labeling = Labeling.random(protocol.topology, protocol.label_space, rng)
+            report = Simulator(protocol, x).run(
+                labeling,
+                SynchronousSchedule(n),
+                max_steps=machine_ring_round_bound(graph) + 200,
+            )
+            expected = int("".join(map(str, x)) == advice)
+            assert set(report.outputs) == {expected}
+
+    def test_logarithmic_label_complexity(self):
+        import math
+
+        machine = parity_machine()
+        for n in (3, 5, 7):
+            graph = ConfigurationGraph(machine, n)
+            protocol = machine_ring_protocol(graph)
+            # |Sigma| = |Z| * 2 * (|Z|+1) * 2 with |Z| = O(n): L_n = O(log n)
+            assert protocol.label_complexity <= 2 * math.log2(graph.size) + 4
+
+
+class TestBPOnRing:
+    @pytest.mark.parametrize(
+        "bp_factory,n,reference",
+        [
+            (parity_bp, 4, lambda x: sum(x) % 2),
+            (majority_bp, 3, lambda x: int(sum(x) >= 1.5)),
+            (equality_bp, 4, lambda x: int(x[:2] == x[2:])),
+        ],
+    )
+    def test_computes_bp_function(self, bp_factory, n, reference):
+        bp = bp_factory(n)
+        protocol = bp_ring_protocol(bp)
+        bound = bp_ring_round_bound(bp)
+        rng = random.Random(2)
+        for x in all_inputs(n):
+            labeling = Labeling.random(protocol.topology, protocol.label_space, rng)
+            report = Simulator(protocol, x).run(
+                labeling, SynchronousSchedule(n), max_steps=bound + 200
+            )
+            assert report.output_stable
+            assert set(report.outputs) == {reference(x)}
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=15, deadline=None)
+    def test_random_bps_differentially(self, seed):
+        rng = random.Random(seed)
+        n = rng.randrange(2, 5)
+        bp = random_bp(n, rng.randrange(1, 8), seed=seed)
+        protocol = bp_ring_protocol(bp)
+        bound = bp_ring_round_bound(bp)
+        x = tuple(rng.randrange(2) for _ in range(n))
+        labeling = Labeling.random(protocol.topology, protocol.label_space, rng)
+        report = Simulator(protocol, x).run(
+            labeling, SynchronousSchedule(n), max_steps=bound + 200
+        )
+        assert set(report.outputs) == {bp.evaluate(x)}
+
+
+class TestDiagonalSimulation:
+    def test_agrees_with_engine_on_machines(self):
+        machine = parity_machine()
+        n = 4
+        graph = ConfigurationGraph(machine, n)
+        protocol = machine_ring_protocol(graph)
+        initial = next(iter(protocol.label_space))
+        steps = machine_ring_round_bound(graph) + 4 * n
+        for x in all_inputs(n):
+            assert simulate_unidirectional(protocol, x, initial, steps) == sum(x) % 2
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=15, deadline=None)
+    def test_diagonal_identity_on_random_bps(self, seed):
+        """The diagonal label sequence equals the engine's run from the
+        uniform labeling: l_t = label of edge (t mod n, t+1 mod n) at time t."""
+        from repro.power import diagonal_labels
+
+        rng = random.Random(seed)
+        n = rng.randrange(2, 5)
+        bp = random_bp(n, rng.randrange(1, 6), seed=seed)
+        protocol = bp_ring_protocol(bp)
+        initial = next(iter(protocol.label_space))
+        x = tuple(rng.randrange(2) for _ in range(n))
+        steps = 3 * n
+        diagonal = diagonal_labels(protocol, x, initial, steps)
+        trace = Simulator(protocol, x).run_trace(
+            Labeling.uniform(protocol.topology, initial),
+            SynchronousSchedule(n),
+            steps,
+        )
+        for t in range(1, steps + 1):
+            j = (t - 1) % n
+            edge = (j, (j + 1) % n)
+            assert diagonal[t - 1] == trace[t].labeling[edge]
+
+    def test_rejects_non_ring(self):
+        from repro.graphs import clique
+        from tests.helpers import or_clique_protocol
+
+        protocol = or_clique_protocol(clique(3))
+        with pytest.raises(ValidationError):
+            simulate_unidirectional(protocol, (0, 0, 0), 0)
+
+
+class TestCircuitOnRing:
+    @pytest.mark.parametrize(
+        "circuit_factory,n",
+        [(and_circuit, 2), (parity_circuit, 3), (majority_circuit, 3)],
+    )
+    def test_standard_circuits_exhaustively(self, circuit_factory, n):
+        circuit = circuit_factory(n)
+        layout = RingCircuitLayout(circuit)
+        protocol = circuit_ring_protocol(circuit)
+        rng = random.Random(3)
+        settle = layout.round_bound()
+        for x in all_inputs(n):
+            labeling = Labeling.random(protocol.topology, protocol.label_space, rng)
+            outputs = settled_outputs(
+                protocol,
+                ring_inputs(layout, x),
+                labeling,
+                settle=settle,
+                window=2 * layout.modulus,
+            )
+            assert set(outputs) == {circuit.evaluate(x)}
+
+    def test_equality_circuit_on_ring(self):
+        circuit = equality_circuit(4)
+        layout = RingCircuitLayout(circuit)
+        protocol = circuit_ring_protocol(circuit)
+        rng = random.Random(4)
+        for x in ((0, 1, 0, 1), (1, 0, 0, 1), (1, 1, 1, 1), (0, 0, 1, 0)):
+            labeling = Labeling.random(protocol.topology, protocol.label_space, rng)
+            outputs = settled_outputs(
+                protocol,
+                ring_inputs(layout, x),
+                labeling,
+                settle=layout.round_bound(),
+                window=layout.modulus,
+            )
+            assert set(outputs) == {circuit.evaluate(x)}
+
+    @given(st.integers(min_value=0, max_value=400))
+    @settings(max_examples=10, deadline=None)
+    def test_random_circuits_differentially(self, seed):
+        rng = random.Random(seed)
+        n = rng.randrange(2, 4)
+        circuit = random_circuit(n, rng.randrange(1, 5), seed=seed)
+        layout_gates = [g for g in circuit.gates if g.op not in ("INPUT", "CONST")]
+        if not layout_gates or circuit.gates[circuit.output].op in ("INPUT", "CONST"):
+            return  # trivial circuit: covered by the flood tests
+        layout = RingCircuitLayout(circuit)
+        protocol = circuit_ring_protocol(circuit)
+        x = tuple(rng.randrange(2) for _ in range(n))
+        labeling = Labeling.random(protocol.topology, protocol.label_space, rng)
+        outputs = settled_outputs(
+            protocol,
+            ring_inputs(layout, x),
+            labeling,
+            settle=layout.round_bound(),
+            window=layout.modulus,
+        )
+        assert set(outputs) == {circuit.evaluate(x)}
+
+    def test_label_complexity_logarithmic(self):
+        import math
+
+        circuit = majority_circuit(3)
+        layout = RingCircuitLayout(circuit)
+        protocol = circuit_ring_protocol(circuit)
+        assert protocol.label_complexity <= 2 * math.log2(layout.modulus) + 6
+
+    def test_trivial_input_circuit(self):
+        builder = CircuitBuilder(2)
+        circuit = builder.build(builder.input(1))
+        protocol = trivial_flood_protocol(circuit)
+        rng = random.Random(5)
+        n_ring = protocol.topology.n
+        for x in all_inputs(2):
+            labeling = Labeling.random(protocol.topology, protocol.label_space, rng)
+            padded = tuple(list(x) + [0] * (n_ring - 2))
+            report = Simulator(protocol, padded).run(
+                labeling, SynchronousSchedule(n_ring)
+            )
+            assert report.label_stable
+            assert set(report.outputs) == {x[1]}
+
+    def test_trivial_const_circuit(self):
+        builder = CircuitBuilder(1)
+        circuit = builder.build(builder.const(1))
+        protocol = trivial_flood_protocol(circuit)
+        labeling = Labeling.uniform(protocol.topology, 0)
+        report = Simulator(protocol, (0,) * protocol.topology.n).run(
+            labeling, SynchronousSchedule(protocol.topology.n)
+        )
+        assert set(report.outputs) == {1}
+
+    def test_nontrivial_circuit_rejected_by_flood(self):
+        with pytest.raises(ValidationError):
+            trivial_flood_protocol(and_circuit(2))
+
+    def test_trivial_circuit_rejected_by_compiler(self):
+        builder = CircuitBuilder(1)
+        circuit = builder.build(builder.input(0))
+        with pytest.raises(ValidationError):
+            RingCircuitLayout(circuit)
+
+
+class TestUnrollProtocol:
+    def test_unrolls_worst_case_protocol(self):
+        n, q = 3, 2
+        protocol = worst_case_protocol(n, q)
+        rounds = n * q + 2
+        circuit = unroll_protocol(protocol, rounds, node=1)
+        # the worst-case protocol ignores inputs; from the all-zero labeling
+        # node 1 outputs 1 after convergence
+        initial = Labeling.uniform(protocol.topology, 0)
+        circuit0 = unroll_protocol(protocol, rounds, node=1, initial_labeling=initial)
+        for x in all_inputs(n):
+            assert circuit0.evaluate(x) == 1
+        del circuit
+
+    @given(st.integers(min_value=0, max_value=400))
+    @settings(max_examples=10, deadline=None)
+    def test_matches_engine_on_random_protocols(self, seed):
+        from repro.core import StatelessProtocol, TabularReaction, binary
+        from repro.graphs import unidirectional_ring
+
+        rng = random.Random(seed)
+        n = 3
+        topology = unidirectional_ring(n)
+        reactions = []
+        for i in range(n):
+            table = {}
+            for lbl in (0, 1):
+                for x in (0, 1):
+                    table[((lbl,), x)] = ((rng.randrange(2),), rng.randrange(2))
+            reactions.append(
+                TabularReaction(topology.in_edges(i), topology.out_edges(i), table)
+            )
+        protocol = StatelessProtocol(topology, binary(), reactions)
+        rounds = rng.randrange(1, 7)
+        node = rng.randrange(n)
+        circuit = unroll_protocol(protocol, rounds, node=node)
+        initial = Labeling.uniform(topology, 0)
+        for x in all_inputs(n):
+            trace = Simulator(protocol, x).run_trace(
+                initial, SynchronousSchedule(n), rounds
+            )
+            assert circuit.evaluate(x) == trace[rounds].outputs[node]
+
+    def test_rejects_zero_rounds(self):
+        protocol = worst_case_protocol(3, 2)
+        with pytest.raises(ValidationError):
+            unroll_protocol(protocol, 0)

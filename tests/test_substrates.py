@@ -1,0 +1,242 @@
+"""Tests for the circuit, branching-program, and Turing-machine substrates."""
+
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.substrates.branching_programs import (
+    BPNode,
+    BranchingProgram,
+    equality_bp,
+    from_function as bp_from_function,
+    majority_bp,
+    parity_bp,
+    random_bp,
+    threshold_bp,
+)
+from repro.substrates.circuits import (
+    Circuit,
+    CircuitBuilder,
+    Gate,
+    and_circuit,
+    equality_circuit,
+    from_function as circuit_from_function,
+    majority_circuit,
+    or_circuit,
+    parity_circuit,
+    random_circuit,
+    threshold_circuit,
+)
+from repro.substrates.turing import (
+    ConfigurationGraph,
+    advice_equality_machine,
+    contains_one_machine,
+    first_equals_last_machine,
+    mod_machine,
+    parity_machine,
+)
+
+
+def all_inputs(n):
+    return list(product((0, 1), repeat=n))
+
+
+class TestCircuitModel:
+    def test_gate_validation(self):
+        with pytest.raises(ValidationError):
+            Gate("NAND", (0, 1))
+        with pytest.raises(ValidationError):
+            Gate("NOT", (0, 1))
+
+    def test_topological_order_enforced(self):
+        with pytest.raises(ValidationError):
+            Circuit(1, [Gate("NOT", (0,))], output=0)  # self-reference
+
+    def test_const_and_input(self):
+        builder = CircuitBuilder(2)
+        out = builder.and_(builder.input(0), builder.const(1))
+        circuit = builder.build(out)
+        assert circuit.evaluate((1, 0)) == 1
+        assert circuit.evaluate((0, 0)) == 0
+
+    def test_depth(self):
+        circuit = parity_circuit(4)
+        assert circuit.depth() == 3
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5])
+    def test_parity(self, n):
+        circuit = parity_circuit(n)
+        for x in all_inputs(n):
+            assert circuit.evaluate(x) == sum(x) % 2
+
+    @pytest.mark.parametrize("n", [1, 3, 4, 6])
+    def test_majority_matches_paper_definition(self, n):
+        circuit = majority_circuit(n)
+        for x in all_inputs(n):
+            assert circuit.evaluate(x) == (1 if sum(x) >= n / 2 else 0)
+
+    @pytest.mark.parametrize("n,k", [(4, 0), (4, 2), (4, 5), (5, 3)])
+    def test_threshold(self, n, k):
+        circuit = threshold_circuit(n, k)
+        for x in all_inputs(n):
+            assert circuit.evaluate(x) == (1 if sum(x) >= k else 0)
+
+    @pytest.mark.parametrize("n", [2, 4, 6])
+    def test_equality_even(self, n):
+        circuit = equality_circuit(n)
+        half = n // 2
+        for x in all_inputs(n):
+            expected = 1 if x[:half] == x[half:] else 0
+            assert circuit.evaluate(x) == expected
+
+    def test_equality_odd_is_constant_zero(self):
+        circuit = equality_circuit(3)
+        assert all(circuit.evaluate(x) == 0 for x in all_inputs(3))
+
+    def test_and_or(self):
+        assert and_circuit(3).evaluate((1, 1, 1)) == 1
+        assert and_circuit(3).evaluate((1, 0, 1)) == 0
+        assert or_circuit(3).evaluate((0, 0, 0)) == 0
+        assert or_circuit(3).evaluate((0, 1, 0)) == 1
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_from_function_roundtrip(self, seed):
+        import random as random_module
+
+        rng = random_module.Random(seed)
+        n = rng.randrange(1, 5)
+        truth = {x: rng.randrange(2) for x in all_inputs(n)}
+        circuit = circuit_from_function(lambda *bits: truth[bits], n)
+        for x in all_inputs(n):
+            assert circuit.evaluate(x) == truth[x]
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_random_circuit_total(self, seed):
+        circuit = random_circuit(3, 10, seed=seed)
+        for x in all_inputs(3):
+            assert circuit.evaluate(x) in (0, 1)
+
+    def test_table_builder(self):
+        builder = CircuitBuilder(2)
+        wires = [builder.input(0), builder.input(1)]
+        out = builder.table(wires, lambda a, b: a ^ b)
+        circuit = builder.build(out)
+        for x in all_inputs(2):
+            assert circuit.evaluate(x) == x[0] ^ x[1]
+
+
+class TestBranchingPrograms:
+    def test_node_validation(self):
+        with pytest.raises(ValidationError):
+            BranchingProgram(1, [BPNode(var=0, low=0, high=1)])  # self loop
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 5])
+    def test_parity(self, n):
+        bp = parity_bp(n)
+        for x in all_inputs(n):
+            assert bp.evaluate(x) == sum(x) % 2
+
+    @pytest.mark.parametrize("n", [1, 3, 4, 6])
+    def test_majority(self, n):
+        bp = majority_bp(n)
+        for x in all_inputs(n):
+            assert bp.evaluate(x) == (1 if sum(x) >= n / 2 else 0)
+
+    @pytest.mark.parametrize("n,k", [(3, 0), (3, 2), (3, 4)])
+    def test_threshold(self, n, k):
+        bp = threshold_bp(n, k)
+        for x in all_inputs(n):
+            assert bp.evaluate(x) == (1 if sum(x) >= k else 0)
+
+    @pytest.mark.parametrize("n", [2, 4, 6])
+    def test_equality(self, n):
+        bp = equality_bp(n)
+        half = n // 2
+        for x in all_inputs(n):
+            assert bp.evaluate(x) == (1 if x[:half] == x[half:] else 0)
+
+    def test_equality_odd(self):
+        bp = equality_bp(3)
+        assert all(bp.evaluate(x) == 0 for x in all_inputs(3))
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_from_function_roundtrip(self, seed):
+        import random as random_module
+
+        rng = random_module.Random(seed)
+        n = rng.randrange(1, 5)
+        truth = {x: rng.randrange(2) for x in all_inputs(n)}
+        bp = bp_from_function(lambda *bits: truth[bits], n)
+        for x in all_inputs(n):
+            assert bp.evaluate(x) == truth[x]
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_random_bp_total(self, seed):
+        bp = random_bp(4, 12, seed=seed)
+        for x in all_inputs(4):
+            assert bp.evaluate(x) in (0, 1)
+
+    def test_bp_and_circuit_agree_on_standard_functions(self):
+        for n in (2, 4):
+            for x in all_inputs(n):
+                assert majority_bp(n).evaluate(x) == majority_circuit(n).evaluate(x)
+                assert parity_bp(n).evaluate(x) == parity_circuit(n).evaluate(x)
+                assert equality_bp(n).evaluate(x) == equality_circuit(n).evaluate(x)
+
+
+class TestTuringMachines:
+    @pytest.mark.parametrize("n", [1, 2, 4, 6])
+    def test_parity_machine(self, n):
+        machine = parity_machine()
+        for x in all_inputs(n):
+            assert machine.run(x) == sum(x) % 2
+
+    @pytest.mark.parametrize("modulus", [2, 3, 4])
+    def test_mod_machine(self, modulus):
+        machine = mod_machine(modulus, accept_residues=(0,))
+        for x in all_inputs(5):
+            assert machine.run(x) == (1 if sum(x) % modulus == 0 else 0)
+
+    def test_contains_one(self):
+        machine = contains_one_machine()
+        for x in all_inputs(4):
+            assert machine.run(x) == (1 if any(x) else 0)
+
+    def test_first_equals_last(self):
+        machine = first_equals_last_machine()
+        for n in (1, 2, 5):
+            for x in all_inputs(n):
+                assert machine.run(x) == (1 if x[0] == x[-1] else 0)
+
+    def test_advice_equality(self):
+        machine = advice_equality_machine()
+        for x in all_inputs(3):
+            advice = "101"
+            expected = 1 if "".join(map(str, x)) == advice else 0
+            assert machine.run(x, advice=advice) == expected
+
+    def test_configuration_graph_size(self):
+        machine = parity_machine()
+        graph = ConfigurationGraph(machine, n=5)
+        # |Z| = |Q| * |Gamma|^s * s * n * advice_positions
+        assert graph.size == 4 * 1 * 1 * 5 * 1
+
+    def test_halting_configs_self_loop(self):
+        machine = contains_one_machine()
+        graph = ConfigurationGraph(machine, n=3)
+        halted = ("accept", ("#",), 0, 1, 0)
+        assert graph.pi(halted, 0) == halted
+        assert graph.pi(halted, 1) == halted
+
+    def test_accepting_predicate(self):
+        machine = contains_one_machine()
+        graph = ConfigurationGraph(machine, n=2)
+        assert graph.accepting(("accept", ("#",), 0, 0, 0))
+        assert not graph.accepting(("scan", ("#",), 0, 0, 0))

@@ -1,0 +1,135 @@
+"""Unit tests for Topology and the standard graph families."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.graphs import (
+    Topology,
+    bidirectional_ring,
+    binary_tree,
+    clique,
+    hypercube,
+    path,
+    random_strongly_connected,
+    star,
+    torus,
+    unidirectional_ring,
+)
+
+
+class TestTopology:
+    def test_basic_structure(self):
+        topo = Topology(3, [(0, 1), (1, 2), (2, 0)])
+        assert topo.n == 3
+        assert topo.m == 3
+        assert topo.out_edges(0) == ((0, 1),)
+        assert topo.in_edges(0) == ((2, 0),)
+        assert topo.out_neighbors(1) == (2,)
+        assert topo.in_neighbors(1) == (0,)
+
+    def test_edge_position_is_canonical(self):
+        topo = Topology(3, [(0, 1), (1, 2), (2, 0)])
+        for k, edge in enumerate(topo.edges):
+            assert topo.edge_position(edge) == k
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValidationError):
+            Topology(2, [(0, 0)])
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(ValidationError):
+            Topology(2, [(0, 1), (0, 1)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            Topology(2, [(0, 2)])
+
+    def test_unknown_edge_position_raises(self):
+        topo = Topology(2, [(0, 1)])
+        with pytest.raises(ValidationError):
+            topo.edge_position((1, 0))
+
+    def test_equality_ignores_edge_order(self):
+        a = Topology(3, [(0, 1), (1, 2), (2, 0)])
+        b = Topology(3, [(2, 0), (0, 1), (1, 2)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestStandardFamilies:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_unidirectional_ring(self, n):
+        topo = unidirectional_ring(n)
+        assert topo.m == n
+        for i in range(n):
+            assert topo.out_neighbors(i) == ((i + 1) % n,)
+            assert topo.in_neighbors(i) == ((i - 1) % n,)
+
+    @pytest.mark.parametrize("n", [3, 4, 7])
+    def test_bidirectional_ring(self, n):
+        topo = bidirectional_ring(n)
+        assert topo.m == 2 * n
+        for i in range(n):
+            assert set(topo.out_neighbors(i)) == {(i + 1) % n, (i - 1) % n}
+            assert set(topo.in_neighbors(i)) == {(i + 1) % n, (i - 1) % n}
+
+    def test_bidirectional_ring_of_two(self):
+        topo = bidirectional_ring(2)
+        assert topo.m == 2
+        assert topo.has_edge(0, 1) and topo.has_edge(1, 0)
+
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_clique(self, n):
+        topo = clique(n)
+        assert topo.m == n * (n - 1)
+        for i in range(n):
+            assert topo.in_degree(i) == n - 1
+            assert topo.out_degree(i) == n - 1
+
+    def test_star(self):
+        topo = star(5)
+        assert topo.out_degree(0) == 4
+        assert all(topo.out_degree(i) == 1 for i in range(1, 5))
+
+    def test_path(self):
+        topo = path(4)
+        assert topo.m == 6
+        assert topo.out_neighbors(0) == (1,)
+        assert set(topo.out_neighbors(1)) == {0, 2}
+
+    @pytest.mark.parametrize("d", [1, 2, 3, 4])
+    def test_hypercube(self, d):
+        topo = hypercube(d)
+        assert topo.n == 2**d
+        assert topo.m == d * 2**d
+        for u in range(topo.n):
+            for v in topo.out_neighbors(u):
+                assert bin(u ^ v).count("1") == 1
+
+    def test_torus(self):
+        topo = torus(3, 4)
+        assert topo.n == 12
+        for i in range(12):
+            assert topo.out_degree(i) == 4
+
+    def test_binary_tree(self):
+        topo = binary_tree(2)
+        assert topo.n == 7
+        assert set(topo.out_neighbors(0)) == {1, 2}
+
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=0, max_value=10))
+    def test_random_strongly_connected_is_strongly_connected(self, n, extra):
+        from repro.graphs import is_strongly_connected
+
+        topo = random_strongly_connected(n, extra, seed=extra * 37 + n)
+        assert is_strongly_connected(topo)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValidationError):
+            unidirectional_ring(1)
+        with pytest.raises(ValidationError):
+            clique(1)
+        with pytest.raises(ValidationError):
+            torus(1, 5)
