@@ -7,33 +7,39 @@ bound.
 
 import random
 
-from repro.analysis import print_table
-from repro.core import Labeling, Simulator, SynchronousSchedule
+from repro.analysis import SweepCase, print_table, run_sweep
+from repro.core import Labeling, SynchronousSchedule
 from repro.graphs import bidirectional_ring, clique, random_strongly_connected, unidirectional_ring
 from repro.power import generic_protocol, generic_round_bound
 from repro.power.generic_protocol import label_complexity
 
 
 def _measure(topology, trials=5, seed=0):
-    rng = random.Random(seed)
+    case_rng = random.Random(seed)
+    truth_rng = random.Random(seed + 1)
     truth = {}
 
     def f(bits):
         key = tuple(bits)
         if key not in truth:
-            truth[key] = rng.randrange(2)
+            truth[key] = truth_rng.randrange(2)
         return truth[key]
 
     protocol = generic_protocol(topology, f)
-    worst = 0
-    for _ in range(trials):
-        x = tuple(rng.randrange(2) for _ in range(topology.n))
-        labeling = Labeling.random(topology, protocol.label_space, rng)
-        report = Simulator(protocol, x).run(labeling, SynchronousSchedule(topology.n))
-        assert report.label_stable
-        assert all(y == f(x) for y in report.outputs)
-        worst = max(worst, report.label_rounds)
-    return protocol, worst
+    cases = [
+        SweepCase(
+            inputs=tuple(case_rng.randrange(2) for _ in range(topology.n)),
+            labeling=Labeling.random(topology, protocol.label_space, case_rng),
+        )
+        for _ in range(trials)
+    ]
+    sweep = run_sweep(
+        protocol, cases, lambda _i, _c: SynchronousSchedule(topology.n)
+    )
+    for case, result in zip(cases, sweep.results):
+        assert result.label_stable
+        assert all(y == f(case.inputs) for y in result.outputs)
+    return protocol, sweep.worst_label_rounds
 
 
 def _experiment_rows():

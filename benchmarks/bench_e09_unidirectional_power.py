@@ -11,8 +11,8 @@ import math
 import random
 from itertools import product
 
-from repro.analysis import print_table
-from repro.core import Labeling, Simulator, SynchronousSchedule
+from repro.analysis import SweepCase, print_table, run_sweep
+from repro.core import Labeling, SynchronousSchedule
 from repro.power import (
     bp_ring_protocol,
     bp_ring_round_bound,
@@ -40,15 +40,24 @@ def _machine_row(name, factory, reference, n):
     protocol = machine_ring_protocol(graph)
     bound = machine_ring_round_bound(graph)
     rng = random.Random(0)
-    worst = 0
-    for x in product((0, 1), repeat=n):
-        labeling = Labeling.random(protocol.topology, protocol.label_space, rng)
-        report = Simulator(protocol, x).run(
-            labeling, SynchronousSchedule(n), max_steps=bound + 200
+    cases = [
+        SweepCase(
+            inputs=x,
+            labeling=Labeling.random(protocol.topology, protocol.label_space, rng),
+            tag=x,
         )
-        assert report.output_stable
-        assert set(report.outputs) == {reference(x)}
-        worst = max(worst, report.output_rounds)
+        for x in product((0, 1), repeat=n)
+    ]
+    sweep = run_sweep(
+        protocol,
+        cases,
+        lambda _i, _c: SynchronousSchedule(n),
+        max_steps=bound + 200,
+    )
+    for result in sweep.results:
+        assert result.output_stable
+        assert set(result.outputs) == {reference(result.tag)}
+    worst = sweep.worst_output_rounds
     return [
         name,
         n,

@@ -10,7 +10,8 @@ Run:  python examples/machines_on_rings.py
 
 from itertools import product
 
-from repro.core import Labeling, Simulator, SynchronousSchedule
+from repro.analysis import SweepCase, run_sweep
+from repro.core import Labeling, SynchronousSchedule
 from repro.power import (
     bp_ring_protocol,
     machine_ring_protocol,
@@ -31,14 +32,17 @@ def main() -> None:
     print(f"parity machine on the {n}-ring:")
     print(f"  |Z| = {graph.size} configurations,"
           f" label complexity = {protocol.label_complexity:.1f} bits")
-    for x in ((1, 0, 1, 1), (1, 1, 0, 0)):
-        report = Simulator(protocol, x).run(
-            Labeling.uniform(protocol.topology, next(iter(protocol.label_space))),
-            SynchronousSchedule(n),
-            max_steps=machine_ring_round_bound(graph) + 100,
-        )
-        print(f"  x={x}: ring output {set(report.outputs)}"
-              f" (parity = {sum(x) % 2}), rounds = {report.output_rounds}")
+    initial = Labeling.uniform(protocol.topology, next(iter(protocol.label_space)))
+    sweep = run_sweep(
+        protocol,
+        [SweepCase(inputs=x, labeling=initial, tag=x) for x in ((1, 0, 1, 1), (1, 1, 0, 0))],
+        lambda _i, _c: SynchronousSchedule(n),
+        max_steps=machine_ring_round_bound(graph) + 100,
+    )
+    for result in sweep.results:
+        x = result.tag
+        print(f"  x={x}: ring output {set(result.outputs)}"
+              f" (parity = {sum(x) % 2}), rounds = {result.output_rounds}")
 
     # -- nonuniform advice ------------------------------------------------------
     advice = "101"
@@ -46,14 +50,16 @@ def main() -> None:
     graph = ConfigurationGraph(machine, 3, advice=advice)
     protocol = machine_ring_protocol(graph)
     print(f"\nadvice-equality machine (advice = {advice!r}) on the 3-ring:")
-    for x in product((0, 1), repeat=3):
-        report = Simulator(protocol, x).run(
-            Labeling.uniform(protocol.topology, next(iter(protocol.label_space))),
-            SynchronousSchedule(3),
-            max_steps=machine_ring_round_bound(graph) + 100,
-        )
-        if set(report.outputs) == {1}:
-            print(f"  accepted: {x}")
+    initial = Labeling.uniform(protocol.topology, next(iter(protocol.label_space)))
+    sweep = run_sweep(
+        protocol,
+        [SweepCase(inputs=x, labeling=initial, tag=x) for x in product((0, 1), repeat=3)],
+        lambda _i, _c: SynchronousSchedule(3),
+        max_steps=machine_ring_round_bound(graph) + 100,
+    )
+    for result in sweep.results:
+        if set(result.outputs) == {1}:
+            print(f"  accepted: {result.tag}")
 
     # -- branching program + diagonal simulation --------------------------------
     bp = majority_bp(3)

@@ -9,6 +9,7 @@ protocol cannot be label (n-1)-stabilizing; the paper shows it *is*
 Run:  python examples/quickstart.py
 """
 
+from repro.analysis import SweepCase, run_sweep
 from repro.core import (
     Labeling,
     RandomRFairSchedule,
@@ -99,12 +100,25 @@ def main() -> None:
             )
             print(f"   witness replay: {replay.describe()}")
 
-    # 5. Random r-fair schedules with r < n-1 always converge.
-    print("\nrandom (n-2)-fair runs:")
-    for seed in range(3):
-        schedule = RandomRFairSchedule(N, r=N - 2, seed=seed)
-        report = simulator.run(labeling, schedule, max_steps=5000)
-        print(f"  seed {seed}: {report.describe()} outputs={report.outputs}")
+    # 5. Random r-fair schedules with r < n-1 always converge.  Many runs of
+    #    one protocol go through the sweep runner: the protocol compiles once,
+    #    every case reuses the compiled form, and the report aggregates
+    #    outcome counts and convergence-round histograms.
+    print("\nrandom (n-2)-fair runs, via run_sweep:")
+    cases = [SweepCase(inputs=inputs, labeling=labeling, tag=seed) for seed in range(3)]
+    sweep = run_sweep(
+        protocol,
+        cases,
+        lambda _index, case: RandomRFairSchedule(N, r=N - 2, seed=case.tag),
+        max_steps=5000,
+    )
+    for result in sweep.results:
+        print(
+            f"  seed {result.tag}: {result.outcome.value}"
+            f" in {result.steps_executed} steps, outputs={result.outputs}"
+        )
+    print(f"  {sweep.describe()}")
+    print(f"  label-round histogram: {sweep.round_histogram('label')}")
 
 
 if __name__ == "__main__":

@@ -19,10 +19,15 @@ distributed computation and every construction in it:
   PSPACE hardness reductions of Section 4 / Appendix B.
 * ``repro.dynamics`` — best-response dynamics applications (BGP routing,
   diffusion, congestion, asynchronous circuits) from Sections 1 and 3.
-* ``repro.analysis`` — round/label complexity measurement and reporting.
+* ``repro.analysis`` — round/label complexity measurement, reporting, and
+  the sweep runner (many cases through one compiled protocol).
+
+See ``ARCHITECTURE.md`` for the layer stack, including the compiled
+fast-path engine core (``repro.core.compiled``).
 """
 
 from repro.core import (
+    CompiledProtocol,
     Configuration,
     Labeling,
     RunOutcome,
@@ -31,13 +36,15 @@ from repro.core import (
     StatefulProtocol,
     StatelessProtocol,
     SynchronousSchedule,
+    compile_protocol,
     synchronous_run,
 )
 from repro.graphs import Topology
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "CompiledProtocol",
     "Configuration",
     "Labeling",
     "RunOutcome",
@@ -48,5 +55,6 @@ __all__ = [
     "SynchronousSchedule",
     "Topology",
     "__version__",
+    "compile_protocol",
     "synchronous_run",
 ]

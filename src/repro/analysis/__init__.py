@@ -6,13 +6,18 @@ from repro.analysis.complexity import (
     output_settle_time,
     settled_outputs,
 )
+from repro.analysis.sweeps import CaseResult, SweepCase, SweepReport, run_sweep
 from repro.analysis.tables import print_table, render_table
 
 __all__ = [
+    "CaseResult",
     "RoundComplexityReport",
+    "SweepCase",
+    "SweepReport",
     "measure_round_complexity",
     "output_settle_time",
     "print_table",
     "render_table",
+    "run_sweep",
     "settled_outputs",
 ]

@@ -1,0 +1,256 @@
+"""Sweep runner: many cases through one compiled protocol.
+
+Almost every experiment in this repository has the same shape — one protocol,
+many ``(inputs, initial labeling, schedule)`` cases: benchmark grids, random
+self-stabilization trials, exhaustive input sweeps for the ring machines.
+:func:`run_sweep` executes that shape through a single
+:class:`~repro.core.compiled.CompiledProtocol`, so the per-protocol
+compilation cost is paid once no matter how many cases run, and returns an
+aggregated :class:`SweepReport` (per-case results, outcome counts, round
+histograms).
+
+Schedules are stateful (seeded random schedules memoize their realized
+steps), so cases carry no schedule; instead ``schedule_factory(index, case)``
+builds a fresh one per case.
+
+Optional ``multiprocessing`` fan-out: pass ``processes > 1`` to split the
+case list across worker processes.  This requires the protocol, the cases and
+the schedule factory to be picklable (module-level reaction functions, no
+closures); when they are not — or when the platform does not support worker
+pools — the sweep transparently falls back to in-process execution, so
+callers never need to special-case the environment.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import Counter
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.compiled import compile_protocol
+from repro.core.configuration import Labeling
+from repro.core.convergence import RunOutcome
+from repro.core.engine import DEFAULT_MAX_STEPS, Simulator
+from repro.core.protocol import Protocol
+from repro.core.schedule import Schedule
+from repro.exceptions import ValidationError
+
+#: Builds the schedule for one case: ``(case_index, case) -> Schedule``.
+ScheduleFactory = Callable[[int, "SweepCase"], Schedule]
+
+
+@dataclass(frozen=True)
+class SweepCase:
+    """One unit of sweep work: an input vector plus an initial labeling."""
+
+    inputs: tuple
+    labeling: Labeling
+    initial_outputs: tuple | None = None
+    #: Caller-chosen identifier carried through to the matching result.
+    tag: Any = None
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """The outcome of one sweep case (a condensed ``RunReport``)."""
+
+    index: int
+    tag: Any
+    outcome: RunOutcome
+    label_rounds: int | None
+    output_rounds: int | None
+    steps_executed: int
+    #: Final flat labeling values (canonical edge order).
+    final_values: tuple
+    #: Final per-node outputs.
+    outputs: tuple
+
+    @property
+    def label_stable(self) -> bool:
+        return self.outcome is RunOutcome.LABEL_STABLE
+
+    @property
+    def output_stable(self) -> bool:
+        return self.outcome in (RunOutcome.LABEL_STABLE, RunOutcome.OUTPUT_STABLE)
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """Aggregated results of a sweep, in case order."""
+
+    results: tuple[CaseResult, ...]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    @property
+    def outcome_counts(self) -> dict[RunOutcome, int]:
+        """How many cases ended in each outcome."""
+        return dict(Counter(result.outcome for result in self.results))
+
+    def round_histogram(self, kind: str = "label") -> dict[int, int]:
+        """Histogram of convergence rounds (cases without a value excluded).
+
+        ``kind`` is ``"label"`` (label stabilization rounds) or ``"output"``
+        (output stabilization rounds).
+        """
+        if kind not in ("label", "output"):
+            raise ValidationError("histogram kind must be 'label' or 'output'")
+        attr = "label_rounds" if kind == "label" else "output_rounds"
+        rounds = [
+            value
+            for result in self.results
+            if (value := getattr(result, attr)) is not None
+        ]
+        return dict(Counter(rounds))
+
+    @property
+    def worst_label_rounds(self) -> int | None:
+        values = [r.label_rounds for r in self.results if r.label_rounds is not None]
+        return max(values) if values else None
+
+    @property
+    def worst_output_rounds(self) -> int | None:
+        values = [r.output_rounds for r in self.results if r.output_rounds is not None]
+        return max(values) if values else None
+
+    @property
+    def all_label_stable(self) -> bool:
+        return all(result.label_stable for result in self.results)
+
+    @property
+    def all_output_stable(self) -> bool:
+        return all(result.output_stable for result in self.results)
+
+    def describe(self) -> str:
+        counts = ", ".join(
+            f"{outcome.value}={count}"
+            for outcome, count in sorted(
+                self.outcome_counts.items(), key=lambda item: item[0].value
+            )
+        )
+        return f"SweepReport(cases={len(self.results)}, {counts})"
+
+
+def _coerce_case(case) -> SweepCase:
+    if isinstance(case, SweepCase):
+        return case
+    if isinstance(case, Labeling):
+        raise ValidationError(
+            "a sweep case needs inputs and a labeling; wrap it in SweepCase"
+        )
+    return SweepCase(*case)
+
+
+def _run_cases(
+    protocol: Protocol,
+    cases: Sequence[SweepCase],
+    schedule_factory: ScheduleFactory,
+    max_steps: int,
+    start_index: int,
+) -> list[CaseResult]:
+    """Run a slice of cases in-process through one compiled protocol."""
+    compiled = compile_protocol(protocol)
+    results = []
+    for offset, case in enumerate(cases):
+        index = start_index + offset
+        simulator = Simulator(protocol, case.inputs, compiled=compiled)
+        schedule = schedule_factory(index, case)
+        report = simulator.run(
+            case.labeling,
+            schedule,
+            max_steps=max_steps,
+            initial_outputs=case.initial_outputs,
+        )
+        results.append(
+            CaseResult(
+                index=index,
+                tag=case.tag,
+                outcome=report.outcome,
+                label_rounds=report.label_rounds,
+                output_rounds=report.output_rounds,
+                steps_executed=report.steps_executed,
+                final_values=report.final.labeling.values,
+                outputs=report.final.outputs,
+            )
+        )
+    return results
+
+
+def _chunk_bounds(total: int, chunks: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into at most ``chunks`` contiguous slices."""
+    chunks = min(chunks, total)
+    base, extra = divmod(total, chunks)
+    bounds = []
+    start = 0
+    for k in range(chunks):
+        size = base + (1 if k < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def run_sweep(
+    protocol: Protocol,
+    cases: Iterable[SweepCase | tuple],
+    schedule_factory: ScheduleFactory,
+    *,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    processes: int | None = None,
+) -> SweepReport:
+    """Run every case through one compiled form of ``protocol``.
+
+    ``cases`` may hold :class:`SweepCase` objects or plain tuples in
+    ``SweepCase`` field order (``(inputs, labeling[, initial_outputs[,
+    tag]])``).  ``schedule_factory(index, case)`` must return a *fresh*
+    schedule per case.  ``processes > 1`` fans the case list out over a
+    ``multiprocessing`` pool when everything involved pickles; otherwise the
+    sweep runs in-process.
+    """
+    case_list = [_coerce_case(case) for case in cases]
+    if not case_list:
+        return SweepReport(results=())
+
+    if processes is not None and processes > 1 and len(case_list) > 1:
+        results = _try_parallel(
+            protocol, case_list, schedule_factory, max_steps, processes
+        )
+        if results is not None:
+            return SweepReport(results=tuple(results))
+
+    return SweepReport(
+        results=tuple(
+            _run_cases(protocol, case_list, schedule_factory, max_steps, 0)
+        )
+    )
+
+
+def _try_parallel(protocol, case_list, schedule_factory, max_steps, processes):
+    """Fan out over a process pool; None means 'fall back to serial'."""
+    try:
+        pickle.dumps((protocol, schedule_factory, case_list))
+    except Exception:
+        return None
+    try:
+        import multiprocessing
+
+        bounds = _chunk_bounds(len(case_list), processes)
+        with multiprocessing.Pool(len(bounds)) as pool:
+            chunk_results = pool.starmap(
+                _run_cases,
+                [
+                    (protocol, case_list[lo:hi], schedule_factory, max_steps, lo)
+                    for lo, hi in bounds
+                ],
+            )
+    except (OSError, ImportError, PermissionError, RuntimeError):
+        # Restricted environments (no /dev/shm, no fork) cannot build pools,
+        # and spawn-start platforms raise RuntimeError when the caller has no
+        # __main__ guard — fall back to in-process execution either way.
+        return None
+    return [result for chunk in chunk_results for result in chunk]

@@ -1,5 +1,6 @@
 """Core model: labels, reactions, protocols, schedules, engine."""
 
+from repro.core.compiled import CompiledProtocol, compile_protocol
 from repro.core.configuration import Configuration, Labeling
 from repro.core.convergence import RunOutcome, RunReport
 from repro.core.engine import DEFAULT_MAX_STEPS, Simulator, synchronous_run
@@ -41,7 +42,9 @@ from repro.core.schedule import (
 
 __all__ = [
     "BitStrings",
+    "CompiledProtocol",
     "Configuration",
+    "compile_protocol",
     "ConstantReaction",
     "DEFAULT_MAX_STEPS",
     "Edge",

@@ -95,7 +95,18 @@ class Labeling:
     def __eq__(self, other) -> bool:
         if not isinstance(other, Labeling):
             return NotImplemented
-        return self._values == other._values and self._topology is other._topology
+        if self._values != other._values:
+            return False
+        # Compare topologies by value, not identity: structurally equal
+        # labelings built on equal-but-distinct Topology objects must compare
+        # equal.  Values are positional, so the canonical edge orders must
+        # agree (stricter than Topology.__eq__, which ignores order) — this
+        # also keeps the hash/eq contract: equal labelings share values and
+        # therefore hashes.
+        return self._topology is other._topology or (
+            self._topology.n == other._topology.n
+            and self._topology.edges == other._topology.edges
+        )
 
     def __hash__(self) -> int:
         return self._hash

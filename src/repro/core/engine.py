@@ -8,6 +8,13 @@ labeling,
 
 while unscheduled nodes keep their outgoing labels and outputs.
 
+The hot loops run on the **compiled fast path** (:mod:`repro.core.compiled`):
+the protocol is lowered once to per-node index arrays and reaction adapters,
+and every transition is an index-gather → reaction → index-scatter over plain
+label tuples.  ``Labeling``/``Configuration`` objects are materialized only at
+the API boundary (``step``, run reports, traces), so results are identical to
+the object-based implementation while steps stay allocation-light.
+
 Convergence detection:
 
 * For **periodic schedules** (synchronous, round-robin, cyclic explicit) the
@@ -18,8 +25,10 @@ Convergence detection:
   label stabilization once every node has been activated at least once while
   the labeling remained unchanged — each such activation witnesses that the
   node's reaction is at a fixed point, so the labeling can never change again.
-  Oscillation cannot be certified for aperiodic schedules; runs that do not
-  stabilize end in ``TIMEOUT``.
+  A node activated on the very step the labeling last changed is *not* a
+  witness (it reacted to a pre-fixed-point labeling), and an empty activation
+  set witnesses nothing.  Oscillation cannot be certified for aperiodic
+  schedules; runs that do not stabilize end in ``TIMEOUT``.
 """
 
 from __future__ import annotations
@@ -27,6 +36,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from typing import Any
 
+from repro.core.compiled import CompiledProtocol, compile_protocol
 from repro.core.configuration import Configuration, Labeling
 from repro.core.convergence import RunOutcome, RunReport
 from repro.core.protocol import Protocol
@@ -35,45 +45,51 @@ from repro.exceptions import ValidationError
 
 DEFAULT_MAX_STEPS = 10_000
 
+#: Internal raw state: (flat label tuple, output tuple).
+_Raw = tuple[tuple, tuple]
+
 
 class Simulator:
     """Drives one protocol on one input vector."""
 
-    def __init__(self, protocol: Protocol, inputs: Sequence[Any]):
+    def __init__(
+        self,
+        protocol: Protocol,
+        inputs: Sequence[Any],
+        compiled: CompiledProtocol | None = None,
+    ):
         if len(inputs) != protocol.n:
             raise ValidationError(
                 f"need {protocol.n} inputs, got {len(inputs)}"
             )
+        if compiled is None:
+            compiled = compile_protocol(protocol)
+        elif compiled.protocol is not protocol:
+            raise ValidationError(
+                "compiled form was built from a different protocol object"
+            )
         self.protocol = protocol
         self.inputs = tuple(inputs)
         self._topology = protocol.topology
+        self._compiled = compiled
+
+    @property
+    def compiled(self) -> CompiledProtocol:
+        """The shared compiled form of the protocol."""
+        return self._compiled
 
     # -- single step -------------------------------------------------------
 
     def step(self, config: Configuration, active: frozenset[int]) -> Configuration:
         """Apply one global transition with the given activation set."""
         labeling = config.labeling
-        updates: dict = {}
-        outputs = list(config.outputs)
-        stateful = self.protocol.is_stateful
-        for i in active:
-            incoming = labeling.incoming(i)
-            if stateful:
-                outgoing, y = self.protocol.reaction(i)(
-                    incoming, labeling.outgoing(i), self.inputs[i]
-                )
-            else:
-                outgoing, y = self.protocol.reaction(i)(incoming, self.inputs[i])
-            expected = self._topology.out_edges(i)
-            if set(outgoing) != set(expected):
-                raise ValidationError(
-                    f"reaction of node {i} labeled edges {sorted(outgoing)}"
-                    f" but must label exactly {sorted(expected)}"
-                )
-            updates.update(outgoing)
-            outputs[i] = y
-        new_labeling = labeling.replace(updates) if updates else labeling
-        return Configuration(new_labeling, tuple(outputs))
+        self._check_topology(labeling)
+        values, outputs = self._compiled.step_values(
+            labeling.values, config.outputs, active, self.inputs
+        )
+        if values is not labeling.values:
+            labeling = Labeling(self._topology, values)
+        return Configuration(labeling, outputs)
 
     def initial_configuration(
         self, labeling: Labeling, initial_outputs: Sequence[Any] | None = None
@@ -85,6 +101,34 @@ class Simulator:
         )
         return Configuration(labeling, outputs)
 
+    def _check_topology(self, labeling: Labeling) -> None:
+        """The compiled index arrays are positional, so the labeling must use
+        the protocol topology's canonical edge order (value-equality with the
+        same order is fine; identity is the cheap common case)."""
+        topology = labeling.topology
+        if topology is not self._topology and (
+            topology.n != self._topology.n
+            or topology.edges != self._topology.edges
+        ):
+            raise ValidationError(
+                "labeling topology does not match the protocol's topology"
+            )
+
+    def _initial_raw(
+        self, labeling: Labeling, initial_outputs: Sequence[Any] | None
+    ) -> _Raw:
+        self._check_topology(labeling)
+        if initial_outputs is None:
+            outputs = (None,) * self.protocol.n
+        else:
+            outputs = tuple(initial_outputs)
+            if len(outputs) != self.protocol.n:
+                raise ValidationError("outputs must have one entry per node")
+        return labeling.values, outputs
+
+    def _materialize(self, values: tuple, outputs: tuple) -> Configuration:
+        return Configuration(Labeling(self._topology, values), outputs)
+
     # -- plain trace -------------------------------------------------------
 
     def run_trace(
@@ -95,12 +139,15 @@ class Simulator:
         initial_outputs: Sequence[Any] | None = None,
     ) -> list[Configuration]:
         """Configurations at times ``0..steps`` (inclusive), no analysis."""
-        config = self.initial_configuration(labeling, initial_outputs)
-        trace = [config]
+        values, outputs = self._initial_raw(labeling, initial_outputs)
+        step = self._compiled.step_values
+        active = schedule.active
+        inputs = self.inputs
+        raw: list[_Raw] = [(values, outputs)]
         for t in range(steps):
-            config = self.step(config, schedule.active(t))
-            trace.append(config)
-        return trace
+            values, outputs = step(values, outputs, active(t), inputs)
+            raw.append((values, outputs))
+        return [self._materialize(v, o) for v, o in raw]
 
     # -- analyzed run ------------------------------------------------------
 
@@ -124,100 +171,112 @@ class Simulator:
     def _run_periodic(self, labeling, schedule, max_steps, initial_outputs, record_trace):
         period = schedule.period
         preperiod = schedule.preperiod
-        config = self.initial_configuration(labeling, initial_outputs)
-        trace = [config]
-        seen: dict[tuple[Configuration, int], int] = {}
+        values, outputs = self._initial_raw(labeling, initial_outputs)
+        step = self._compiled.step_values
+        active = schedule.active
+        inputs = self.inputs
+        raw: list[_Raw] = [(values, outputs)]
+        seen: dict[tuple[tuple, tuple, int], int] = {}
         if preperiod == 0:
-            seen[(config, 0)] = 0
+            seen[(values, outputs, 0)] = 0
         for t in range(max_steps):
-            config = self.step(config, schedule.active(t))
+            values, outputs = step(values, outputs, active(t), inputs)
             now = t + 1
             if now >= preperiod:
-                key = (config, (now - preperiod) % period)
+                key = (values, outputs, (now - preperiod) % period)
                 if key in seen:
-                    return self._classify_cycle(trace, seen[key], now, record_trace)
+                    return self._classify_cycle(raw, seen[key], now, record_trace)
                 seen[key] = now
-            trace.append(config)
+            raw.append((values, outputs))
         return RunReport(
             outcome=RunOutcome.TIMEOUT,
             label_rounds=None,
             output_rounds=None,
-            final=config,
+            final=self._materialize(values, outputs),
             steps_executed=max_steps,
-            trace=trace if record_trace else None,
+            trace=[self._materialize(v, o) for v, o in raw] if record_trace else None,
         )
 
-    def _classify_cycle(self, trace, cycle_start, now, record_trace):
-        cycle = trace[cycle_start:now] or [trace[cycle_start]]
-        cycle_labelings = {c.labeling for c in cycle}
-        cycle_outputs = {c.outputs for c in cycle}
-        final = cycle[0]
+    def _classify_cycle(self, raw, cycle_start, now, record_trace):
+        cycle = raw[cycle_start:now] or [raw[cycle_start]]
+        cycle_values = {v for v, _ in cycle}
+        cycle_outputs = {o for _, o in cycle}
+        final_values, final_outputs = cycle[0]
         label_rounds = None
         output_rounds = None
-        if len(cycle_labelings) == 1:
+        if len(cycle_values) == 1:
             outcome = RunOutcome.LABEL_STABLE
-            label_rounds = _settle_time(trace, lambda c: c.labeling, final.labeling)
-            output_rounds = _settle_time(trace, lambda c: c.outputs, final.outputs)
+            label_rounds = _settle_time(raw, 0, final_values)
+            output_rounds = _settle_time(raw, 1, final_outputs)
         elif len(cycle_outputs) == 1:
             outcome = RunOutcome.OUTPUT_STABLE
-            output_rounds = _settle_time(trace, lambda c: c.outputs, final.outputs)
+            output_rounds = _settle_time(raw, 1, final_outputs)
         else:
             outcome = RunOutcome.OSCILLATING
         return RunReport(
             outcome=outcome,
             label_rounds=label_rounds,
             output_rounds=output_rounds,
-            final=final,
+            final=self._materialize(final_values, final_outputs),
             steps_executed=now,
             cycle_start=cycle_start,
             cycle_length=max(now - cycle_start, 1),
-            trace=trace if record_trace else None,
+            trace=[self._materialize(v, o) for v, o in raw] if record_trace else None,
         )
 
     def _run_aperiodic(self, labeling, schedule, max_steps, initial_outputs, record_trace):
         n = self.protocol.n
-        config = self.initial_configuration(labeling, initial_outputs)
-        trace = [config] if record_trace else None
+        values, outputs = self._initial_raw(labeling, initial_outputs)
+        step = self._compiled.step_values
+        active = schedule.active
+        inputs = self.inputs
+        raw: list[_Raw] | None = [(values, outputs)] if record_trace else None
         last_label_change = -1
         last_output_change = -1
         witnessed: set[int] = set()
         for t in range(max_steps):
-            active = schedule.active(t)
-            nxt = self.step(config, active)
-            if nxt.labeling != config.labeling:
+            current = active(t)
+            next_values, next_outputs = step(values, outputs, current, inputs)
+            if next_values is not values and next_values != values:
                 last_label_change = t
+                # Nodes active at a changing step reacted to a pre-fixed-point
+                # labeling, so they witness nothing — reset, don't record.
                 witnessed = set()
             else:
-                witnessed.update(active)
-            if nxt.outputs != config.outputs:
+                witnessed.update(current)
+            if next_outputs is not outputs and next_outputs != outputs:
                 last_output_change = t
-            config = nxt
-            if trace is not None:
-                trace.append(config)
+            values, outputs = next_values, next_outputs
+            if raw is not None:
+                raw.append((values, outputs))
             if len(witnessed) == n:
                 return RunReport(
                     outcome=RunOutcome.LABEL_STABLE,
                     label_rounds=last_label_change + 1,
                     output_rounds=last_output_change + 1,
-                    final=config,
+                    final=self._materialize(values, outputs),
                     steps_executed=t + 1,
-                    trace=trace,
+                    trace=[self._materialize(v, o) for v, o in raw]
+                    if raw is not None
+                    else None,
                 )
         return RunReport(
             outcome=RunOutcome.TIMEOUT,
             label_rounds=None,
             output_rounds=None,
-            final=config,
+            final=self._materialize(values, outputs),
             steps_executed=max_steps,
-            trace=trace,
+            trace=[self._materialize(v, o) for v, o in raw]
+            if raw is not None
+            else None,
         )
 
 
-def _settle_time(trace, key, final_value) -> int:
-    """Smallest T such that key(trace[t]) == final_value for all t >= T."""
-    settle = len(trace)
-    for t in range(len(trace) - 1, -1, -1):
-        if key(trace[t]) != final_value:
+def _settle_time(raw, component, final_value) -> int:
+    """Smallest T such that raw[t][component] == final_value for all t >= T."""
+    settle = len(raw)
+    for t in range(len(raw) - 1, -1, -1):
+        if raw[t][component] != final_value:
             break
         settle = t
     return settle

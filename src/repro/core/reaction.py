@@ -40,6 +40,20 @@ class ReactionFunction(ABC):
     def __call__(self, incoming: Mapping[Edge, Label], x: Any) -> ReactionResult:
         return self.react(incoming, x)
 
+    def compile_fast_path(self, in_edges, in_positions, out_edges, out_positions):
+        """Hook for the compiled engine (:mod:`repro.core.compiled`).
+
+        Return an adapter ``(values, new_values, x) -> y`` that reads incoming
+        labels straight from the flat label tuple ``values`` (via the
+        precomputed ``in_positions``), writes this node's outgoing labels into
+        the mutable list ``new_values`` at ``out_positions``, and returns the
+        node's output — or ``None`` to fall back to the generic dict-based
+        adapter.  An implementation must be observationally identical to
+        :meth:`react` and may only skip the per-step out-edge validation when
+        its outgoing edge set is statically known.
+        """
+        return None
+
 
 class LambdaReaction(ReactionFunction):
     """Wrap a plain function ``fn(incoming, x) -> (outgoing, y)``."""
@@ -70,6 +84,47 @@ class UniformReaction(ReactionFunction):
     def react(self, incoming: Mapping[Edge, Label], x: Any) -> ReactionResult:
         label, output = self._fn(incoming, x)
         return {edge: label for edge in self._out_edges}, output
+
+    def compile_fast_path(self, in_edges, in_positions, out_edges, out_positions):
+        # Only safe when react() is ours and we provably label exactly the
+        # node's outgoing edges (so the per-step check can be skipped).
+        if type(self).react is not UniformReaction.react:
+            return None
+        if set(self._out_edges) != set(out_edges):
+            return None
+        fn = self._fn
+
+        if len(in_edges) == 1 and len(out_positions) == 1:
+            (e0,) = in_edges
+            (p0,) = in_positions
+            (q0,) = out_positions
+
+            def adapter(values, new_values, x):
+                label, y = fn({e0: values[p0]}, x)
+                new_values[q0] = label
+                return y
+
+        elif len(in_edges) == 2:
+            e0, e1 = in_edges
+            p0, p1 = in_positions
+
+            def adapter(values, new_values, x):
+                label, y = fn({e0: values[p0], e1: values[p1]}, x)
+                for q in out_positions:
+                    new_values[q] = label
+                return y
+
+        else:
+
+            def adapter(values, new_values, x):
+                label, y = fn(
+                    {e: values[p] for e, p in zip(in_edges, in_positions)}, x
+                )
+                for q in out_positions:
+                    new_values[q] = label
+                return y
+
+        return adapter
 
 
 class TabularReaction(ReactionFunction):
@@ -105,6 +160,31 @@ class TabularReaction(ReactionFunction):
             raise ValidationError(f"tabular reaction has no row for {key!r}") from exc
         return dict(zip(self.out_edges, out_labels)), output
 
+    def compile_fast_path(self, in_edges, in_positions, out_edges, out_positions):
+        if type(self).react is not TabularReaction.react:
+            return None
+        if set(self.in_edges) != set(in_edges) or set(self.out_edges) != set(out_edges):
+            return None
+        position_of = dict(zip(in_edges, in_positions))
+        key_positions = tuple(position_of[e] for e in self.in_edges)
+        #: (flat-tuple position, row column) pairs for the scatter.
+        scatter = tuple(
+            (q, self.out_edges.index(e)) for e, q in zip(out_edges, out_positions)
+        )
+        table = self.table
+
+        def adapter(values, new_values, x):
+            key = (tuple(values[p] for p in key_positions), x)
+            row = table.get(key)
+            if row is None:
+                raise ValidationError(f"tabular reaction has no row for {key!r}")
+            out_labels, y = row
+            for q, j in scatter:
+                new_values[q] = out_labels[j]
+            return y
+
+        return adapter
+
 
 class ConstantReaction(ReactionFunction):
     """Always emit the same labels and output, ignoring everything."""
@@ -116,6 +196,21 @@ class ConstantReaction(ReactionFunction):
 
     def react(self, incoming: Mapping[Edge, Label], x: Any) -> ReactionResult:
         return {edge: self._label for edge in self._out_edges}, self._output
+
+    def compile_fast_path(self, in_edges, in_positions, out_edges, out_positions):
+        if type(self).react is not ConstantReaction.react:
+            return None
+        if set(self._out_edges) != set(out_edges):
+            return None
+        label = self._label
+        output = self._output
+
+        def adapter(values, new_values, x):
+            for q in out_positions:
+                new_values[q] = label
+            return output
+
+        return adapter
 
 
 class StatefulReactionFunction(ABC):
@@ -140,6 +235,11 @@ class StatefulReactionFunction(ABC):
         x: Any,
     ) -> ReactionResult:
         return self.react(incoming, own_outgoing, x)
+
+    def compile_fast_path(self, in_edges, in_positions, out_edges, out_positions):
+        """See :meth:`ReactionFunction.compile_fast_path`; stateful adapters
+        additionally read the node's own outgoing labels from ``values``."""
+        return None
 
 
 class LambdaStatefulReaction(StatefulReactionFunction):

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from itertools import combinations
 from typing import Any
 
+from repro.core.compiled import compile_protocol
 from repro.core.configuration import Labeling
 from repro.core.protocol import Protocol
 from repro.core.schedule import LassoSchedule
@@ -104,36 +105,21 @@ def _decide(protocol, inputs, r, initial_labelings, budget, track_outputs):
     if initial_labelings is None:
         initial_labelings = all_labelings(topology, protocol.label_space, budget)
 
-    position = topology.edge_position
-    in_edges = [topology.in_edges(i) for i in range(n)]
-    out_edges = [topology.out_edges(i) for i in range(n)]
-    in_positions = [[position(e) for e in in_edges[i]] for i in range(n)]
-    out_positions = [[position(e) for e in out_edges[i]] for i in range(n)]
-    stateful = protocol.is_stateful
+    compiled = compile_protocol(protocol)
     inputs = tuple(inputs)
 
     def apply(values, outputs, countdown, active):
-        updates = {}
-        new_outputs = list(outputs) if track_outputs else outputs
-        for i in active:
-            incoming = {e: values[p] for e, p in zip(in_edges[i], in_positions[i])}
-            if stateful:
-                own = {e: values[p] for e, p in zip(out_edges[i], out_positions[i])}
-                outgoing, y = protocol.reaction(i)(incoming, own, inputs[i])
-            else:
-                outgoing, y = protocol.reaction(i)(incoming, inputs[i])
-            updates.update(outgoing)
-            if track_outputs:
-                new_outputs[i] = y
-        new_values = list(values)
-        for edge, label in updates.items():
-            new_values[position(edge)] = label
+        if track_outputs:
+            new_values, new_outputs = compiled.step_values(
+                values, outputs, active, inputs
+            )
+        else:
+            new_values, _ = compiled.step_values(values, None, active, inputs)
+            new_outputs = outputs
         new_countdown = tuple(
             r if i in active else countdown[i] - 1 for i in range(n)
         )
-        if track_outputs:
-            return (tuple(new_values), tuple(new_outputs), new_countdown)
-        return (tuple(new_values), outputs, new_countdown)
+        return (new_values, new_outputs, new_countdown)
 
     # -- explore the reachable graph ---------------------------------------
     start_countdown = (r,) * n

@@ -27,6 +27,7 @@ from collections.abc import Iterable, Sequence
 from itertools import combinations
 from typing import Any
 
+from repro.core.compiled import compile_protocol
 from repro.core.configuration import Labeling
 from repro.core.protocol import Protocol
 from repro.exceptions import SearchBudgetExceeded, ValidationError
@@ -67,6 +68,7 @@ class StatesGraph:
         self.inputs = tuple(inputs)
         self.r = r
         self.topology = protocol.topology
+        self._compiled = compile_protocol(protocol)
         n = protocol.n
         initial_countdown = (r,) * n
 
@@ -109,26 +111,12 @@ class StatesGraph:
         self.parent.append(parent)
 
     def _apply(self, values: tuple, countdown: tuple, active: frozenset[int]) -> State:
-        labeling = Labeling(self.topology, values)
-        updates: dict = {}
-        for i in active:
-            incoming = labeling.incoming(i)
-            if self.protocol.is_stateful:
-                outgoing, _ = self.protocol.reaction(i)(
-                    incoming, labeling.outgoing(i), self.inputs[i]
-                )
-            else:
-                outgoing, _ = self.protocol.reaction(i)(incoming, self.inputs[i])
-            updates.update(outgoing)
-        new_values = list(values)
-        position = self.topology.edge_position
-        for edge, label in updates.items():
-            new_values[position(edge)] = label
+        new_values, _ = self._compiled.step_values(values, None, active, self.inputs)
         new_countdown = tuple(
             self.r if i in active else countdown[i] - 1
             for i in range(self.protocol.n)
         )
-        return (tuple(new_values), new_countdown)
+        return (new_values, new_countdown)
 
     # -- queries -------------------------------------------------------------
 

@@ -57,6 +57,30 @@ class TestLabeling:
         assert a == b and hash(a) == hash(b)
         assert a != c
 
+    def test_equality_across_equal_distinct_topologies(self):
+        # Regression: __eq__ used to require the *same* Topology object, so
+        # structurally equal labelings on equal-but-distinct topologies
+        # silently compared unequal.
+        a = Labeling.uniform(unidirectional_ring(3), 1)
+        b = Labeling.uniform(unidirectional_ring(3), 1)
+        assert a.topology is not b.topology
+        assert a == b
+        assert hash(a) == hash(b)
+        assert Configuration(a, (0, 0, 0)) == Configuration(b, (0, 0, 0))
+
+    def test_equal_values_on_different_topologies_not_equal(self):
+        ring = Labeling.uniform(unidirectional_ring(3), 1)
+        other = Labeling(
+            bidirectional_ring(3), (1,) * bidirectional_ring(3).m
+        )
+        assert ring != other
+        # Same node/edge counts but different edges must also stay distinct.
+        topo = unidirectional_ring(3)
+        from repro.graphs import Topology
+
+        reversed_ring = Topology(3, [(1, 0), (2, 1), (0, 2)])
+        assert Labeling.uniform(topo, 1) != Labeling.uniform(reversed_ring, 1)
+
     def test_random_respects_space(self):
         topo = bidirectional_ring(5)
         space = BitStrings(3)

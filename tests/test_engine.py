@@ -10,6 +10,7 @@ from repro.core import (
     RandomRFairSchedule,
     RoundRobinSchedule,
     RunOutcome,
+    Schedule,
     Simulator,
     StatelessProtocol,
     SynchronousSchedule,
@@ -169,6 +170,65 @@ class TestAperiodicRuns:
         b = sim.run(labeling, RandomRFairSchedule(3, r=2, seed=seed))
         assert a.outcome == b.outcome
         assert a.final == b.final
+
+
+class _ScriptedAperiodicSchedule(Schedule):
+    """Explicit activation sets with ``period = None``.
+
+    Forces the engine down the aperiodic certification path (an
+    ``ExplicitSchedule`` with ``cycle=False`` would raise past its script;
+    this one repeats its last step forever, and — unlike public schedules —
+    may script *empty* activation sets to probe the witness logic).
+    """
+
+    def __init__(self, n, steps):
+        super().__init__(n)
+        self._steps = [frozenset(step) for step in steps]
+
+    def active(self, t):
+        if t < len(self._steps):
+            return self._steps[t]
+        return self._steps[-1]
+
+
+class TestAperiodicCertification:
+    def test_activation_at_change_step_is_not_a_witness(self):
+        # clique(2): edges ((0,1), (1,0)).  Initial labeling 1 on (0,1), 0 on
+        # (1,0).  Step 0 activates node 0, whose incoming edge (1,0) carries
+        # 0, so it broadcasts 0 and the labeling *changes* to all-zero.  That
+        # activation reacted to a pre-fixed-point labeling and must not count
+        # as a fixed-point witness: certification needs the later quiet
+        # activations of both nodes (steps 1 and 2), so the run takes 3 steps.
+        proto = or_clique_protocol(clique(2))
+        sim = Simulator(proto, (0, 0))
+        labeling = Labeling(proto.topology, (1, 0))
+        schedule = _ScriptedAperiodicSchedule(2, [{0}, {1}, {0}])
+        report = sim.run(labeling, schedule, max_steps=50)
+        assert report.outcome is RunOutcome.LABEL_STABLE
+        assert report.steps_executed == 3  # not 2: step-0 witness discarded
+        assert report.label_rounds == 1
+        assert report.final.labeling.values == (0, 0)
+
+    def test_empty_activation_set_does_not_advance_witnesses(self):
+        # Steps that activate nobody leave the labeling unchanged but must
+        # not contribute witnesses; only the two real activations certify.
+        proto = or_clique_protocol(clique(2))
+        sim = Simulator(proto, (0, 0))
+        labeling = Labeling.uniform(proto.topology, 0)  # already a fixed point
+        schedule = _ScriptedAperiodicSchedule(2, [set(), set(), {0}, set(), {1}])
+        report = sim.run(labeling, schedule, max_steps=50)
+        assert report.outcome is RunOutcome.LABEL_STABLE
+        assert report.steps_executed == 5  # certified only once node 1 acted
+        assert report.label_rounds == 0
+
+    def test_all_empty_schedule_times_out_without_certifying(self):
+        proto = or_clique_protocol(clique(2))
+        sim = Simulator(proto, (0, 0))
+        labeling = Labeling.uniform(proto.topology, 0)
+        schedule = _ScriptedAperiodicSchedule(2, [set()])
+        report = sim.run(labeling, schedule, max_steps=20)
+        assert report.outcome is RunOutcome.TIMEOUT
+        assert report.steps_executed == 20
 
 
 class TestDeterminism:

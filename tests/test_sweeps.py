@@ -1,0 +1,156 @@
+"""Tests for the sweep runner (repro.analysis.sweeps)."""
+
+import pytest
+
+from repro.analysis import SweepCase, SweepReport, run_sweep
+from repro.core import (
+    Labeling,
+    RandomRFairSchedule,
+    RunOutcome,
+    Simulator,
+    StatelessProtocol,
+    SynchronousSchedule,
+    UniformReaction,
+    binary,
+)
+from repro.exceptions import ValidationError
+from repro.graphs import clique, unidirectional_ring
+
+from tests.helpers import or_clique_protocol, random_bit_labeling
+
+
+# Module-level pieces so the protocol and factory pickle for the
+# multiprocessing path.
+def _forward_bit(incoming, _x):
+    (value,) = incoming.values()
+    return value, value
+
+
+def _copy_ring(n):
+    topology = unidirectional_ring(n)
+    reactions = [
+        UniformReaction(topology.out_edges(i), _forward_bit) for i in range(n)
+    ]
+    return StatelessProtocol(topology, binary(), reactions, name="copy-ring")
+
+
+def _sync_factory(index, case):
+    return SynchronousSchedule(len(case.inputs))
+
+
+class TestRunSweep:
+    def test_results_match_individual_runs(self):
+        protocol = or_clique_protocol(clique(3))
+        cases = [
+            SweepCase(inputs=(0, 0, 0), labeling=random_bit_labeling(protocol.topology, seed=s), tag=s)
+            for s in range(6)
+        ]
+        report = run_sweep(protocol, cases, _sync_factory)
+        assert len(report) == 6
+        for case, result in zip(cases, report.results):
+            single = Simulator(protocol, case.inputs).run(
+                case.labeling, SynchronousSchedule(3)
+            )
+            assert result.outcome == single.outcome
+            assert result.label_rounds == single.label_rounds
+            assert result.output_rounds == single.output_rounds
+            assert result.steps_executed == single.steps_executed
+            assert result.final_values == single.final.labeling.values
+            assert result.outputs == single.final.outputs
+            assert result.tag == case.tag
+
+    def test_outcome_counts_and_histogram(self):
+        protocol = _copy_ring(4)
+        stable = Labeling.uniform(protocol.topology, 0)
+        rotating = Labeling(protocol.topology, (1, 0, 0, 0))
+        report = run_sweep(
+            protocol,
+            [
+                SweepCase((0,) * 4, stable, tag="stable"),
+                SweepCase((0,) * 4, rotating, tag="rotates"),
+            ],
+            _sync_factory,
+        )
+        counts = report.outcome_counts
+        assert counts[RunOutcome.LABEL_STABLE] == 1
+        assert counts[RunOutcome.OSCILLATING] == 1
+        assert report.round_histogram("label") == {0: 1}
+        assert not report.all_label_stable
+        assert "cases=2" in report.describe()
+
+    def test_plain_tuple_cases_and_index_order(self):
+        protocol = or_clique_protocol(clique(3))
+        cases = [
+            ((0, 0, 0), random_bit_labeling(protocol.topology, seed=s))
+            for s in range(4)
+        ]
+        report = run_sweep(protocol, cases, _sync_factory)
+        assert [r.index for r in report.results] == [0, 1, 2, 3]
+        assert all(r.tag is None for r in report.results)
+
+    def test_schedule_factory_receives_index_and_case(self):
+        protocol = or_clique_protocol(clique(3))
+        seen = []
+
+        def factory(index, case):
+            seen.append((index, case.tag))
+            return RandomRFairSchedule(3, r=2, seed=index)
+
+        cases = [
+            SweepCase((0, 0, 0), random_bit_labeling(protocol.topology, seed=s), tag=f"case{s}")
+            for s in range(3)
+        ]
+        run_sweep(protocol, cases, factory)
+        assert seen == [(0, "case0"), (1, "case1"), (2, "case2")]
+
+    def test_empty_sweep(self):
+        protocol = or_clique_protocol(clique(3))
+        report = run_sweep(protocol, [], _sync_factory)
+        assert len(report) == 0
+        assert report.outcome_counts == {}
+        assert report.worst_label_rounds is None
+
+    def test_max_steps_respected(self):
+        protocol = _copy_ring(3)
+        rotating = Labeling(protocol.topology, (1, 0, 0))
+        report = run_sweep(
+            protocol,
+            [SweepCase((0,) * 3, rotating)],
+            lambda i, c: RandomRFairSchedule(3, r=1, seed=0),
+            max_steps=10,
+        )
+        (result,) = report.results
+        assert result.outcome is RunOutcome.TIMEOUT
+        assert result.steps_executed == 10
+
+    def test_bad_histogram_kind_rejected(self):
+        report = SweepReport(results=())
+        with pytest.raises(ValidationError):
+            report.round_histogram("nonsense")
+
+    def test_parallel_matches_serial(self):
+        # Everything here pickles (module-level reactions and factory), so
+        # the pool path is exercised where the platform allows it; on
+        # restricted platforms run_sweep silently falls back to serial and
+        # the equality still holds.
+        protocol = _copy_ring(4)
+        cases = [
+            SweepCase(
+                (0,) * 4,
+                random_bit_labeling(protocol.topology, seed=s),
+                tag=s,
+            )
+            for s in range(8)
+        ]
+        serial = run_sweep(protocol, cases, _sync_factory)
+        parallel = run_sweep(protocol, cases, _sync_factory, processes=2)
+        assert serial == parallel
+
+    def test_unpicklable_protocol_falls_back_to_serial(self):
+        protocol = or_clique_protocol(clique(3))  # closure reactions
+        cases = [
+            SweepCase((0, 0, 0), random_bit_labeling(protocol.topology, seed=s))
+            for s in range(3)
+        ]
+        report = run_sweep(protocol, cases, _sync_factory, processes=4)
+        assert len(report) == 3
