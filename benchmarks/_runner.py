@@ -36,6 +36,21 @@ if SRC not in sys.path:
     sys.path.insert(0, SRC)
 
 
+def median_time(fn, repeats: int = 5):
+    """Median wall time of ``repeats`` calls, plus the last result.
+
+    Shared by gated benches (a02, a03) so their timing methodology cannot
+    drift apart.
+    """
+    times = []
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times), result
+
+
 class TimingBenchmark:
     """Minimal stand-in for pytest-benchmark's ``benchmark`` fixture.
 

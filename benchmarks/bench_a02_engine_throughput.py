@@ -7,8 +7,7 @@ construction, out-edge set validation, and fresh ``Labeling`` objects —
 reproduced verbatim below as the baseline).
 """
 
-import statistics
-import time
+from _runner import median_time
 
 from repro.analysis import print_table
 from repro.core import (
@@ -84,16 +83,6 @@ def _legacy_run_trace(protocol, inputs, labeling, schedule, steps):
 # -- measurement -------------------------------------------------------------
 
 
-def _median_time(fn, repeats=REPEATS):
-    times = []
-    result = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn()
-        times.append(time.perf_counter() - start)
-    return statistics.median(times), result
-
-
 def test_a02_engine_throughput(benchmark):
     protocol = _copy_ring_protocol(N)
     labeling = _mixed_labeling(protocol.topology)
@@ -110,8 +99,8 @@ def test_a02_engine_throughput(benchmark):
     # The two engines must agree configuration-for-configuration.
     assert compiled_kernel() == legacy_kernel()
 
-    legacy_median, _ = _median_time(legacy_kernel)
-    compiled_median, _ = _median_time(compiled_kernel)
+    legacy_median, _ = median_time(legacy_kernel, REPEATS)
+    compiled_median, _ = median_time(compiled_kernel, REPEATS)
     legacy_rate = STEPS / legacy_median
     compiled_rate = STEPS / compiled_median
     speedup = compiled_rate / legacy_rate

@@ -1,0 +1,148 @@
+"""A3 — resilience-sweep overhead: the fault path must be (nearly) free.
+
+Acceptance gate for the ``repro.faults`` subsystem: when **no fault fires**,
+``run_resilience_sweep`` must deliver at least 0.8x the throughput of the
+bare compiled sweep path (``run_sweep``) on the same workload — i.e. the
+injection machinery (fault fire-list materialization, schedule shifting,
+recovery bookkeeping) may cost at most the acceptance budget of a 20%
+throughput loss; measured, it is noise-level (~1.0x).  A fault-firing
+variant is measured alongside for the record (not gated: applying faults
+does strictly more work).
+
+Workload: a 33-node inverter ring (every node negates its incoming bit; an
+odd ring has **no** stable labeling) under seeded random r-fair schedules,
+so every case provably runs the full step budget through the aperiodic
+certification loop — a fixed, comparable number of global transitions per
+kernel call.
+"""
+
+from _runner import median_time
+
+from repro.analysis import SweepCase, run_resilience_sweep, run_sweep
+from repro.analysis.tables import print_table
+from repro.core import (
+    Labeling,
+    RandomRFairSchedule,
+    StatelessProtocol,
+    UniformReaction,
+    binary,
+)
+from repro.core.convergence import RunOutcome
+from repro.faults import BurstFault, NoFaults, RandomCorruption
+from repro.graphs import unidirectional_ring
+
+N = 33
+STEPS = 300
+CASES = 6
+REPEATS = 5
+MIN_THROUGHPUT_RATIO = 0.8
+
+#: Global transitions per timed kernel call (consumed by benchmarks/_runner).
+BENCH_STEPS = STEPS * CASES
+
+
+def _invert_bit(incoming, _x):
+    (value,) = incoming.values()
+    return 1 - value, value
+
+
+def _inverter_ring_protocol(n: int) -> StatelessProtocol:
+    topology = unidirectional_ring(n)
+    reactions = [
+        UniformReaction(topology.out_edges(i), _invert_bit) for i in range(n)
+    ]
+    return StatelessProtocol(
+        topology, binary(), reactions, name=f"inverter-ring({n})"
+    )
+
+
+def _cases(protocol):
+    m = protocol.topology.m
+    mixed = Labeling(protocol.topology, tuple(k % 2 for k in range(m)))
+    return [SweepCase((0,) * N, mixed, tag=k) for k in range(CASES)]
+
+
+def _schedule_factory(index, case):
+    return RandomRFairSchedule(N, r=4, seed=index)
+
+
+def _no_fault_factory(index, case):
+    return NoFaults()
+
+
+def _burst_fault_factory(index, case):
+    return BurstFault([STEPS // 3, 2 * STEPS // 3], RandomCorruption(0.5, seed=index))
+
+
+def test_a03_resilience_sweep_overhead(benchmark):
+    protocol = _inverter_ring_protocol(N)
+    cases = _cases(protocol)
+
+    def bare_kernel():
+        return run_sweep(protocol, cases, _schedule_factory, max_steps=STEPS)
+
+    def no_fault_kernel():
+        return run_resilience_sweep(
+            protocol, cases, _schedule_factory, _no_fault_factory, max_steps=STEPS
+        )
+
+    def fault_kernel():
+        return run_resilience_sweep(
+            protocol, cases, _schedule_factory, _burst_fault_factory, max_steps=STEPS
+        )
+
+    # Workload sanity: every case runs the full budget in both paths, and
+    # the no-fault resilience results mirror the bare sweep results.
+    bare_report = bare_kernel()
+    no_fault_report = no_fault_kernel()
+    assert all(r.steps_executed == STEPS for r in bare_report.results)
+    assert all(r.steps_executed == STEPS for r in no_fault_report.results)
+    assert all(r.faults_fired == 0 for r in no_fault_report.results)
+    for bare, injected in zip(bare_report.results, no_fault_report.results):
+        assert injected.outcome == bare.outcome
+        assert injected.final_values == bare.final_values
+    fault_report = fault_kernel()
+    assert all(r.faults_fired == 2 for r in fault_report.results)
+    assert all(r.outcome is RunOutcome.TIMEOUT for r in fault_report.results)
+
+    # The two paths differ by ~constant-per-case work, so the true ratio is
+    # ~1.0; re-measure up to three times before failing so one noisy burst
+    # (CI neighbors, pytest-benchmark rounds in the same process) cannot
+    # flip a sub-ms difference across the gate.
+    for _attempt in range(3):
+        bare_median, _ = median_time(bare_kernel, REPEATS)
+        no_fault_median, _ = median_time(no_fault_kernel, REPEATS)
+        ratio = bare_median / no_fault_median
+        if ratio >= MIN_THROUGHPUT_RATIO:
+            break
+    fault_median, _ = median_time(fault_kernel, REPEATS)
+    bare_rate = BENCH_STEPS / bare_median
+    no_fault_rate = BENCH_STEPS / no_fault_median
+    fault_rate = BENCH_STEPS / fault_median
+
+    print_table(
+        f"A3: resilience sweep overhead — {N}-node ring, {CASES} cases x "
+        f"{STEPS} steps, random 4-fair (median of {REPEATS})",
+        ["path", "median s / sweep", "steps/s", "vs bare"],
+        [
+            ["bare run_sweep", f"{bare_median:.4f}", f"{bare_rate:,.0f}", "1.00x"],
+            [
+                "resilience, no fault fires",
+                f"{no_fault_median:.4f}",
+                f"{no_fault_rate:,.0f}",
+                f"{ratio:.2f}x",
+            ],
+            [
+                "resilience, 2-burst corruption",
+                f"{fault_median:.4f}",
+                f"{fault_rate:,.0f}",
+                f"{fault_rate / bare_rate:.2f}x",
+            ],
+        ],
+    )
+
+    assert ratio >= MIN_THROUGHPUT_RATIO, (
+        f"no-fault resilience path only {ratio:.2f}x the bare sweep "
+        f"({no_fault_rate:,.0f} vs {bare_rate:,.0f} steps/s)"
+    )
+    benchmark(no_fault_kernel)

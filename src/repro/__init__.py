@@ -19,8 +19,12 @@ distributed computation and every construction in it:
   PSPACE hardness reductions of Section 4 / Appendix B.
 * ``repro.dynamics`` — best-response dynamics applications (BGP routing,
   diffusion, congestion, asynchronous circuits) from Sections 1 and 3.
+* ``repro.faults`` — adversarial fault injection: fault models on flat label
+  tuples, fault schedules, certified recovery runs, and convergence-delaying
+  adversarial schedules (the operational reading of Section 1.2).
 * ``repro.analysis`` — round/label complexity measurement, reporting, and
-  the sweep runner (many cases through one compiled protocol).
+  the sweep runners (``run_sweep``, ``run_resilience_sweep``: many cases
+  through one compiled protocol).
 
 See ``ARCHITECTURE.md`` for the layer stack, including the compiled
 fast-path engine core (``repro.core.compiled``).
@@ -41,7 +45,7 @@ from repro.core import (
 )
 from repro.graphs import Topology
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CompiledProtocol",

@@ -6,11 +6,20 @@ from repro.analysis.complexity import (
     output_settle_time,
     settled_outputs,
 )
+from repro.analysis.resilience import (
+    RECOVERY_CRITERIA,
+    FaultCaseResult,
+    ResilienceReport,
+    run_resilience_sweep,
+)
 from repro.analysis.sweeps import CaseResult, SweepCase, SweepReport, run_sweep
 from repro.analysis.tables import print_table, render_table
 
 __all__ = [
     "CaseResult",
+    "FaultCaseResult",
+    "RECOVERY_CRITERIA",
+    "ResilienceReport",
     "RoundComplexityReport",
     "SweepCase",
     "SweepReport",
@@ -18,6 +27,7 @@ __all__ = [
     "output_settle_time",
     "print_table",
     "render_table",
+    "run_resilience_sweep",
     "run_sweep",
     "settled_outputs",
 ]

@@ -11,14 +11,18 @@ histograms).
 
 Schedules are stateful (seeded random schedules memoize their realized
 steps), so cases carry no schedule; instead ``schedule_factory(index, case)``
-builds a fresh one per case.
+builds a fresh one per case.  The factory is always invoked **in the parent
+process, in case order** — even when the sweep fans out — so a factory that
+draws from its own RNG (or any other shared state) sees exactly the same
+call sequence serial and parallel, and seeded sweeps are bit-identical
+either way.  Workers receive the materialized schedules, not the factory.
 
 Optional ``multiprocessing`` fan-out: pass ``processes > 1`` to split the
-case list across worker processes.  This requires the protocol, the cases and
-the schedule factory to be picklable (module-level reaction functions, no
-closures); when they are not — or when the platform does not support worker
-pools — the sweep transparently falls back to in-process execution, so
-callers never need to special-case the environment.
+case list across worker processes.  This requires the protocol, the cases
+and the per-case schedules to be picklable (module-level reaction functions,
+no closures); when they are not — or when the platform does not support
+worker pools — the sweep transparently falls back to in-process execution,
+so callers never need to special-case the environment.
 """
 
 from __future__ import annotations
@@ -150,17 +154,16 @@ def _coerce_case(case) -> SweepCase:
 def _run_cases(
     protocol: Protocol,
     cases: Sequence[SweepCase],
-    schedule_factory: ScheduleFactory,
+    schedules: Sequence[Schedule],
     max_steps: int,
     start_index: int,
 ) -> list[CaseResult]:
     """Run a slice of cases in-process through one compiled protocol."""
     compiled = compile_protocol(protocol)
     results = []
-    for offset, case in enumerate(cases):
+    for offset, (case, schedule) in enumerate(zip(cases, schedules)):
         index = start_index + offset
         simulator = Simulator(protocol, case.inputs, compiled=compiled)
-        schedule = schedule_factory(index, case)
         report = simulator.run(
             case.labeling,
             schedule,
@@ -208,32 +211,37 @@ def run_sweep(
     ``cases`` may hold :class:`SweepCase` objects or plain tuples in
     ``SweepCase`` field order (``(inputs, labeling[, initial_outputs[,
     tag]])``).  ``schedule_factory(index, case)`` must return a *fresh*
-    schedule per case.  ``processes > 1`` fans the case list out over a
-    ``multiprocessing`` pool when everything involved pickles; otherwise the
-    sweep runs in-process.
+    schedule per case; it is invoked in the parent process in case order
+    regardless of fan-out, so stateful (seeded) factories produce
+    bit-identical sweeps serial and parallel.  ``processes > 1`` fans the
+    case list out over a ``multiprocessing`` pool when everything involved
+    pickles; otherwise the sweep runs in-process.
     """
     case_list = [_coerce_case(case) for case in cases]
     if not case_list:
         return SweepReport(results=())
+    schedules = [schedule_factory(i, case) for i, case in enumerate(case_list)]
 
+    results = None
     if processes is not None and processes > 1 and len(case_list) > 1:
-        results = _try_parallel(
-            protocol, case_list, schedule_factory, max_steps, processes
+        results = fan_out(
+            _run_cases, protocol, case_list, schedules, max_steps, processes
         )
-        if results is not None:
-            return SweepReport(results=tuple(results))
-
-    return SweepReport(
-        results=tuple(
-            _run_cases(protocol, case_list, schedule_factory, max_steps, 0)
-        )
-    )
+    if results is None:
+        results = _run_cases(protocol, case_list, schedules, max_steps, 0)
+    return SweepReport(results=tuple(results))
 
 
-def _try_parallel(protocol, case_list, schedule_factory, max_steps, processes):
-    """Fan out over a process pool; None means 'fall back to serial'."""
+def fan_out(runner, protocol, case_list, per_case, max_steps, processes):
+    """Fan a case list out over a process pool; None means 'run serially'.
+
+    Shared by :func:`run_sweep` and the resilience sweep.  ``runner`` must be
+    a picklable module-level callable ``(protocol, cases, per_case,
+    max_steps, start_index) -> list``; ``per_case`` holds one
+    already-materialized work item (schedule, fault plan, ...) per case.
+    """
     try:
-        pickle.dumps((protocol, schedule_factory, case_list))
+        pickle.dumps((protocol, case_list, per_case))
     except Exception:
         return None
     try:
@@ -242,9 +250,9 @@ def _try_parallel(protocol, case_list, schedule_factory, max_steps, processes):
         bounds = _chunk_bounds(len(case_list), processes)
         with multiprocessing.Pool(len(bounds)) as pool:
             chunk_results = pool.starmap(
-                _run_cases,
+                runner,
                 [
-                    (protocol, case_list[lo:hi], schedule_factory, max_steps, lo)
+                    (protocol, case_list[lo:hi], per_case[lo:hi], max_steps, lo)
                     for lo, hi in bounds
                 ],
             )

@@ -71,6 +71,11 @@ def _generic_stateless_adapter(
     def adapter(values, new_values, x):
         incoming = {e: values[p] for e, p in zip(in_edges, in_positions)}
         outgoing, y = reaction(incoming, x)
+        # Size check both before and after indexing: auto-vivifying mappings
+        # (defaultdict) would otherwise grow to the right size while being
+        # read and dodge the validation.
+        if len(outgoing) != n_out:
+            raise _bad_edges_error(node, outgoing, out_edges)
         try:
             for e, q in zip(out_edges, out_positions):
                 new_values[q] = outgoing[e]
@@ -93,6 +98,10 @@ def _generic_stateful_adapter(
         incoming = {e: values[p] for e, p in zip(in_edges, in_positions)}
         own = {e: values[p] for e, p in zip(out_edges, out_positions)}
         outgoing, y = reaction(incoming, own, x)
+        # Size check both before and after indexing — see the stateless
+        # adapter.
+        if len(outgoing) != n_out:
+            raise _bad_edges_error(node, outgoing, out_edges)
         try:
             for e, q in zip(out_edges, out_positions):
                 new_values[q] = outgoing[e]
@@ -120,6 +129,7 @@ class CompiledProtocol:
         "in_positions",
         "out_positions",
         "_adapters",
+        "_all_nodes",
         "__weakref__",
     )
 
@@ -139,6 +149,7 @@ class CompiledProtocol:
         self.out_positions = tuple(
             tuple(position(e) for e in topology.out_edges(i)) for i in range(n)
         )
+        self._all_nodes = frozenset(range(n))
 
         adapters = []
         stateful = protocol.is_stateful
@@ -211,6 +222,20 @@ class CompiledProtocol:
             values if new_values is None else tuple(new_values),
             outputs if new_outputs is None else tuple(new_outputs),
         )
+
+    def is_fixed_point(self, values: tuple, inputs) -> bool:
+        """True when ``values`` is a stable labeling (Section 3).
+
+        A labeling is stable exactly when one full-activation transition
+        leaves it unchanged: every node's reaction then fixes its outgoing
+        labels, so no activation set can ever change the labeling again.
+        This is the compiled counterpart of
+        :func:`repro.stabilization.fixed_points.is_stable_labeling`; the
+        fault-injection layer uses it to certify recovery and the
+        adversarial schedulers use it to steer runs away from absorption.
+        """
+        new_values, _ = self.step_values(values, None, self._all_nodes, inputs)
+        return new_values is values or new_values == values
 
     def __repr__(self) -> str:
         protocol = self.protocol

@@ -168,6 +168,39 @@ class Simulator:
             labeling, schedule, max_steps, initial_outputs, record_trace
         )
 
+    def run_with_faults(
+        self,
+        labeling: Labeling,
+        schedule: Schedule,
+        faults,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        initial_outputs: Sequence[Any] | None = None,
+    ):
+        """Run under ``schedule`` while injecting transient faults.
+
+        ``faults`` is a :class:`repro.faults.FaultSchedule` (anything with a
+        ``fires_within(horizon)`` method yielding ``(time, model)`` pairs).
+        The run steps raw values through the fault window, applies each fault
+        to the labeling at its fire time, and then hands the tail to the
+        normal analyzed run — exact cycle detection for periodic schedules,
+        fixed-point certification for aperiodic ones — so recovery after the
+        last fault is certified, not guessed.  Returns a
+        :class:`repro.faults.FaultRunReport`.
+
+        The import is deferred: the faults layer builds on the engine, and
+        this method is only its entry-point sugar.
+        """
+        from repro.faults.injection import run_with_faults as _run
+
+        return _run(
+            self,
+            labeling,
+            schedule,
+            faults,
+            max_steps=max_steps,
+            initial_outputs=initial_outputs,
+        )
+
     def _run_periodic(self, labeling, schedule, max_steps, initial_outputs, record_trace):
         period = schedule.period
         preperiod = schedule.preperiod

@@ -52,6 +52,44 @@ class Schedule(ABC):
         p = self.period
         return (t - self.preperiod) % p if p else 0
 
+    def shifted(self, offset: int) -> "Schedule":
+        """The schedule viewed from ``offset`` steps in: ``active'(t) =
+        active(t + offset)``.
+
+        Used by the fault-injection engine to resume exact convergence
+        analysis mid-run (after the last injected fault) without replaying
+        the prefix.  Periodicity survives shifting, so the engine keeps its
+        exact cycle detection on the tail.
+        """
+        if offset == 0:
+            return self
+        return ShiftedSchedule(self, offset)
+
+
+class ShiftedSchedule(Schedule):
+    """A view of another schedule starting ``offset`` steps in."""
+
+    def __init__(self, base: Schedule, offset: int):
+        if offset < 0:
+            raise ValidationError("schedule shift offset must be >= 0")
+        super().__init__(base.n)
+        self.base = base
+        self.offset = offset
+
+    def active(self, t: int) -> frozenset[int]:
+        return self.base.active(t + self.offset)
+
+    @property
+    def period(self) -> int | None:
+        return self.base.period
+
+    @property
+    def preperiod(self) -> int:
+        return max(0, self.base.preperiod - self.offset)
+
+    def shifted(self, offset: int) -> Schedule:
+        return self.base.shifted(self.offset + offset)
+
 
 class SynchronousSchedule(Schedule):
     """All nodes at every step — the 1-fair schedule of Sections 5 and 6."""

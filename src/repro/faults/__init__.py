@@ -1,0 +1,59 @@
+"""Adversarial fault injection and resilience measurement.
+
+The perturbation layer of the stack (see ``ARCHITECTURE.md``): fault models
+operating on flat label tuples (:mod:`repro.faults.models`), fault schedules
+deciding when they fire (:mod:`repro.faults.schedules`), certified injection
+runs through the compiled engine (:mod:`repro.faults.injection`), and
+convergence-delaying adversarial activation schedules
+(:mod:`repro.faults.adversary`).
+
+Sweep-scale resilience measurement lives one layer up, in
+:func:`repro.analysis.run_resilience_sweep`.
+"""
+
+from repro.faults.adversary import (
+    DEFAULT_CANDIDATE_CAP,
+    GreedyAdversarySchedule,
+    MinimaxAdversarySchedule,
+    WorstCaseDelay,
+    exhaustive_worst_case_delay,
+)
+from repro.faults.injection import FaultRunReport, run_with_faults
+from repro.faults.models import (
+    ComposedFault,
+    FaultModel,
+    RandomCorruption,
+    StuckAtFault,
+    TargetedCorruption,
+)
+from repro.faults.schedules import (
+    BurstFault,
+    ComposedFaultSchedule,
+    FaultSchedule,
+    NoFaults,
+    OneShotFault,
+    PeriodicFault,
+    WindowFault,
+)
+
+__all__ = [
+    "BurstFault",
+    "ComposedFault",
+    "ComposedFaultSchedule",
+    "DEFAULT_CANDIDATE_CAP",
+    "FaultModel",
+    "FaultRunReport",
+    "FaultSchedule",
+    "GreedyAdversarySchedule",
+    "MinimaxAdversarySchedule",
+    "NoFaults",
+    "OneShotFault",
+    "PeriodicFault",
+    "RandomCorruption",
+    "StuckAtFault",
+    "TargetedCorruption",
+    "WindowFault",
+    "WorstCaseDelay",
+    "exhaustive_worst_case_delay",
+    "run_with_faults",
+]

@@ -1,0 +1,188 @@
+"""Fault models: what one transient fault does to the edge labeling.
+
+The paper's self-stabilization claim (Section 1.2) quantifies over *any*
+transient corruption of the edge labels, provided code and inputs stay
+intact.  A :class:`FaultModel` makes that perturbation a first-class object:
+it maps a flat label tuple (canonical edge order, exactly what the compiled
+engine runs on) to a corrupted flat label tuple.
+
+Contracts shared by every model:
+
+* **Pure and seeded.**  ``apply(values, topology, space, step)`` depends only
+  on its arguments and the model's own constructor parameters.  Randomized
+  models derive their RNG from ``(seed, step)``, so the same fault at the
+  same time produces the same corruption no matter how many times — or in
+  which process — it is evaluated.  This is what lets resilience sweeps fan
+  out over ``multiprocessing`` and stay bit-identical to serial runs.
+* **Picklable.**  Models hold only plain data (no closures, no RNG state),
+  so they ship to worker processes as-is.
+* **Identity-preserving.**  A model that changes nothing returns the input
+  tuple object unchanged, keeping the engine's ``is``-based fast paths
+  intact.
+
+Timing is deliberately *not* a model concern: :mod:`repro.faults.schedules`
+decides when a model fires, mirroring the engine's split between reaction
+functions and activation schedules.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Mapping
+from typing import Any
+
+from repro.core.labels import Label, LabelSpace
+from repro.core.reaction import Edge
+from repro.exceptions import ValidationError
+from repro.graphs.topology import Topology
+
+
+def _derive_rng(seed: int, step: int) -> random.Random:
+    """A fresh RNG for one (model seed, fire time) pair.
+
+    Multiplying by a large odd constant decorrelates neighboring seeds and
+    steps; masking keeps the product in an int range ``random.Random``
+    seeds directly.
+    """
+    return random.Random((seed * 0x9E3779B1 + step * 0x85EBCA77) & 0xFFFFFFFFFFFFFFFF)
+
+
+class FaultModel(ABC):
+    """One transient corruption of the labeling, on flat label tuples."""
+
+    @abstractmethod
+    def apply(
+        self, values: tuple, topology: Topology, space: LabelSpace, step: int
+    ) -> tuple:
+        """The corrupted labeling values (``values`` itself if nothing changed)."""
+
+
+class RandomCorruption(FaultModel):
+    """Overwrite each edge independently with probability ``fraction``.
+
+    Replacement labels are drawn uniformly from the label space (a draw may
+    repeat the current label; the *edge* is still counted as corrupted, which
+    matches the paper's "arbitrary transient fault" reading).
+    """
+
+    def __init__(self, fraction: float = 0.5, seed: int = 0):
+        if not 0.0 <= fraction <= 1.0:
+            raise ValidationError("corruption fraction must lie in [0, 1]")
+        self.fraction = fraction
+        self.seed = seed
+
+    def apply(self, values, topology, space, step):
+        rng = _derive_rng(self.seed, step)
+        fraction = self.fraction
+        new_values = list(values)
+        changed = False
+        for position in range(len(values)):
+            if rng.random() < fraction:
+                new_values[position] = space.sample(rng)
+                changed = True
+        return tuple(new_values) if changed else values
+
+    def __repr__(self) -> str:
+        return f"RandomCorruption(fraction={self.fraction}, seed={self.seed})"
+
+
+class TargetedCorruption(FaultModel):
+    """Corrupt a chosen set of edges, leaving every other edge untouched.
+
+    Without ``labels``, each listed edge gets an independent uniform label
+    from the space; with ``labels`` (a mapping ``edge -> label``) the listed
+    edges are overwritten deterministically — the shape an *adversarial*
+    fault takes, e.g. re-planting an oscillation token.
+    """
+
+    def __init__(
+        self,
+        edges: Iterable[Edge],
+        labels: Mapping[Edge, Label] | None = None,
+        seed: int = 0,
+    ):
+        self.edges = tuple(edges)
+        if not self.edges:
+            raise ValidationError("a targeted corruption needs at least one edge")
+        self.labels = dict(labels) if labels is not None else None
+        if self.labels is not None:
+            unknown = set(self.labels) - set(self.edges)
+            if unknown:
+                raise ValidationError(
+                    f"labels given for edges outside the target set: {sorted(unknown)}"
+                )
+        self.seed = seed
+
+    def apply(self, values, topology, space, step):
+        rng = _derive_rng(self.seed, step)
+        position = topology.edge_position
+        new_values = list(values)
+        for edge in self.edges:
+            if self.labels is not None and edge in self.labels:
+                label = self.labels[edge]
+                if label not in space:
+                    raise ValidationError(
+                        f"fault label {label!r} for edge {edge!r} is not in {space!r}"
+                    )
+            else:
+                label = space.sample(rng)
+            new_values[position(edge)] = label
+        return tuple(new_values)
+
+    def __repr__(self) -> str:
+        return (
+            f"TargetedCorruption(edges={self.edges!r},"
+            f" labels={self.labels!r}, seed={self.seed})"
+        )
+
+
+class StuckAtFault(FaultModel):
+    """Pin a set of edges at one label (the classical stuck-at fault).
+
+    A single application overwrites the edges once; combined with
+    :class:`repro.faults.schedules.WindowFault` it holds the edges at the
+    value for a whole time window, modeling a stuck channel rather than a
+    one-shot glitch.
+    """
+
+    def __init__(self, edges: Iterable[Edge], label: Label):
+        self.edges = tuple(edges)
+        if not self.edges:
+            raise ValidationError("a stuck-at fault needs at least one edge")
+        self.label = label
+
+    def apply(self, values, topology, space, step):
+        if self.label not in space:
+            raise ValidationError(
+                f"stuck-at label {self.label!r} is not in {space!r}"
+            )
+        position = topology.edge_position
+        new_values = list(values)
+        changed = False
+        for edge in self.edges:
+            p = position(edge)
+            if new_values[p] != self.label:
+                new_values[p] = self.label
+                changed = True
+        return tuple(new_values) if changed else values
+
+    def __repr__(self) -> str:
+        return f"StuckAtFault(edges={self.edges!r}, label={self.label!r})"
+
+
+class ComposedFault(FaultModel):
+    """Apply several fault models in sequence at one fire time."""
+
+    def __init__(self, models: Iterable[FaultModel]):
+        self.models = tuple(models)
+        if not self.models:
+            raise ValidationError("a composed fault needs at least one model")
+
+    def apply(self, values, topology, space, step):
+        for model in self.models:
+            values = model.apply(values, topology, space, step)
+        return values
+
+    def __repr__(self) -> str:
+        return f"ComposedFault({list(self.models)!r})"

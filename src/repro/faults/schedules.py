@@ -1,0 +1,170 @@
+"""Fault schedules: when fault models fire.
+
+Mirrors the design of :mod:`repro.core.schedule`: a :class:`FaultSchedule`
+maps time steps to fault models the way an activation schedule maps time
+steps to activation sets.  The engine consumes one bounded view,
+:meth:`FaultSchedule.fires_within`, so checking "does a fault fire now?"
+costs nothing on the hot path — the fire list is materialized once per run,
+and a run with no fires is byte-for-byte the ordinary analyzed run.
+
+Fault times are 0-based and use the same convention as activation sets: a
+fault at time ``t`` corrupts the configuration at time ``t``, *before* the
+activation set ``sigma(t)`` is applied.  A fault at time 0 corrupts the
+initial configuration.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Sequence
+
+from repro.exceptions import ValidationError
+from repro.faults.models import FaultModel
+
+#: One fault firing: (time step, model to apply).
+Fire = tuple[int, FaultModel]
+
+
+class FaultSchedule(ABC):
+    """A (possibly empty) assignment of fault models to time steps."""
+
+    @abstractmethod
+    def fires_within(self, horizon: int) -> list[Fire]:
+        """All firings with ``0 <= time < horizon``, sorted by time.
+
+        Several entries may share a time (composed schedules); they apply in
+        list order.
+        """
+
+    def last_fire_within(self, horizon: int) -> int | None:
+        """The time of the last firing before ``horizon``, or ``None``."""
+        fires = self.fires_within(horizon)
+        return fires[-1][0] if fires else None
+
+
+class NoFaults(FaultSchedule):
+    """The empty fault schedule — the fault-free baseline."""
+
+    def fires_within(self, horizon: int) -> list[Fire]:
+        return []
+
+    def __repr__(self) -> str:
+        return "NoFaults()"
+
+
+class OneShotFault(FaultSchedule):
+    """A single fault model firing once at a fixed time."""
+
+    def __init__(self, time: int, model: FaultModel):
+        if time < 0:
+            raise ValidationError("fault times must be >= 0")
+        self.time = time
+        self.model = model
+
+    def fires_within(self, horizon: int) -> list[Fire]:
+        return [(self.time, self.model)] if self.time < horizon else []
+
+    def __repr__(self) -> str:
+        return f"OneShotFault(time={self.time}, model={self.model!r})"
+
+
+class BurstFault(FaultSchedule):
+    """One fault model firing at each of an explicit list of times."""
+
+    def __init__(self, times: Iterable[int], model: FaultModel):
+        self.times = tuple(sorted(times))
+        if not self.times:
+            raise ValidationError("a burst fault needs at least one fire time")
+        if self.times[0] < 0:
+            raise ValidationError("fault times must be >= 0")
+        self.model = model
+
+    def fires_within(self, horizon: int) -> list[Fire]:
+        return [(t, self.model) for t in self.times if t < horizon]
+
+    def __repr__(self) -> str:
+        return f"BurstFault(times={list(self.times)!r}, model={self.model!r})"
+
+
+class WindowFault(FaultSchedule):
+    """A fault model firing at every step of ``[start, stop)``.
+
+    The natural timing for :class:`repro.faults.models.StuckAtFault`: the
+    model re-applies before every transition in the window, holding its edges
+    at the stuck value no matter what the protocol writes.
+    """
+
+    def __init__(self, start: int, stop: int, model: FaultModel):
+        if start < 0:
+            raise ValidationError("fault times must be >= 0")
+        if stop <= start:
+            raise ValidationError("a fault window needs stop > start")
+        self.start = start
+        self.stop = stop
+        self.model = model
+
+    def fires_within(self, horizon: int) -> list[Fire]:
+        return [(t, self.model) for t in range(self.start, min(self.stop, horizon))]
+
+    def __repr__(self) -> str:
+        return (
+            f"WindowFault(start={self.start}, stop={self.stop},"
+            f" model={self.model!r})"
+        )
+
+
+class PeriodicFault(FaultSchedule):
+    """A fault model firing every ``period`` steps from ``start`` on."""
+
+    def __init__(
+        self,
+        period: int,
+        model: FaultModel,
+        start: int = 0,
+        stop: int | None = None,
+    ):
+        if period < 1:
+            raise ValidationError("fault period must be >= 1")
+        if start < 0:
+            raise ValidationError("fault times must be >= 0")
+        if stop is not None and stop <= start:
+            raise ValidationError("a bounded periodic fault needs stop > start")
+        self.period = period
+        self.start = start
+        self.stop = stop
+        self.model = model
+
+    def fires_within(self, horizon: int) -> list[Fire]:
+        stop = horizon if self.stop is None else min(self.stop, horizon)
+        return [(t, self.model) for t in range(self.start, stop, self.period)]
+
+    def __repr__(self) -> str:
+        return (
+            f"PeriodicFault(period={self.period}, start={self.start},"
+            f" stop={self.stop}, model={self.model!r})"
+        )
+
+
+class ComposedFaultSchedule(FaultSchedule):
+    """The union of several fault schedules.
+
+    Firings merge in time order; parts firing at the same time apply in the
+    order the parts were given.
+    """
+
+    def __init__(self, parts: Sequence[FaultSchedule]):
+        self.parts = tuple(parts)
+        if not self.parts:
+            raise ValidationError("a composed fault schedule needs at least one part")
+
+    def fires_within(self, horizon: int) -> list[Fire]:
+        fires = [
+            (t, k, model)
+            for k, part in enumerate(self.parts)
+            for (t, model) in part.fires_within(horizon)
+        ]
+        fires.sort(key=lambda item: (item[0], item[1]))
+        return [(t, model) for (t, _k, model) in fires]
+
+    def __repr__(self) -> str:
+        return f"ComposedFaultSchedule({list(self.parts)!r})"

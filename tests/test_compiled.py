@@ -277,6 +277,26 @@ class TestValidation:
         with pytest.raises(ValidationError):
             sim.step(config, frozenset({0}))
 
+    def test_auto_vivifying_mapping_still_rejected(self):
+        # A defaultdict that lacks an out-edge must not slip through by
+        # growing to the right size while the adapter indexes into it.
+        import collections
+
+        topology = bidirectional_ring(3)
+
+        def bad(incoming, x):
+            outgoing = collections.defaultdict(int)
+            outgoing[topology.out_edges(0)[0]] = 1  # one of two edges
+            return outgoing, 0
+
+        protocol = StatelessProtocol(
+            topology, binary(), [LambdaReaction(bad)] * 3
+        )
+        sim = Simulator(protocol, (0,) * 3)
+        config = sim.initial_configuration(Labeling.uniform(topology, 0))
+        with pytest.raises(ValidationError):
+            sim.step(config, frozenset({0}))
+
     def test_non_mapping_return_rejected(self):
         topology = unidirectional_ring(3)
 

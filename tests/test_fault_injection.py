@@ -2,24 +2,26 @@
 
 The paper (Section 1.2): a self-stabilizing system recovers from *any*
 transient fault, provided code and inputs stay intact.  These tests corrupt
-the edge labels mid-run — arbitrarily, repeatedly — and verify that every
-self-stabilizing construction in the library re-converges to the correct
-state afterwards:
+the edge labels mid-run — arbitrarily, repeatedly — through the
+``repro.faults`` subsystem and verify that every self-stabilizing
+construction in the library re-converges to the correct state afterwards:
 
 * the generic protocol (Prop 2.3) re-computes f;
 * the D-counter re-synchronizes;
 * the TM-on-ring protocol re-stabilizes to M(x);
 * the circuit-on-ring protocol re-stabilizes to C(x);
 * BGP on a safe instance re-converges to its unique routing tree.
+
+Recovery is certified by the engine (cycle detection / fixed-point
+certification on the post-fault tail), not inferred from settled-looking
+outputs.
 """
 
 import random
 
 import pytest
 
-from repro.analysis import settled_outputs
 from repro.core import (
-    Configuration,
     Labeling,
     RunOutcome,
     Simulator,
@@ -27,7 +29,8 @@ from repro.core import (
     default_inputs,
 )
 from repro.dynamics import NO_ROUTE, bgp_protocol, good_gadget
-from repro.graphs import clique, unidirectional_ring
+from repro.faults import BurstFault, OneShotFault, RandomCorruption
+from repro.graphs import clique
 from repro.power import (
     RingCircuitLayout,
     circuit_ring_protocol,
@@ -41,30 +44,6 @@ from repro.substrates.circuits import parity_circuit
 from repro.substrates.turing import ConfigurationGraph, parity_machine
 
 
-def corrupt(labeling: Labeling, space, rng, fraction=0.5) -> Labeling:
-    """Overwrite a random subset of edges with random labels."""
-    updates = {}
-    for edge in labeling.topology.edges:
-        if rng.random() < fraction:
-            updates[edge] = space.sample(rng)
-    return labeling.replace(updates)
-
-
-def run_with_midway_fault(protocol, inputs, initial, fault_at, total, rng):
-    """Run synchronously, corrupt at step ``fault_at``, keep running."""
-    simulator = Simulator(protocol, inputs)
-    schedule = SynchronousSchedule(protocol.n)
-    config = simulator.initial_configuration(initial)
-    for t in range(fault_at):
-        config = simulator.step(config, schedule.active(t))
-    config = Configuration(
-        corrupt(config.labeling, protocol.label_space, rng), config.outputs
-    )
-    for t in range(fault_at, total):
-        config = simulator.step(config, schedule.active(t))
-    return config
-
-
 class TestGenericProtocolRecovery:
     @pytest.mark.parametrize("seed", [0, 1, 2])
     def test_recomputes_after_corruption(self, seed):
@@ -74,10 +53,18 @@ class TestGenericProtocolRecovery:
         protocol = generic_protocol(topology, f)
         x = tuple(rng.randrange(2) for _ in range(4))
         initial = Labeling.random(topology, protocol.label_space, rng)
-        config = run_with_midway_fault(
-            protocol, x, initial, fault_at=9, total=9 + 2 * 4 + 2, rng=rng
+        simulator = Simulator(protocol, x)
+        report = simulator.run_with_faults(
+            initial,
+            SynchronousSchedule(4),
+            OneShotFault(9, RandomCorruption(fraction=0.5, seed=seed)),
+            max_steps=9 + 2 * 4 + 2,
         )
-        assert all(y == f(x) for y in config.outputs)
+        assert report.faults_fired == 1
+        assert report.recovered
+        assert all(y == f(x) for y in report.outputs)
+        # recovery happened within the paper's 2n+2 round bound
+        assert report.recovery_rounds <= 2 * 4 + 2
 
     def test_repeated_faults(self):
         rng = random.Random(7)
@@ -86,17 +73,16 @@ class TestGenericProtocolRecovery:
         protocol = generic_protocol(topology, f)
         x = (1, 1, 0)
         simulator = Simulator(protocol, x)
-        schedule = SynchronousSchedule(3)
-        config = simulator.initial_configuration(
-            Labeling.random(topology, protocol.label_space, rng)
+        initial = Labeling.random(topology, protocol.label_space, rng)
+        # corrupt at t=0, then twice more mid-run, 8 steps apart
+        faults = BurstFault([0, 8, 16], RandomCorruption(fraction=0.5, seed=7))
+        report = simulator.run_with_faults(
+            initial, SynchronousSchedule(3), faults, max_steps=16 + 8
         )
-        for round_index in range(3):
-            config = Configuration(
-                corrupt(config.labeling, protocol.label_space, rng), config.outputs
-            )
-            for t in range(8):
-                config = simulator.step(config, schedule.active(t))
-        assert all(y == f(x) for y in config.outputs)
+        assert report.faults_fired == 3
+        assert report.last_fault_time == 16
+        assert report.recovered
+        assert all(y == f(x) for y in report.outputs)
 
 
 class TestCounterRecovery:
@@ -105,21 +91,22 @@ class TestCounterRecovery:
         rng = random.Random(3)
         protocol = d_counter_protocol(n, modulus)
         simulator = Simulator(protocol, (0,) * n)
-        schedule = SynchronousSchedule(n)
-        config = simulator.initial_configuration(
-            Labeling.random(protocol.topology, protocol.label_space, rng)
+        initial = Labeling.random(protocol.topology, protocol.label_space, rng)
+        # stabilize, corrupt at 4n+4, let the engine certify the new orbit
+        report = simulator.run_with_faults(
+            initial,
+            SynchronousSchedule(n),
+            OneShotFault(4 * n + 4, RandomCorruption(fraction=0.5, seed=3)),
+            max_steps=600,
         )
-        # stabilize, corrupt, re-stabilize
-        for t in range(4 * n + 4):
-            config = simulator.step(config, schedule.active(t))
-        config = Configuration(
-            corrupt(config.labeling, protocol.label_space, rng), config.outputs
-        )
-        for t in range(4 * n + 4):
-            config = simulator.step(config, schedule.active(t))
+        # the counter never label-stabilizes — it re-enters a counting cycle
+        assert report.outcome is RunOutcome.OSCILLATING
+        assert report.recovery_rounds is None
+        assert report.cycle_start is not None
         # now synchronized again: all equal and incrementing
+        config = report.final
         previous = config.outputs
-        config = simulator.step(config, schedule.active(0))
+        config = simulator.step(config, frozenset(range(n)))
         assert len(set(previous)) == 1
         assert len(set(config.outputs)) == 1
         assert config.outputs[0] == (previous[0] + 1) % modulus
@@ -132,12 +119,17 @@ class TestRingSimulationRecovery:
         protocol = machine_ring_protocol(graph)
         bound = machine_ring_round_bound(graph)
         rng = random.Random(11)
-        for x in ((1, 0, 1), (1, 1, 1)):
+        for fault_seed, x in enumerate(((1, 0, 1), (1, 1, 1))):
             initial = Labeling.random(protocol.topology, protocol.label_space, rng)
-            config = run_with_midway_fault(
-                protocol, x, initial, fault_at=bound // 2, total=2 * bound, rng=rng
+            report = Simulator(protocol, x).run_with_faults(
+                initial,
+                SynchronousSchedule(n),
+                OneShotFault(bound // 2, RandomCorruption(0.5, seed=fault_seed)),
+                max_steps=3 * bound,
             )
-            assert set(config.outputs) == {sum(x) % 2}
+            assert report.output_recovered
+            assert set(report.outputs) == {sum(x) % 2}
+            assert report.output_recovery_rounds <= bound
 
     def test_circuit_on_ring_recovers(self):
         circuit = parity_circuit(3)
@@ -147,43 +139,32 @@ class TestRingSimulationRecovery:
         x = (1, 0, 1)
         inputs = ring_inputs(layout, x)
         initial = Labeling.random(protocol.topology, protocol.label_space, rng)
-        config = run_with_midway_fault(
-            protocol,
-            inputs,
+        report = Simulator(protocol, inputs).run_with_faults(
             initial,
-            fault_at=layout.round_bound() // 2,
-            total=layout.round_bound() // 2 + layout.round_bound(),
-            rng=rng,
+            SynchronousSchedule(protocol.n),
+            OneShotFault(layout.round_bound() // 2, RandomCorruption(0.5, seed=13)),
+            max_steps=3 * layout.round_bound(),
         )
-        # verify via the settled-outputs criterion from the reached state
-        outputs = settled_outputs(
-            protocol,
-            inputs,
-            config.labeling,
-            settle=layout.round_bound(),
-            window=layout.modulus,
-        )
-        assert set(outputs) == {circuit.evaluate(x)}
+        # the ring's labels cycle mod the layout modulus; outputs settle
+        assert report.output_recovered
+        assert set(report.outputs) == {circuit.evaluate(x)}
 
 
 class TestBGPRecovery:
     def test_good_gadget_reconverges(self):
         instance = good_gadget()
         protocol = bgp_protocol(instance)
-        rng = random.Random(17)
         initial = Labeling.uniform(protocol.topology, NO_ROUTE)
-        config = run_with_midway_fault(
-            protocol,
-            default_inputs(protocol),
+        simulator = Simulator(protocol, default_inputs(protocol))
+        report = simulator.run_with_faults(
             initial,
-            fault_at=5,
-            total=25,
-            rng=rng,
+            SynchronousSchedule(protocol.n),
+            OneShotFault(5, RandomCorruption(fraction=0.5, seed=17)),
+            max_steps=25,
         )
-        assert config.outputs[1] == (1, 0)
-        # and the reached labeling is a true fixed point
-        report = Simulator(protocol, default_inputs(protocol)).run(
-            config.labeling, SynchronousSchedule(protocol.n)
+        assert report.outputs[1] == (1, 0)
+        # and the reached labeling is a certified, true fixed point
+        assert report.recovered
+        assert simulator.compiled.is_fixed_point(
+            report.final.labeling.values, simulator.inputs
         )
-        assert report.outcome is RunOutcome.LABEL_STABLE
-        assert report.label_rounds == 0

@@ -1,0 +1,377 @@
+"""Unit tests for repro.faults: models, fault schedules, injection mechanics.
+
+Covers the subsystem's contracts: deterministic seeded corruption, pickle
+round-trips (the multiprocessing fan-out contract), identity preservation
+when nothing changes, fire-list semantics, and the equivalence of a fault
+run with no faults to a plain analyzed run.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.core import (
+    Labeling,
+    RandomRFairSchedule,
+    RoundRobinSchedule,
+    Simulator,
+    SynchronousSchedule,
+    binary,
+    compile_protocol,
+)
+from repro.core.schedule import ShiftedSchedule
+from repro.exceptions import ValidationError
+from repro.faults import (
+    BurstFault,
+    ComposedFault,
+    ComposedFaultSchedule,
+    NoFaults,
+    OneShotFault,
+    PeriodicFault,
+    RandomCorruption,
+    StuckAtFault,
+    TargetedCorruption,
+    WindowFault,
+)
+from repro.graphs import clique, unidirectional_ring
+from repro.stabilization import example1_protocol, stable_labeling_pair
+
+from tests.helpers import copy_ring_protocol, or_clique_protocol, random_bit_labeling
+
+
+@pytest.fixture
+def ring3():
+    protocol = copy_ring_protocol(3)
+    return protocol, protocol.topology, protocol.label_space
+
+
+class TestRandomCorruption:
+    def test_deterministic_per_seed_and_step(self, ring3):
+        _, topology, space = ring3
+        values = (0, 0, 0)
+        model = RandomCorruption(fraction=1.0, seed=5)
+        once = model.apply(values, topology, space, step=7)
+        again = model.apply(values, topology, space, step=7)
+        assert once == again
+
+    def test_different_steps_decorrelate(self, ring3):
+        _, topology, space = ring3
+        model = RandomCorruption(fraction=1.0, seed=5)
+        values = (0,) * 3
+        outcomes = {model.apply(values, topology, space, step=t) for t in range(64)}
+        assert len(outcomes) > 1
+
+    def test_zero_fraction_preserves_identity(self, ring3):
+        _, topology, space = ring3
+        values = (0, 1, 0)
+        model = RandomCorruption(fraction=0.0, seed=1)
+        assert model.apply(values, topology, space, step=0) is values
+
+    def test_full_fraction_resamples_every_edge_from_space(self, ring3):
+        _, topology, space = ring3
+        model = RandomCorruption(fraction=1.0, seed=2)
+        corrupted = model.apply((0, 1, 0), topology, space, step=3)
+        assert len(corrupted) == topology.m
+        assert all(label in space for label in corrupted)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValidationError):
+            RandomCorruption(fraction=1.5)
+
+    def test_pickle_round_trip_applies_identically(self, ring3):
+        _, topology, space = ring3
+        model = RandomCorruption(fraction=0.7, seed=9)
+        clone = pickle.loads(pickle.dumps(model))
+        values = (1, 0, 1)
+        assert model.apply(values, topology, space, 4) == clone.apply(
+            values, topology, space, 4
+        )
+
+
+class TestTargetedCorruption:
+    def test_corrupts_exactly_the_listed_edges(self, ring3):
+        _, topology, space = ring3
+        target = topology.edges[1]
+        model = TargetedCorruption([target], seed=3)
+        values = (0, 0, 0)
+        corrupted = model.apply(values, topology, space, step=0)
+        position = topology.edge_position(target)
+        for p in range(topology.m):
+            if p != position:
+                assert corrupted[p] == values[p]
+        assert corrupted[position] in space
+
+    def test_explicit_labels_written_verbatim(self, ring3):
+        _, topology, space = ring3
+        edges = topology.edges
+        model = TargetedCorruption(edges, labels={edges[0]: 1, edges[2]: 1})
+        corrupted = model.apply((0, 0, 0), topology, space, step=0)
+        assert corrupted[topology.edge_position(edges[0])] == 1
+        assert corrupted[topology.edge_position(edges[2])] == 1
+
+    def test_label_outside_space_rejected(self, ring3):
+        _, topology, space = ring3
+        edge = topology.edges[0]
+        model = TargetedCorruption([edge], labels={edge: "bogus"})
+        with pytest.raises(ValidationError):
+            model.apply((0, 0, 0), topology, space, step=0)
+
+    def test_labels_for_unlisted_edges_rejected(self, ring3):
+        _, topology, _ = ring3
+        with pytest.raises(ValidationError):
+            TargetedCorruption([topology.edges[0]], labels={topology.edges[1]: 0})
+
+    def test_needs_edges(self):
+        with pytest.raises(ValidationError):
+            TargetedCorruption([])
+
+
+class TestStuckAtFault:
+    def test_pins_edges_at_label(self, ring3):
+        _, topology, space = ring3
+        edges = topology.edges[:2]
+        model = StuckAtFault(edges, 1)
+        corrupted = model.apply((0, 0, 0), topology, space, step=0)
+        assert corrupted[topology.edge_position(edges[0])] == 1
+        assert corrupted[topology.edge_position(edges[1])] == 1
+        assert corrupted[2] == 0
+
+    def test_identity_when_already_stuck(self, ring3):
+        _, topology, space = ring3
+        values = (1, 1, 0)
+        model = StuckAtFault(topology.edges[:2], 1)
+        assert model.apply(values, topology, space, step=0) is values
+
+    def test_invalid_label_rejected(self, ring3):
+        _, topology, space = ring3
+        model = StuckAtFault(topology.edges[:1], "bogus")
+        with pytest.raises(ValidationError):
+            model.apply((0, 0, 0), topology, space, step=0)
+
+
+class TestComposedFault:
+    def test_applies_in_order(self, ring3):
+        _, topology, space = ring3
+        first = StuckAtFault(topology.edges[:1], 1)
+        second = StuckAtFault(topology.edges[:1], 0)
+        model = ComposedFault([first, second])
+        assert model.apply((0, 0, 0), topology, space, 0)[0] == 0
+        model = ComposedFault([second, first])
+        assert model.apply((0, 0, 0), topology, space, 0)[0] == 1
+
+
+class TestFaultSchedules:
+    def test_no_faults_never_fires(self):
+        assert NoFaults().fires_within(1000) == []
+        assert NoFaults().last_fire_within(1000) is None
+
+    def test_one_shot_respects_horizon(self):
+        model = RandomCorruption()
+        fault = OneShotFault(10, model)
+        assert fault.fires_within(11) == [(10, model)]
+        assert fault.fires_within(10) == []
+
+    def test_burst_sorts_and_clips(self):
+        model = RandomCorruption()
+        fault = BurstFault([9, 3, 6], model)
+        assert [t for t, _ in fault.fires_within(7)] == [3, 6]
+        assert fault.last_fire_within(100) == 9
+
+    def test_window_fires_every_step(self):
+        model = StuckAtFault([(0, 1)], 0)
+        fault = WindowFault(2, 5, model)
+        assert [t for t, _ in fault.fires_within(100)] == [2, 3, 4]
+        assert [t for t, _ in fault.fires_within(4)] == [2, 3]
+
+    def test_periodic_with_and_without_stop(self):
+        model = RandomCorruption()
+        assert [t for t, _ in PeriodicFault(3, model).fires_within(10)] == [0, 3, 6, 9]
+        bounded = PeriodicFault(3, model, start=1, stop=8)
+        assert [t for t, _ in bounded.fires_within(100)] == [1, 4, 7]
+
+    def test_composed_merges_in_time_order(self):
+        a = RandomCorruption(seed=1)
+        b = RandomCorruption(seed=2)
+        fault = ComposedFaultSchedule([OneShotFault(5, a), BurstFault([2, 5], b)])
+        assert fault.fires_within(10) == [(2, b), (5, a), (5, b)]
+
+    def test_invalid_parameters_rejected(self):
+        model = RandomCorruption()
+        with pytest.raises(ValidationError):
+            OneShotFault(-1, model)
+        with pytest.raises(ValidationError):
+            BurstFault([], model)
+        with pytest.raises(ValidationError):
+            WindowFault(3, 3, model)
+        with pytest.raises(ValidationError):
+            PeriodicFault(0, model)
+        with pytest.raises(ValidationError):
+            ComposedFaultSchedule([])
+
+    def test_schedules_pickle(self):
+        fault = ComposedFaultSchedule(
+            [OneShotFault(3, RandomCorruption(seed=4)), WindowFault(5, 8, StuckAtFault([(0, 1)], 0))]
+        )
+        clone = pickle.loads(pickle.dumps(fault))
+        assert [t for t, _ in clone.fires_within(10)] == [3, 5, 6, 7]
+
+
+class TestRunWithFaults:
+    def test_no_faults_matches_plain_run(self):
+        protocol = or_clique_protocol(clique(4))
+        simulator = Simulator(protocol, (0,) * 4)
+        labeling = random_bit_labeling(protocol.topology, seed=3)
+        schedule = SynchronousSchedule(4)
+        plain = simulator.run(labeling, schedule, max_steps=50)
+        injected = simulator.run_with_faults(
+            labeling, schedule, NoFaults(), max_steps=50
+        )
+        assert injected.outcome == plain.outcome
+        assert injected.recovery_rounds == plain.label_rounds
+        assert injected.output_recovery_rounds == plain.output_rounds
+        assert injected.steps_executed == plain.steps_executed
+        assert injected.final == plain.final
+        assert injected.faults_fired == 0
+        assert injected.last_fault_time is None
+
+    def test_fault_beyond_budget_never_fires(self):
+        protocol = or_clique_protocol(clique(3))
+        simulator = Simulator(protocol, (0,) * 3)
+        labeling = random_bit_labeling(protocol.topology, seed=1)
+        report = simulator.run_with_faults(
+            labeling,
+            SynchronousSchedule(3),
+            OneShotFault(1_000, RandomCorruption(seed=0)),
+            max_steps=30,
+        )
+        assert report.faults_fired == 0
+
+    def test_fault_at_time_zero_corrupts_initial_configuration(self):
+        # Copy-ring from a uniform labeling is stable; pinning one edge to 1
+        # at t=0 turns it into the rotating non-stabilizing labeling.
+        protocol = copy_ring_protocol(4)
+        simulator = Simulator(protocol, (0,) * 4)
+        uniform = Labeling.uniform(protocol.topology, 0)
+        fault = OneShotFault(0, StuckAtFault([protocol.topology.edges[0]], 1))
+        report = simulator.run_with_faults(
+            uniform, SynchronousSchedule(4), fault, max_steps=50
+        )
+        assert report.outcome.value == "oscillating"
+        assert not report.recovered
+
+    def test_window_fault_holds_edges_through_the_window(self):
+        # While the stuck-at window is open the or-clique keeps seeing a 1
+        # and cannot reach the all-zero fixed point; after it closes the
+        # protocol stabilizes (to all-one, seeded by the stuck edge).
+        protocol = or_clique_protocol(clique(3))
+        simulator = Simulator(protocol, (0,) * 3)
+        zero = Labeling.uniform(protocol.topology, 0)
+        fault = WindowFault(1, 6, StuckAtFault([protocol.topology.edges[0]], 1))
+        report = simulator.run_with_faults(
+            zero, SynchronousSchedule(3), fault, max_steps=40
+        )
+        assert report.faults_fired == 5
+        assert report.last_fault_time == 5
+        assert report.recovered
+        assert set(report.final.labeling.values) == {1}
+
+    def test_recovery_rounds_count_from_last_fault(self):
+        protocol = or_clique_protocol(clique(4))
+        simulator = Simulator(protocol, (0,) * 4)
+        report = simulator.run_with_faults(
+            Labeling.uniform(protocol.topology, 1),
+            SynchronousSchedule(4),
+            OneShotFault(7, TargetedCorruption(protocol.topology.edges[:2], seed=2)),
+            max_steps=60,
+        )
+        assert report.recovered
+        # the tail re-stabilizes within a couple of rounds of the fault
+        assert report.recovery_rounds <= 2
+        assert report.steps_executed >= 7
+
+    def test_rejects_unsorted_fire_lists(self):
+        class Broken:
+            def fires_within(self, horizon):
+                return [(5, RandomCorruption()), (2, RandomCorruption())]
+
+        protocol = or_clique_protocol(clique(3))
+        simulator = Simulator(protocol, (0,) * 3)
+        with pytest.raises(ValidationError):
+            simulator.run_with_faults(
+                random_bit_labeling(protocol.topology, seed=0),
+                SynchronousSchedule(3),
+                Broken(),
+                max_steps=30,
+            )
+
+
+class TestShiftedSchedule:
+    def test_active_is_shifted_view(self):
+        base = RoundRobinSchedule(5)
+        shifted = base.shifted(3)
+        for t in range(20):
+            assert shifted.active(t) == base.active(t + 3)
+
+    def test_zero_shift_returns_self(self):
+        base = SynchronousSchedule(4)
+        assert base.shifted(0) is base
+
+    def test_periodicity_survives_shifting(self):
+        base = RoundRobinSchedule(5)
+        shifted = base.shifted(2)
+        assert shifted.period == 5
+        assert shifted.preperiod == 0
+
+    def test_preperiod_shrinks_with_shift(self):
+        from repro.core import LassoSchedule
+
+        base = LassoSchedule(3, prefix=[{0}, {1}, {2}], loop=[{0, 1, 2}])
+        assert base.shifted(2).preperiod == 1
+        assert base.shifted(5).preperiod == 0
+        assert base.shifted(2).period == 1
+
+    def test_nested_shifts_flatten(self):
+        base = RoundRobinSchedule(4)
+        twice = base.shifted(2).shifted(3)
+        assert isinstance(twice, ShiftedSchedule)
+        assert twice.base is base
+        assert twice.offset == 5
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ValidationError):
+            ShiftedSchedule(RoundRobinSchedule(3), -1)
+
+    def test_shifted_random_schedule_memoizes_consistently(self):
+        base = RandomRFairSchedule(4, r=3, seed=11)
+        shifted = base.shifted(7)
+        realized = [shifted.active(t) for t in range(10)]
+        assert realized == [base.active(t + 7) for t in range(10)]
+
+
+class TestIsFixedPoint:
+    def test_stable_labelings_are_fixed_points(self):
+        protocol = example1_protocol(4)
+        compiled = compile_protocol(protocol)
+        zero, one = stable_labeling_pair(4)
+        assert compiled.is_fixed_point(zero.values, (0,) * 4)
+        assert compiled.is_fixed_point(one.values, (0,) * 4)
+
+    def test_token_labeling_is_not(self):
+        from repro.stabilization import one_token_labeling
+
+        protocol = example1_protocol(4)
+        compiled = compile_protocol(protocol)
+        assert not compiled.is_fixed_point(one_token_labeling(4).values, (0,) * 4)
+
+    def test_agrees_with_object_level_checker(self):
+        from repro.stabilization import is_stable_labeling
+
+        protocol = or_clique_protocol(clique(3))
+        compiled = compile_protocol(protocol)
+        inputs = (0,) * 3
+        for seed in range(8):
+            labeling = random_bit_labeling(protocol.topology, seed=seed)
+            assert compiled.is_fixed_point(labeling.values, inputs) == (
+                is_stable_labeling(protocol, inputs, labeling)
+            )

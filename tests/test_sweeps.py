@@ -1,5 +1,7 @@
 """Tests for the sweep runner (repro.analysis.sweeps)."""
 
+import random
+
 import pytest
 
 from repro.analysis import SweepCase, SweepReport, run_sweep
@@ -36,6 +38,25 @@ def _copy_ring(n):
 
 def _sync_factory(index, case):
     return SynchronousSchedule(len(case.inputs))
+
+
+class _StatefulRandomFactory:
+    """A schedule factory drawing per-case seeds from its own shared RNG.
+
+    The regression shape for the parallel-reproducibility fix: because the
+    factory is stateful, its results depend on the order (and process) in
+    which it is invoked.  ``run_sweep`` must therefore invoke it in the
+    parent, in case order — otherwise each worker chunk would re-run the
+    RNG from its pickled initial state and diverge from the serial sweep.
+    """
+
+    def __init__(self, n, r, seed):
+        self.n = n
+        self.r = r
+        self._rng = random.Random(seed)
+
+    def __call__(self, index, case):
+        return RandomRFairSchedule(self.n, self.r, seed=self._rng.randrange(2**32))
 
 
 class TestRunSweep:
@@ -145,6 +166,49 @@ class TestRunSweep:
         serial = run_sweep(protocol, cases, _sync_factory)
         parallel = run_sweep(protocol, cases, _sync_factory, processes=2)
         assert serial == parallel
+
+    def test_seeded_random_schedules_bit_identical_serial_vs_parallel(self):
+        # PR-2 regression: a stateful seeded factory must yield the exact
+        # same report fanned out as in-process, because run_sweep invokes
+        # the factory in the parent in case order and ships materialized
+        # schedules to the workers.
+        protocol = _copy_ring(4)
+        cases = [
+            SweepCase(
+                (0,) * 4,
+                random_bit_labeling(protocol.topology, seed=s),
+                tag=s,
+            )
+            for s in range(10)
+        ]
+        serial = run_sweep(
+            protocol, cases, _StatefulRandomFactory(4, 3, seed=42), max_steps=60
+        )
+        parallel = run_sweep(
+            protocol,
+            cases,
+            _StatefulRandomFactory(4, 3, seed=42),
+            max_steps=60,
+            processes=3,
+        )
+        assert serial == parallel
+
+    def test_factory_invoked_in_parent_in_case_order_despite_fanout(self):
+        protocol = _copy_ring(4)
+        seen = []
+
+        def factory(index, case):
+            seen.append(index)
+            return SynchronousSchedule(4)
+
+        cases = [
+            SweepCase((0,) * 4, random_bit_labeling(protocol.topology, seed=s))
+            for s in range(6)
+        ]
+        run_sweep(protocol, cases, factory, processes=3)
+        # the closure does not pickle, but it ran in this process either
+        # way: one invocation per case, in order
+        assert seen == [0, 1, 2, 3, 4, 5]
 
     def test_unpicklable_protocol_falls_back_to_serial(self):
         protocol = or_clique_protocol(clique(3))  # closure reactions
