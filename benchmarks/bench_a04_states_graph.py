@@ -1,0 +1,191 @@
+"""A4 — states-graph construction: interned exploration core vs the seed BFS.
+
+Acceptance gate for the unified exploration core
+(:mod:`repro.stabilization.exploration`): constructing the Theorem 3.1
+states-graph of the Example-1 clique must deliver at least 2x the states/s
+of the seed ``StatesGraph`` (re-enumerated ``combinations(...)`` per state,
+one compiled transition per (state, activation set), full-tuple state keys —
+reproduced verbatim below as the baseline).
+
+The second kernel demonstrates the new capacity headroom: the K_6 / r=4
+graph (27,634 states, ~819k edges) took ~14s to materialize with the seed
+implementation — far past any interactive or CI time budget — and completes
+in ~1.4s on the interned core, which makes a previously untouchable
+clique/r configuration a routine exhaustive check.
+"""
+
+from collections import deque
+from itertools import combinations
+
+from _runner import median_time
+
+from repro.analysis import print_table
+from repro.core import default_inputs
+from repro.exceptions import SearchBudgetExceeded
+from repro.stabilization import (
+    StatesGraph,
+    broadcast_labelings,
+    example1_protocol,
+)
+from repro.core.compiled import compile_protocol
+
+GATE_N, GATE_R = 5, 3
+CAPACITY_N, CAPACITY_R = 6, 4
+CAPACITY_STATES = 27_634
+REPEATS = 3
+MIN_SPEEDUP = 2.0
+
+
+# -- the pre-core implementation, kept as the baseline ------------------------
+
+
+def _seed_valid_activation_sets(countdown, n):
+    forced = frozenset(i for i in range(n) if countdown[i] == 1)
+    optional = [i for i in range(n) if i not in forced]
+    sets = []
+    for size in range(len(optional) + 1):
+        for extra in combinations(optional, size):
+            t = forced | frozenset(extra)
+            if t:
+                sets.append(t)
+    return sets
+
+
+class _SeedStatesGraph:
+    """The seed ``StatesGraph`` BFS, verbatim (modulo cosmetic renames)."""
+
+    def __init__(self, protocol, inputs, r, initial_labelings, budget=400_000):
+        self.protocol = protocol
+        self.inputs = tuple(inputs)
+        self.r = r
+        self._compiled = compile_protocol(protocol)
+        n = protocol.n
+        initial_countdown = (r,) * n
+
+        self.index = {}
+        self.states = []
+        self.successors = []
+        self.parent = []
+        self.initial_indices = []
+
+        queue = deque()
+        for labeling in initial_labelings:
+            state = (labeling.values, initial_countdown)
+            if state not in self.index:
+                self._add_state(state, None)
+                self.initial_indices.append(self.index[state])
+                queue.append(self.index[state])
+
+        while queue:
+            k = queue.popleft()
+            values, countdown = self.states[k]
+            for t in _seed_valid_activation_sets(countdown, n):
+                next_state = self._apply(values, countdown, t)
+                if next_state not in self.index:
+                    if len(self.states) >= budget:
+                        raise SearchBudgetExceeded(
+                            f"states-graph exceeded budget of {budget} states"
+                        )
+                    self._add_state(next_state, (k, t))
+                    queue.append(self.index[next_state])
+                self.successors[k].append((self.index[next_state], t))
+
+    def _add_state(self, state, parent):
+        self.index[state] = len(self.states)
+        self.states.append(state)
+        self.successors.append([])
+        self.parent.append(parent)
+
+    def _apply(self, values, countdown, active):
+        new_values, _ = self._compiled.step_values(values, None, active, self.inputs)
+        new_countdown = tuple(
+            self.r if i in active else countdown[i] - 1
+            for i in range(self.protocol.n)
+        )
+        return (new_values, new_countdown)
+
+    def __len__(self):
+        return len(self.states)
+
+
+# -- measurement -------------------------------------------------------------
+
+
+def test_a04_states_graph_construction(benchmark):
+    protocol = example1_protocol(GATE_N)
+    inputs = default_inputs(protocol)
+    initials = list(broadcast_labelings(protocol.topology, protocol.label_space))
+
+    def seed_kernel():
+        return _SeedStatesGraph(protocol, inputs, GATE_R, initials)
+
+    def core_kernel():
+        return StatesGraph(protocol, inputs, GATE_R, initials)
+
+    # The two constructions must agree edge-for-edge (state indices are BFS
+    # discovery order in both, so successor lists are directly comparable).
+    seed_graph = seed_kernel()
+    core_graph = core_kernel()
+    assert len(core_graph) == len(seed_graph)
+    assert core_graph.successors == seed_graph.successors
+    assert core_graph.parent == seed_graph.parent
+    assert core_graph.initial_indices == seed_graph.initial_indices
+
+    seed_median, seed_graph = median_time(seed_kernel, REPEATS)
+    core_median, core_graph = median_time(core_kernel, REPEATS)
+    states = len(core_graph)
+    seed_rate = states / seed_median
+    core_rate = states / core_median
+    speedup = core_rate / seed_rate
+
+    print_table(
+        f"A4: states-graph construction — Example-1 K_{GATE_N}, r={GATE_R}, "
+        f"{states} states (median of {REPEATS})",
+        ["construction", "median s", "states/s", "speedup"],
+        [
+            ["seed BFS", f"{seed_median:.4f}", f"{seed_rate:,.0f}", "1.0x"],
+            [
+                "interned exploration core",
+                f"{core_median:.4f}",
+                f"{core_rate:,.0f}",
+                f"{speedup:.1f}x",
+            ],
+        ],
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"exploration core only {speedup:.2f}x the seed states-graph "
+        f"({core_rate:,.0f} vs {seed_rate:,.0f} states/s)"
+    )
+    benchmark(core_kernel)
+
+
+def test_a04_capacity_headroom(benchmark):
+    """K_6 / r=4 — a configuration the seed BFS needed ~14s for — completes."""
+    protocol = example1_protocol(CAPACITY_N)
+    inputs = default_inputs(protocol)
+    initials = list(broadcast_labelings(protocol.topology, protocol.label_space))
+
+    def capacity_kernel():
+        return StatesGraph(protocol, inputs, CAPACITY_R, initials)
+
+    graph = capacity_kernel()
+    assert len(graph) == CAPACITY_STATES
+    edges = sum(len(succ) for succ in graph.successors)
+
+    median, graph = median_time(capacity_kernel, 1)
+    print_table(
+        f"A4: capacity — Example-1 K_{CAPACITY_N}, r={CAPACITY_R} "
+        f"(seed BFS: ~14s on the same hardware class)",
+        ["states", "edges", "distinct labelings", "s / construction", "states/s"],
+        [
+            [
+                f"{len(graph):,}",
+                f"{edges:,}",
+                f"{graph.num_labelings}",
+                f"{median:.2f}",
+                f"{len(graph) / median:,.0f}",
+            ]
+        ],
+    )
+    benchmark(capacity_kernel)

@@ -56,7 +56,8 @@ RECOVERY_CRITERIA: dict[str, Callable[["FaultCaseResult"], bool]] = {
     "label": lambda result: result.outcome is RunOutcome.LABEL_STABLE,
     "output": lambda result: result.outcome
     in (RunOutcome.LABEL_STABLE, RunOutcome.OUTPUT_STABLE),
-    "orbit": lambda result: result.outcome is not RunOutcome.TIMEOUT,
+    "orbit": lambda result: result.outcome
+    not in (RunOutcome.TIMEOUT, RunOutcome.SCHEDULE_EXHAUSTED),
 }
 
 
@@ -191,6 +192,7 @@ def run_resilience_sweep(
     max_steps: int = DEFAULT_MAX_STEPS,
     processes: int | None = None,
     recovered: str | Callable[[FaultCaseResult], bool] = "label",
+    strict: bool = False,
 ) -> ResilienceReport:
     """Inject faults into every case and measure certified recovery.
 
@@ -198,8 +200,9 @@ def run_resilience_sweep(
     (return :class:`repro.faults.NoFaults` for fault-free controls);
     ``recovered`` names a criterion from :data:`RECOVERY_CRITERIA` or is a
     predicate applied in the parent process.  Everything else matches
-    :func:`repro.analysis.sweeps.run_sweep`, including the transparent
-    serial fallback when the sweep does not pickle.
+    :func:`repro.analysis.sweeps.run_sweep`, including the serial fallback
+    (with a :class:`RuntimeWarning`, or re-raised under ``strict=True``)
+    when the sweep does not pickle.
     """
     if callable(recovered):
         criterion = recovered
@@ -222,7 +225,8 @@ def run_resilience_sweep(
     results = None
     if processes is not None and processes > 1 and len(case_list) > 1:
         results = fan_out(
-            _run_fault_cases, protocol, case_list, per_case, max_steps, processes
+            _run_fault_cases, protocol, case_list, per_case, max_steps, processes,
+            strict=strict,
         )
     if results is None:
         results = _run_fault_cases(protocol, case_list, per_case, max_steps, 0)

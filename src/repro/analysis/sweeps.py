@@ -28,6 +28,7 @@ so callers never need to special-case the environment.
 from __future__ import annotations
 
 import pickle
+import warnings
 from collections import Counter
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
@@ -205,6 +206,7 @@ def run_sweep(
     *,
     max_steps: int = DEFAULT_MAX_STEPS,
     processes: int | None = None,
+    strict: bool = False,
 ) -> SweepReport:
     """Run every case through one compiled form of ``protocol``.
 
@@ -215,7 +217,9 @@ def run_sweep(
     regardless of fan-out, so stateful (seeded) factories produce
     bit-identical sweeps serial and parallel.  ``processes > 1`` fans the
     case list out over a ``multiprocessing`` pool when everything involved
-    pickles; otherwise the sweep runs in-process.
+    pickles; otherwise the sweep runs in-process, emitting a
+    :class:`RuntimeWarning` naming the reason — or, with ``strict=True``,
+    re-raising the underlying error instead of falling back.
     """
     case_list = [_coerce_case(case) for case in cases]
     if not case_list:
@@ -225,24 +229,39 @@ def run_sweep(
     results = None
     if processes is not None and processes > 1 and len(case_list) > 1:
         results = fan_out(
-            _run_cases, protocol, case_list, schedules, max_steps, processes
+            _run_cases, protocol, case_list, schedules, max_steps, processes,
+            strict=strict,
         )
     if results is None:
         results = _run_cases(protocol, case_list, schedules, max_steps, 0)
     return SweepReport(results=tuple(results))
 
 
-def fan_out(runner, protocol, case_list, per_case, max_steps, processes):
+def fan_out(runner, protocol, case_list, per_case, max_steps, processes, strict=False):
     """Fan a case list out over a process pool; None means 'run serially'.
 
     Shared by :func:`run_sweep` and the resilience sweep.  ``runner`` must be
     a picklable module-level callable ``(protocol, cases, per_case,
     max_steps, start_index) -> list``; ``per_case`` holds one
     already-materialized work item (schedule, fault plan, ...) per case.
+
+    Degrading to serial execution is never silent: each fallback path emits
+    a :class:`RuntimeWarning` carrying the offending error, so a sweep that
+    was asked for 8 processes and ran on one core says why.  ``strict=True``
+    re-raises the underlying error instead of falling back.
     """
     try:
         pickle.dumps((protocol, case_list, per_case))
-    except Exception:
+    except Exception as error:
+        if strict:
+            raise
+        warnings.warn(
+            f"sweep fan-out disabled, running serially: the protocol, cases,"
+            f" or per-case work items do not pickle ({error!r}); use"
+            f" module-level reactions and factories to enable fan-out",
+            RuntimeWarning,
+            stacklevel=3,
+        )
         return None
     try:
         import multiprocessing
@@ -256,9 +275,17 @@ def fan_out(runner, protocol, case_list, per_case, max_steps, processes):
                     for lo, hi in bounds
                 ],
             )
-    except (OSError, ImportError, PermissionError, RuntimeError):
+    except (OSError, ImportError, PermissionError, RuntimeError) as error:
         # Restricted environments (no /dev/shm, no fork) cannot build pools,
         # and spawn-start platforms raise RuntimeError when the caller has no
         # __main__ guard — fall back to in-process execution either way.
+        if strict:
+            raise
+        warnings.warn(
+            f"sweep fan-out disabled, running serially: worker pool"
+            f" unavailable ({error!r})",
+            RuntimeWarning,
+            stacklevel=3,
+        )
         return None
     return [result for chunk in chunk_results for result in chunk]

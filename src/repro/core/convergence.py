@@ -28,6 +28,10 @@ class RunOutcome(enum.Enum):
     OSCILLATING = "oscillating"
     #: ``max_steps`` elapsed without a verdict.
     TIMEOUT = "timeout"
+    #: A finite schedule (``ExplicitSchedule(..., cycle=False)``) ran out of
+    #: activation sets before a verdict; like ``TIMEOUT``, no verdict — the
+    #: run simply cannot be driven further.
+    SCHEDULE_EXHAUSTED = "schedule-exhausted"
 
 
 @dataclass(frozen=True)

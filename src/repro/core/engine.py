@@ -29,6 +29,10 @@ Convergence detection:
   witness (it reacted to a pre-fixed-point labeling), and an empty activation
   set witnesses nothing.  Oscillation cannot be certified for aperiodic
   schedules; runs that do not stabilize end in ``TIMEOUT``.
+* **Finite schedules** (``ExplicitSchedule(..., cycle=False)``) may run out
+  of activation sets before either mechanism concludes; the run then ends
+  gracefully with a ``SCHEDULE_EXHAUSTED`` report instead of leaking the
+  schedule's :class:`ScheduleError` mid-run.
 """
 
 from __future__ import annotations
@@ -41,7 +45,7 @@ from repro.core.configuration import Configuration, Labeling
 from repro.core.convergence import RunOutcome, RunReport
 from repro.core.protocol import Protocol
 from repro.core.schedule import Schedule
-from repro.exceptions import ValidationError
+from repro.exceptions import ScheduleError, ValidationError
 
 DEFAULT_MAX_STEPS = 10_000
 
@@ -268,7 +272,20 @@ class Simulator:
         last_output_change = -1
         witnessed: set[int] = set()
         for t in range(max_steps):
-            current = active(t)
+            try:
+                current = active(t)
+            except ScheduleError:
+                # Finite (non-cycling) schedule exhausted before a verdict.
+                return RunReport(
+                    outcome=RunOutcome.SCHEDULE_EXHAUSTED,
+                    label_rounds=None,
+                    output_rounds=None,
+                    final=self._materialize(values, outputs),
+                    steps_executed=t,
+                    trace=[self._materialize(v, o) for v, o in raw]
+                    if raw is not None
+                    else None,
+                )
             next_values, next_outputs = step(values, outputs, current, inputs)
             if next_values is not values and next_values != values:
                 last_label_change = t

@@ -87,6 +87,17 @@ class ShiftedSchedule(Schedule):
     def preperiod(self) -> int:
         return max(0, self.base.preperiod - self.offset)
 
+    def phase(self, t: int) -> int:
+        """Position within the base schedule's loop.
+
+        The default ``(t - preperiod) % period`` would misreport once
+        ``offset > base.preperiod``: the clamped preperiod is 0, so phase 0
+        would no longer align with the base loop's phase 0.  A shifted view
+        at local time ``t`` is the base schedule at ``t + offset``, so its
+        loop position is exactly ``base.phase(t + offset)``.
+        """
+        return self.base.phase(t + self.offset)
+
     def shifted(self, offset: int) -> Schedule:
         return self.base.shifted(self.offset + offset)
 
@@ -244,11 +255,17 @@ def is_r_fair(schedule: Schedule, r: int, horizon: int) -> bool:
     return True
 
 
-def minimal_fairness(schedule: Schedule, horizon: int) -> int:
+def minimal_fairness(schedule: Schedule, horizon: int) -> int | None:
     """The smallest ``r`` for which the schedule is r-fair over the horizon.
 
     Computed as the largest observed gap between consecutive activations of
     any node (counting from step 0 and measured over ``horizon`` steps).
+
+    Returns ``None`` when some node is never activated within the horizon:
+    no horizon-length run can certify *any* finite fairness bound for such a
+    schedule, so there is no meaningful ``r`` to report.  (Historically this
+    case returned ``horizon + 1``, an ``r`` that looked like a certified
+    bound but was not.)
     """
     last_seen = [-1] * schedule.n
     worst_gap = 0
@@ -258,6 +275,8 @@ def minimal_fairness(schedule: Schedule, horizon: int) -> int:
             if i in active:
                 worst_gap = max(worst_gap, t - last_seen[i])
                 last_seen[i] = t
+    if -1 in last_seen:
+        return None
     for i in range(schedule.n):
         worst_gap = max(worst_gap, horizon - last_seen[i])
     return worst_gap

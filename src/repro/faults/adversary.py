@@ -43,9 +43,9 @@ from repro.core.configuration import Labeling
 from repro.core.protocol import Protocol
 from repro.core.schedule import LassoSchedule, Schedule
 from repro.exceptions import ValidationError
-from repro.stabilization.states_graph import (
+from repro.stabilization.exploration import (
     DEFAULT_STATE_BUDGET,
-    StatesGraph,
+    ExplorationGraph,
     valid_activation_sets,
 )
 
@@ -200,24 +200,29 @@ def exhaustive_worst_case_delay(
 ) -> WorstCaseDelay:
     """Exact worst-case delay via the Theorem 3.1 states-graph.
 
-    Longest-path search over the reachable ``(labeling, countdown)`` states:
-    states whose labeling is a stable fixed point have delay 0; any other
-    state's delay is one more than the best successor's; a reachable cycle
-    of non-stable states makes the delay unbounded.  Exact, but exponential —
-    paper-sized systems only (``budget`` guards the graph size).
+    Longest-path search over the reachable ``(labeling, countdown)`` states,
+    materialized by the unified exploration core: states whose labeling is a
+    stable fixed point have delay 0; any other state's delay is one more
+    than the best successor's; a reachable cycle of non-stable states makes
+    the delay unbounded.  Exact, but exponential — paper-sized systems only
+    (``budget`` guards the graph size).
     """
-    graph = StatesGraph(protocol, inputs, r, [initial_labeling], budget=budget)
-    compiled = compile_protocol(protocol)
     inputs = tuple(inputs)
+    graph = ExplorationGraph(
+        protocol, inputs, r, [initial_labeling], budget=budget, name="states-graph"
+    )
+    compiled = graph.compiled
 
-    stable_cache: dict[tuple, bool] = {}
+    # Stability is a property of the labeling alone, so cache it per
+    # interned labeling id rather than per state.
+    stable_cache: dict[int, bool] = {}
 
     def stable(k: int) -> bool:
-        values = graph.labeling_of(k)
-        cached = stable_cache.get(values)
+        lid = graph.label_id_of(k)
+        cached = stable_cache.get(lid)
         if cached is None:
-            cached = compiled.is_fixed_point(values, inputs)
-            stable_cache[values] = cached
+            cached = compiled.is_fixed_point(graph.labeling_of(k), inputs)
+            stable_cache[lid] = cached
         return cached
 
     total = len(graph)

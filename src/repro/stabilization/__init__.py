@@ -1,10 +1,19 @@
-"""Self-stabilization analysis: fixed points, states-graph, model checking."""
+"""Self-stabilization analysis: fixed points, states-graph, model checking.
+
+All exact machinery (the states-graph, the model checker, and the faults
+layer's worst-case-delay search) runs on one unified exploration core,
+:class:`~repro.stabilization.exploration.ExplorationGraph`.
+"""
 
 from repro.stabilization.example_clique import (
     example1_protocol,
     one_token_labeling,
     oscillating_schedule,
     stable_labeling_pair,
+)
+from repro.stabilization.exploration import (
+    DEFAULT_STATE_BUDGET,
+    ExplorationGraph,
 )
 from repro.stabilization.fixed_points import (
     all_labelings,
@@ -21,6 +30,8 @@ from repro.stabilization.model_checker import (
 from repro.stabilization.states_graph import StatesGraph, valid_activation_sets
 
 __all__ = [
+    "DEFAULT_STATE_BUDGET",
+    "ExplorationGraph",
     "OscillationWitness",
     "StabilizationVerdict",
     "StatesGraph",

@@ -1,0 +1,383 @@
+"""Unified exploration core for the Theorem 3.1 states-graph.
+
+Every exact question this repository answers — r-stabilization verdicts
+(Theorem 3.1 / 4.2), attractor regions, and the adversary layer's
+worst-case-delay search — is a walk over the same directed graph ``G' =
+(V', E')`` whose vertices are ``(labeling, [outputs,] countdown)`` states:
+the labeling lives in ``Sigma^E``, the optional output component enriches
+the graph for output-stabilization questions, and the countdown ``x in
+[r]^n`` records how many more steps each node may stay inactive under an
+r-fair schedule.  There is an edge for every *valid* activation set ``T``
+(nonempty and containing every node whose countdown hit 1), leading to
+``(delta(l, T), c(x, T))`` with
+
+    c(x, T)_i = r        if i in T
+    c(x, T)_i = x_i - 1  otherwise.
+
+:class:`ExplorationGraph` materializes the reachable fragment of that graph
+**once**, with the representation tuned for exhaustive search:
+
+* **Interned components.**  Labeling value-tuples, output tuples, countdown
+  vectors, and activation sets are each interned to small integer ids on
+  first sight, so a state is a triple of ints and every visited-set lookup
+  hashes three machine words instead of re-hashing ``O(m + n)`` tuples
+  (three times per edge, in the pre-core implementations).
+* **A shared activation-set cache.**  The valid activation sets of a
+  countdown vector are enumerated once per distinct countdown and cached
+  module-wide (:func:`valid_activation_sets`), instead of re-running
+  ``combinations(...)`` for every state as the seed ``StatesGraph`` did.
+* **A transition cache.**  The successor labeling (and outputs) of a state
+  depend only on ``(labeling, [outputs,] T)`` — not on the countdown — so
+  states that share a labeling but differ in countdown (the vast majority:
+  up to ``r^n`` countdowns per labeling) reuse one compiled
+  ``step_values`` evaluation per activation set.
+* **Parent links** for witness replay (:meth:`path_to` / :meth:`root_of`),
+  and **pluggable payloads**: ``track_outputs=True`` enriches states with
+  the per-node output vector for output-stabilization checking.
+
+Exploration order is plain BFS with activation sets enumerated in canonical
+order (forced set plus optional subsets by size, lexicographic), which is
+exactly the order the pre-core implementations used — so state indices,
+successor lists, parent links, and everything built on them (verdicts,
+oscillation witnesses, attractor regions, worst-case delays) are
+bit-identical to the historical results.
+
+Consumers: :class:`repro.stabilization.states_graph.StatesGraph` (a thin
+label-only view), the model checker's ``decide_label_r_stabilizing`` /
+``decide_output_r_stabilizing`` (iterative Tarjan + witness builder on
+top), and ``repro.faults.adversary.exhaustive_worst_case_delay`` /
+``MinimaxAdversarySchedule`` (longest-path search on top).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Sequence
+from itertools import combinations
+from typing import Any
+
+from repro.core.compiled import CompiledProtocol, compile_protocol
+from repro.core.configuration import Labeling
+from repro.core.protocol import Protocol
+from repro.exceptions import SearchBudgetExceeded, ValidationError
+
+DEFAULT_STATE_BUDGET = 400_000
+
+#: Module-wide activation-set cache, shared by every consumer (states-graph
+#: construction, model checking, adversary search, greedy candidate
+#: generation).  Keyed by ``(countdown, n)``; paper-sized exhaustive
+#: searches only ever touch a few thousand distinct countdowns, but
+#: long-running greedy-adversary sweeps can feed a near-unique countdown
+#: per simulated step, so the cache is bounded: when it reaches
+#: ``_ACTIVATION_SETS_CAP`` entries it is cleared and refills from the
+#: current workload (an exhaustive search re-touches its countdowns
+#: immediately, so the amortized benefit survives eviction).
+_ACTIVATION_SETS: dict[tuple[tuple[int, ...], int], tuple[frozenset[int], ...]] = {}
+_ACTIVATION_SETS_CAP = 1 << 16
+
+
+def _cached_activation_sets(countdown: tuple[int, ...], n: int) -> tuple[frozenset[int], ...]:
+    """All nonempty T containing every node whose countdown is 1 (cached)."""
+    key = (countdown, n)
+    cached = _ACTIVATION_SETS.get(key)
+    if cached is None:
+        forced = frozenset(i for i in range(n) if countdown[i] == 1)
+        optional = [i for i in range(n) if i not in forced]
+        sets = []
+        for size in range(len(optional) + 1):
+            for extra in combinations(optional, size):
+                t = forced | frozenset(extra)
+                if t:
+                    sets.append(t)
+        cached = tuple(sets)
+        if len(_ACTIVATION_SETS) >= _ACTIVATION_SETS_CAP:
+            _ACTIVATION_SETS.clear()
+        _ACTIVATION_SETS[key] = cached
+    return cached
+
+
+def valid_activation_sets(countdown: Sequence[int], n: int) -> list[frozenset[int]]:
+    """All nonempty T containing every node whose countdown is 1.
+
+    Enumeration order is canonical: the forced set first, then forced-set
+    unions with the optional nodes' subsets by size and lexicographic rank.
+    Results are cached per distinct ``(countdown, n)`` and shared across
+    all consumers; the returned list is a fresh copy, safe to mutate.
+    """
+    return list(_cached_activation_sets(tuple(countdown), n))
+
+
+class ExplorationGraph:
+    """The reachable fragment of the Theorem 3.1 states-graph, interned.
+
+    States are ``(labeling, countdown)`` pairs, or ``(labeling, outputs,
+    countdown)`` triples when ``track_outputs`` is set; components are
+    interned to integer ids and states to integer indices (BFS discovery
+    order).  ``successors[k]`` lists ``(successor index, activation set)``
+    edges; ``parent[k]`` is the ``(predecessor index, activation set)``
+    BFS-tree link used for witness replay (``None`` for initial states).
+
+    ``budget`` bounds the number of states; exceeding it raises
+    :class:`SearchBudgetExceeded` with ``name`` in the message so callers
+    (states-graph, model checker) keep their historical error texts.
+    """
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        inputs: Sequence[Any],
+        r: int,
+        initial_labelings: Iterable[Labeling],
+        budget: int = DEFAULT_STATE_BUDGET,
+        track_outputs: bool = False,
+        name: str = "exploration",
+    ):
+        if r < 1:
+            raise ValidationError("fairness parameter r must be >= 1")
+        self.protocol = protocol
+        self.inputs = tuple(inputs)
+        self.r = r
+        self.track_outputs = track_outputs
+        self.topology = protocol.topology
+        self._compiled = compile_protocol(protocol)
+        n = protocol.n
+        self.n = n
+
+        # Interning pools: id -> value, value -> id.
+        none_outputs = (None,) * n
+        self._labels: list[tuple] = []
+        self._label_ids: dict[tuple, int] = {}
+        self._outs: list[tuple] = [none_outputs]
+        self._out_ids: dict[tuple, int] = {none_outputs: 0}
+        self._countdowns: list[tuple[int, ...]] = []
+        self._countdown_ids: dict[tuple[int, ...], int] = {}
+
+        #: state index -> (labeling id, output id, countdown id).
+        self.state_keys: list[tuple[int, int, int]] = []
+        self._index: dict[tuple[int, int, int], int] = {}
+        #: successors[k] = list of (successor index, activation set).
+        self.successors: list[list[tuple[int, frozenset[int]]]] = []
+        #: (predecessor index, activation set) for witness paths; None for roots.
+        self.parent: list[tuple[int, frozenset[int]] | None] = []
+        self.initial_indices: list[int] = []
+        self._initial_labeling_at: dict[int, Labeling] = {}
+
+        labels = self._labels
+        label_ids = self._label_ids
+        outs = self._outs
+        out_ids = self._out_ids
+        countdowns = self._countdowns
+        countdown_ids = self._countdown_ids
+        state_keys = self.state_keys
+        index = self._index
+        successors = self.successors
+        parent = self.parent
+
+        def intern_countdown(countdown: tuple[int, ...]) -> int:
+            cid = countdown_ids.get(countdown)
+            if cid is None:
+                cid = len(countdowns)
+                countdown_ids[countdown] = cid
+                countdowns.append(countdown)
+            return cid
+
+        # Per-countdown moves: (activation set, set id, successor countdown
+        # id).  The activation-set enumeration comes from the shared
+        # module-wide cache; the countdown arithmetic is r-specific, so it
+        # lives here.
+        set_ids: dict[frozenset[int], int] = {}
+        moves_by_cid: dict[int, tuple[tuple[frozenset[int], int, int], ...]] = {}
+
+        def moves(cid: int):
+            cached = moves_by_cid.get(cid)
+            if cached is None:
+                countdown = countdowns[cid]
+                entries = []
+                for t in _cached_activation_sets(countdown, n):
+                    tid = set_ids.setdefault(t, len(set_ids))
+                    next_countdown = tuple(
+                        r if i in t else countdown[i] - 1 for i in range(n)
+                    )
+                    entries.append((t, tid, intern_countdown(next_countdown)))
+                cached = tuple(entries)
+                moves_by_cid[cid] = cached
+            return cached
+
+        def add_state(key, parent_link) -> int:
+            k = len(state_keys)
+            index[key] = k
+            state_keys.append(key)
+            successors.append([])
+            parent.append(parent_link)
+            return k
+
+        start_cid = intern_countdown((r,) * n)
+        queue: deque[int] = deque()
+        for labeling in initial_labelings:
+            values = labeling.values
+            lid = label_ids.get(values)
+            if lid is None:
+                lid = len(labels)
+                label_ids[values] = lid
+                labels.append(values)
+            key = (lid, 0, start_cid)
+            if key in index:
+                continue
+            k = add_state(key, None)
+            self.initial_indices.append(k)
+            self._initial_labeling_at[k] = labeling
+            queue.append(k)
+
+        # (labeling id, output id, activation-set id) -> successor
+        # (labeling id, output id).  Countdown-independent, so all states
+        # sharing a labeling reuse one compiled evaluation per set.
+        transitions: dict[tuple[int, int, int], tuple[int, int]] = {}
+        step = self._compiled.step_values
+        inputs_t = self.inputs
+
+        while queue:
+            k = queue.popleft()
+            lid, oid, cid = state_keys[k]
+            succ_k = successors[k]
+            for (t, tid, next_cid) in moves(cid):
+                tkey = (lid, oid, tid)
+                nxt = transitions.get(tkey)
+                if nxt is None:
+                    if track_outputs:
+                        new_values, new_outputs = step(labels[lid], outs[oid], t, inputs_t)
+                        noid = out_ids.get(new_outputs)
+                        if noid is None:
+                            noid = len(outs)
+                            out_ids[new_outputs] = noid
+                            outs.append(new_outputs)
+                    else:
+                        new_values, _ = step(labels[lid], None, t, inputs_t)
+                        noid = 0
+                    nlid = label_ids.get(new_values)
+                    if nlid is None:
+                        nlid = len(labels)
+                        label_ids[new_values] = nlid
+                        labels.append(new_values)
+                    nxt = (nlid, noid)
+                    transitions[tkey] = nxt
+                nkey = (nxt[0], nxt[1], next_cid)
+                j = index.get(nkey)
+                if j is None:
+                    if len(state_keys) >= budget:
+                        raise SearchBudgetExceeded(
+                            f"{name} exceeded budget of {budget} states"
+                        )
+                    j = add_state(nkey, (k, t))
+                    queue.append(j)
+                succ_k.append((j, t))
+
+    # -- component access ----------------------------------------------------
+
+    @property
+    def compiled(self) -> CompiledProtocol:
+        """The shared compiled form of the protocol."""
+        return self._compiled
+
+    def __len__(self) -> int:
+        return len(self.state_keys)
+
+    @property
+    def num_labelings(self) -> int:
+        """Distinct labelings seen (the interning pool size)."""
+        return len(self._labels)
+
+    @property
+    def num_countdowns(self) -> int:
+        """Distinct countdown vectors seen."""
+        return len(self._countdowns)
+
+    def labeling_of(self, k: int) -> tuple:
+        """The interned labeling value-tuple of state ``k``."""
+        return self._labels[self.state_keys[k][0]]
+
+    def outputs_of(self, k: int) -> tuple:
+        """The interned output tuple of state ``k`` (all-``None`` unless
+        the graph tracks outputs)."""
+        return self._outs[self.state_keys[k][1]]
+
+    def countdown_of(self, k: int) -> tuple[int, ...]:
+        """The interned countdown vector of state ``k``."""
+        return self._countdowns[self.state_keys[k][2]]
+
+    def label_id_of(self, k: int) -> int:
+        """The interned labeling id of state ``k`` (cheap equality proxy)."""
+        return self.state_keys[k][0]
+
+    def output_id_of(self, k: int) -> int:
+        """The interned output id of state ``k`` (cheap equality proxy)."""
+        return self.state_keys[k][1]
+
+    def labeling_id(self, values: tuple) -> int | None:
+        """The id of a labeling value-tuple, or ``None`` if never reached."""
+        return self._label_ids.get(values)
+
+    def initial_labeling(self, k: int) -> Labeling:
+        """The :class:`Labeling` object a root state was initialized from."""
+        return self._initial_labeling_at[k]
+
+    # -- witness replay ------------------------------------------------------
+
+    def path_to(self, k: int) -> list[frozenset[int]]:
+        """Activation sets leading from this state's root to state ``k``."""
+        actions: list[frozenset[int]] = []
+        current = k
+        while self.parent[current] is not None:
+            pred, action = self.parent[current]
+            actions.append(action)
+            current = pred
+        actions.reverse()
+        return actions
+
+    def root_of(self, k: int) -> int:
+        current = k
+        while self.parent[current] is not None:
+            current = self.parent[current][0]
+        return current
+
+    # -- attractor regions ---------------------------------------------------
+
+    def attractor_region(self, target_labelings: Iterable[tuple]) -> set[int]:
+        """States from which *every* path reaches one of the target labelings.
+
+        ``target_labelings`` is an iterable of labeling value-tuples (as
+        produced by :meth:`labeling_of` or ``Labeling.values``).
+
+        This is the "attractor region" of the Theorem 3.1 proof, computed as
+        the standard inevitability (AF) fixpoint: start from states already at
+        a target and repeatedly add states all of whose successors are in the
+        region.  Passing the set of *all* stable labelings characterizes label
+        r-stabilization: the protocol stabilizes iff every initialization
+        vertex lies in that attractor region.
+        """
+        target_ids = set()
+        for values in target_labelings:
+            lid = self._label_ids.get(tuple(values))
+            if lid is not None:
+                target_ids.add(lid)
+        total = len(self.state_keys)
+        in_region = [False] * total
+        remaining = [len(succ) for succ in self.successors]
+        predecessors: list[list[int]] = [[] for _ in range(total)]
+        for k, succ in enumerate(self.successors):
+            for (j, _) in succ:
+                predecessors[j].append(k)
+        work: deque[int] = deque()
+        for k in range(total):
+            if self.state_keys[k][0] in target_ids:
+                in_region[k] = True
+                work.append(k)
+        while work:
+            j = work.popleft()
+            for k in predecessors[j]:
+                if in_region[k]:
+                    continue
+                remaining[k] -= 1
+                if remaining[k] == 0:
+                    in_region[k] = True
+                    work.append(k)
+        return {k for k in range(total) if in_region[k]}

@@ -10,10 +10,14 @@ Theorem 3.1 states-graph:
 * it is **not** output r-stabilizing  iff  some reachable cycle (in the graph
   enriched with output components) changes some node's output.
 
-Both checks reduce to scanning strongly connected components for an internal
-"changing" edge; when one is found the checker emits a concrete
-:class:`OscillationWitness` — an initial labeling plus an eventually periodic
-r-fair schedule under which the engine provably oscillates.
+The reachable graph is materialized by the unified exploration core
+(:class:`repro.stabilization.exploration.ExplorationGraph`, with
+``track_outputs`` selecting the enriched state payload); both checks then
+reduce to scanning strongly connected components for an internal "changing"
+edge — an integer id comparison, thanks to the core's interning.  When one
+is found the checker emits a concrete :class:`OscillationWitness` — an
+initial labeling plus an eventually periodic r-fair schedule under which the
+engine provably oscillates, replayed from the core's parent links.
 
 State spaces are exponential, so callers can restrict the initial labelings
 (e.g. to broadcast labelings for clique protocols whose reactions send the
@@ -27,17 +31,14 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
-from itertools import combinations
 from typing import Any
 
-from repro.core.compiled import compile_protocol
 from repro.core.configuration import Labeling
 from repro.core.protocol import Protocol
 from repro.core.schedule import LassoSchedule
-from repro.exceptions import SearchBudgetExceeded, ValidationError
+from repro.exceptions import ValidationError
+from repro.stabilization.exploration import DEFAULT_STATE_BUDGET, ExplorationGraph
 from repro.stabilization.fixed_points import all_labelings
-
-DEFAULT_STATE_BUDGET = 400_000
 
 
 @dataclass(frozen=True)
@@ -100,99 +101,37 @@ def decide_output_r_stabilizing(
 def _decide(protocol, inputs, r, initial_labelings, budget, track_outputs):
     if r < 1:
         raise ValidationError("fairness parameter r must be >= 1")
-    topology = protocol.topology
-    n = protocol.n
     if initial_labelings is None:
-        initial_labelings = all_labelings(topology, protocol.label_space, budget)
-
-    compiled = compile_protocol(protocol)
-    inputs = tuple(inputs)
-
-    def apply(values, outputs, countdown, active):
-        if track_outputs:
-            new_values, new_outputs = compiled.step_values(
-                values, outputs, active, inputs
-            )
-        else:
-            new_values, _ = compiled.step_values(values, None, active, inputs)
-            new_outputs = outputs
-        new_countdown = tuple(
-            r if i in active else countdown[i] - 1 for i in range(n)
+        initial_labelings = all_labelings(
+            protocol.topology, protocol.label_space, budget
         )
-        return (new_values, new_outputs, new_countdown)
 
-    # -- explore the reachable graph ---------------------------------------
-    start_countdown = (r,) * n
-    none_outputs = (None,) * n
-    index: dict = {}
-    states: list = []
-    successors: list[list[tuple[int, frozenset[int]]]] = []
-    parent: list[tuple[int, frozenset[int]] | None] = []
-    initial_index_of: list[int] = []
-    initial_labeling_objects: list[Labeling] = []
-
-    queue: deque[int] = deque()
-    for labeling in initial_labelings:
-        state = (labeling.values, none_outputs, start_countdown)
-        if state in index:
-            continue
-        index[state] = len(states)
-        states.append(state)
-        successors.append([])
-        parent.append(None)
-        initial_index_of.append(index[state])
-        initial_labeling_objects.append(labeling)
-        queue.append(index[state])
-
-    activation_cache: dict[tuple[int, ...], list[frozenset[int]]] = {}
-
-    def activations(countdown):
-        cached = activation_cache.get(countdown)
-        if cached is not None:
-            return cached
-        forced = frozenset(i for i in range(n) if countdown[i] == 1)
-        optional = [i for i in range(n) if i not in forced]
-        sets = []
-        for size in range(len(optional) + 1):
-            for extra in combinations(optional, size):
-                t = forced | frozenset(extra)
-                if t:
-                    sets.append(t)
-        activation_cache[countdown] = sets
-        return sets
-
-    while queue:
-        k = queue.popleft()
-        values, outputs, countdown = states[k]
-        for t in activations(countdown):
-            nxt = apply(values, outputs, countdown, t)
-            j = index.get(nxt)
-            if j is None:
-                if len(states) >= budget:
-                    raise SearchBudgetExceeded(
-                        f"model checker exceeded budget of {budget} states"
-                    )
-                j = len(states)
-                index[nxt] = j
-                states.append(nxt)
-                successors.append([])
-                parent.append((k, t))
-                queue.append(j)
-            successors[k].append((j, t))
+    graph = ExplorationGraph(
+        protocol,
+        inputs,
+        r,
+        initial_labelings,
+        budget=budget,
+        track_outputs=track_outputs,
+        name="model checker",
+    )
 
     # -- SCCs (iterative Tarjan) --------------------------------------------
-    scc_id = _tarjan(successors)
+    scc_id = _tarjan(graph.successors)
 
     # -- hunt for a changing edge inside an SCC ------------------------------
-    def changes(a, b):
-        if states[a][0] != states[b][0]:
-            return True
-        return track_outputs and states[a][1] != states[b][1]
-
+    # A transition changes the monitored quantity exactly when the interned
+    # labeling id differs (or, with outputs tracked, the output id — the id
+    # is constant 0 otherwise, so one combined check covers both modes).
+    state_keys = graph.state_keys
     bad_edge = None
-    for k, succ in enumerate(successors):
+    for k, succ in enumerate(graph.successors):
+        lid, oid, _ = state_keys[k]
         for (j, t) in succ:
-            if scc_id[k] == scc_id[j] and changes(k, j):
+            if scc_id[k] != scc_id[j]:
+                continue
+            jlid, joid, _ = state_keys[j]
+            if lid != jlid or oid != joid:
                 bad_edge = (k, j, t)
                 break
         if bad_edge:
@@ -203,25 +142,15 @@ def _decide(protocol, inputs, r, initial_labelings, budget, track_outputs):
             stabilizing=True,
             kind="output" if track_outputs else "label",
             r=r,
-            states_explored=len(states),
+            states_explored=len(graph),
         )
 
-    witness = _build_witness(
-        bad_edge,
-        scc_id,
-        successors,
-        parent,
-        states,
-        initial_index_of,
-        initial_labeling_objects,
-        topology,
-        r,
-    )
+    witness = _build_witness(bad_edge, scc_id, graph, r)
     return StabilizationVerdict(
         stabilizing=False,
         kind="output" if track_outputs else "label",
         r=r,
-        states_explored=len(states),
+        states_explored=len(graph),
         witness=witness,
     )
 
@@ -278,32 +207,16 @@ def _tarjan(successors: list[list[tuple[int, frozenset[int]]]]) -> list[int]:
     return ids
 
 
-def _build_witness(
-    bad_edge,
-    scc_id,
-    successors,
-    parent,
-    states,
-    initial_index_of,
-    initial_labeling_objects,
-    topology,
-    r,
-):
+def _build_witness(bad_edge, scc_id, graph: ExplorationGraph, r):
     k, j, t = bad_edge
-    # Path from the exploration root of k back to k (roots are initial states).
-    prefix_actions: list[frozenset[int]] = []
-    current = k
-    while parent[current] is not None:
-        pred, action = parent[current]
-        prefix_actions.append(action)
-        current = pred
-    prefix_actions.reverse()
-    root = current
-    root_position = initial_index_of.index(root)
-    initial_labeling = initial_labeling_objects[root_position]
+    # Path from the exploration root of k back to k (roots are initial
+    # states), via the core's parent links.
+    prefix_actions = graph.path_to(k)
+    initial_labeling = graph.initial_labeling(graph.root_of(k))
 
     # Cycle: the bad edge k -> j, then a path j -> k inside the SCC.
     component = scc_id[k]
+    successors = graph.successors
     back_parent: dict[int, tuple[int, frozenset[int]]] = {}
     queue = deque((j,))
     seen = {j}

@@ -16,43 +16,42 @@ and conversely every path yields an r-fair schedule, so questions about
 r-stabilization become graph questions: the protocol fails to label
 r-stabilize exactly when some reachable cycle changes the labeling.
 
-This module materializes the reachable part of ``G'`` (with explicit state
-budgets) and computes the *attractor regions* the proof reasons about.
+:class:`StatesGraph` is the label-only view of the unified exploration core
+(:class:`repro.stabilization.exploration.ExplorationGraph`), which interns
+labelings and countdowns, caches valid activation sets per countdown, and
+reuses one compiled transition per ``(labeling, activation set)`` pair —
+the same core the model checker and the adversary's worst-case-delay search
+run on.  The historical ``states`` / ``index`` views (full
+``(labeling values, countdown)`` tuples) are materialized lazily on first
+access, so exhaustive searches that only need ids never pay for them.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from collections.abc import Iterable, Sequence
-from itertools import combinations
 from typing import Any
 
-from repro.core.compiled import compile_protocol
 from repro.core.configuration import Labeling
 from repro.core.protocol import Protocol
-from repro.exceptions import SearchBudgetExceeded, ValidationError
+from repro.stabilization.exploration import (
+    DEFAULT_STATE_BUDGET,
+    ExplorationGraph,
+    valid_activation_sets,
+)
+
+__all__ = [
+    "DEFAULT_STATE_BUDGET",
+    "State",
+    "StatesGraph",
+    "valid_activation_sets",
+]
 
 #: A state: (labeling values in canonical edge order, countdown vector).
 State = tuple[tuple, tuple[int, ...]]
 
-DEFAULT_STATE_BUDGET = 400_000
 
-
-def valid_activation_sets(countdown: Sequence[int], n: int) -> list[frozenset[int]]:
-    """All nonempty T containing every node whose countdown is 1."""
-    forced = frozenset(i for i in range(n) if countdown[i] == 1)
-    optional = [i for i in range(n) if i not in forced]
-    sets = []
-    for size in range(len(optional) + 1):
-        for extra in combinations(optional, size):
-            t = forced | frozenset(extra)
-            if t:
-                sets.append(t)
-    return sets
-
-
-class StatesGraph:
-    """Reachable fragment of the Theorem 3.1 states-graph."""
+class StatesGraph(ExplorationGraph):
+    """Reachable fragment of the Theorem 3.1 states-graph (labels only)."""
 
     def __init__(
         self,
@@ -62,119 +61,34 @@ class StatesGraph:
         initial_labelings: Iterable[Labeling],
         budget: int = DEFAULT_STATE_BUDGET,
     ):
-        if r < 1:
-            raise ValidationError("fairness parameter r must be >= 1")
-        self.protocol = protocol
-        self.inputs = tuple(inputs)
-        self.r = r
-        self.topology = protocol.topology
-        self._compiled = compile_protocol(protocol)
-        n = protocol.n
-        initial_countdown = (r,) * n
-
-        self.index: dict[State, int] = {}
-        self.states: list[State] = []
-        #: successors[k] = list of (successor index, activation set).
-        self.successors: list[list[tuple[int, frozenset[int]]]] = []
-        #: (predecessor index, activation set) for witness paths; None for roots.
-        self.parent: list[tuple[int, frozenset[int]] | None] = []
-        self.initial_indices: list[int] = []
-
-        queue: deque[int] = deque()
-        for labeling in initial_labelings:
-            state = (labeling.values, initial_countdown)
-            if state not in self.index:
-                self._add_state(state, None)
-                self.initial_indices.append(self.index[state])
-                queue.append(self.index[state])
-
-        while queue:
-            k = queue.popleft()
-            values, countdown = self.states[k]
-            for t in valid_activation_sets(countdown, n):
-                next_state = self._apply(values, countdown, t)
-                if next_state not in self.index:
-                    if len(self.states) >= budget:
-                        raise SearchBudgetExceeded(
-                            f"states-graph exceeded budget of {budget} states"
-                        )
-                    self._add_state(next_state, (k, t))
-                    queue.append(self.index[next_state])
-                self.successors[k].append((self.index[next_state], t))
-
-    # -- construction helpers ----------------------------------------------
-
-    def _add_state(self, state: State, parent: tuple[int, frozenset[int]] | None):
-        self.index[state] = len(self.states)
-        self.states.append(state)
-        self.successors.append([])
-        self.parent.append(parent)
-
-    def _apply(self, values: tuple, countdown: tuple, active: frozenset[int]) -> State:
-        new_values, _ = self._compiled.step_values(values, None, active, self.inputs)
-        new_countdown = tuple(
-            self.r if i in active else countdown[i] - 1
-            for i in range(self.protocol.n)
+        super().__init__(
+            protocol,
+            inputs,
+            r,
+            initial_labelings,
+            budget=budget,
+            track_outputs=False,
+            name="states-graph",
         )
-        return (new_values, new_countdown)
+        self._states_view: list[State] | None = None
+        self._index_view: dict[State, int] | None = None
 
-    # -- queries -------------------------------------------------------------
+    # -- compatibility views -------------------------------------------------
 
-    def __len__(self) -> int:
-        return len(self.states)
+    @property
+    def states(self) -> list[State]:
+        """States as ``(labeling values, countdown)`` tuples, by index."""
+        if self._states_view is None:
+            labels = self._labels
+            countdowns = self._countdowns
+            self._states_view = [
+                (labels[lid], countdowns[cid]) for (lid, _oid, cid) in self.state_keys
+            ]
+        return self._states_view
 
-    def labeling_of(self, k: int) -> tuple:
-        return self.states[k][0]
-
-    def path_to(self, k: int) -> list[frozenset[int]]:
-        """Activation sets leading from this state's root to state ``k``."""
-        actions: list[frozenset[int]] = []
-        current = k
-        while self.parent[current] is not None:
-            pred, action = self.parent[current]
-            actions.append(action)
-            current = pred
-        actions.reverse()
-        return actions
-
-    def root_of(self, k: int) -> int:
-        current = k
-        while self.parent[current] is not None:
-            current = self.parent[current][0]
-        return current
-
-    def attractor_region(self, target_labelings: Iterable[tuple]) -> set[int]:
-        """States from which *every* path reaches one of the target labelings.
-
-        ``target_labelings`` is an iterable of labeling value-tuples (as
-        produced by :meth:`labeling_of` or ``Labeling.values``).
-
-        This is the "attractor region" of the Theorem 3.1 proof, computed as
-        the standard inevitability (AF) fixpoint: start from states already at
-        a target and repeatedly add states all of whose successors are in the
-        region.  Passing the set of *all* stable labelings characterizes label
-        r-stabilization: the protocol stabilizes iff every initialization
-        vertex lies in that attractor region.
-        """
-        targets = set(target_labelings)
-        in_region = [False] * len(self.states)
-        remaining = [len(succ) for succ in self.successors]
-        predecessors: list[list[int]] = [[] for _ in self.states]
-        for k, succ in enumerate(self.successors):
-            for (j, _) in succ:
-                predecessors[j].append(k)
-        work = deque()
-        for k in range(len(self.states)):
-            if self.labeling_of(k) in targets:
-                in_region[k] = True
-                work.append(k)
-        while work:
-            j = work.popleft()
-            for k in predecessors[j]:
-                if in_region[k]:
-                    continue
-                remaining[k] -= 1
-                if remaining[k] == 0:
-                    in_region[k] = True
-                    work.append(k)
-        return {k for k in range(len(self.states)) if in_region[k]}
+    @property
+    def index(self) -> dict[State, int]:
+        """Mapping from ``(labeling values, countdown)`` states to indices."""
+        if self._index_view is None:
+            self._index_view = {state: k for k, state in enumerate(self.states)}
+        return self._index_view

@@ -5,6 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import (
+    ExplicitSchedule,
     Labeling,
     LambdaReaction,
     RandomRFairSchedule,
@@ -229,6 +230,53 @@ class TestAperiodicCertification:
         report = sim.run(labeling, schedule, max_steps=20)
         assert report.outcome is RunOutcome.TIMEOUT
         assert report.steps_executed == 20
+
+
+class TestScheduleExhaustion:
+    """Regression: a finite ``ExplicitSchedule(..., cycle=False)`` used to
+    leak a ``ScheduleError`` out of ``Simulator.run`` once the script ran
+    out mid-run; the engine now ends the run with ``SCHEDULE_EXHAUSTED``."""
+
+    def test_exhausted_schedule_ends_gracefully(self):
+        proto = copy_ring_protocol(3)
+        labeling = Labeling(proto.topology, (1, 0, 0))  # rotates forever
+        sim = Simulator(proto, (0,) * 3)
+        schedule = ExplicitSchedule(3, [{0, 1, 2}] * 4, cycle=False)
+        report = sim.run(labeling, schedule, max_steps=100)
+        assert report.outcome is RunOutcome.SCHEDULE_EXHAUSTED
+        assert report.steps_executed == 4
+        assert report.label_rounds is None
+        # the final configuration reflects all four executed steps: the
+        # token rotated one edge per step, 4 mod 3 = 1 edges in total
+        assert report.final.labeling.values == (0, 1, 0)
+
+    def test_certification_before_exhaustion_still_wins(self):
+        proto = or_clique_protocol(clique(2))
+        sim = Simulator(proto, (0, 0))
+        labeling = Labeling.uniform(proto.topology, 0)  # already a fixed point
+        schedule = ExplicitSchedule(2, [{0}, {1}, {0}], cycle=False)
+        report = sim.run(labeling, schedule, max_steps=100)
+        assert report.outcome is RunOutcome.LABEL_STABLE
+        assert report.steps_executed == 2  # certified before the script ran out
+
+    def test_exhausted_run_records_trace(self):
+        proto = copy_ring_protocol(3)
+        labeling = Labeling(proto.topology, (1, 0, 0))
+        sim = Simulator(proto, (0,) * 3)
+        schedule = ExplicitSchedule(3, [{0, 1, 2}] * 2, cycle=False)
+        report = sim.run(labeling, schedule, max_steps=100, record_trace=True)
+        assert report.outcome is RunOutcome.SCHEDULE_EXHAUSTED
+        assert report.trace is not None
+        assert len(report.trace) == 3  # initial configuration + 2 steps
+
+    def test_max_steps_before_exhaustion_is_timeout(self):
+        proto = copy_ring_protocol(3)
+        labeling = Labeling(proto.topology, (1, 0, 0))
+        sim = Simulator(proto, (0,) * 3)
+        schedule = ExplicitSchedule(3, [{0, 1, 2}] * 10, cycle=False)
+        report = sim.run(labeling, schedule, max_steps=5)
+        assert report.outcome is RunOutcome.TIMEOUT
+        assert report.steps_executed == 5
 
 
 class TestDeterminism:

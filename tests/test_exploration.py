@@ -1,0 +1,388 @@
+"""Tests for the unified exploration core (repro.stabilization.exploration).
+
+The core replaced three hand-rolled BFS loops (seed ``StatesGraph``, the
+model checker's ``_decide``, the adversary's worst-case search), so the
+contract is strict: identical reachable structure — state order, successor
+lists, parent links — and bit-identical witnesses on the paper gadgets.
+The reference implementation below is the seed ``StatesGraph`` BFS kept
+verbatim for comparison.
+"""
+
+from collections import deque
+from itertools import combinations
+
+import pytest
+
+from repro.core import ExplicitSchedule, Labeling, Simulator, default_inputs
+from repro.core.compiled import compile_protocol
+from repro.exceptions import SearchBudgetExceeded, ValidationError
+from repro.graphs import clique
+from repro.stabilization import (
+    ExplorationGraph,
+    StatesGraph,
+    broadcast_labelings,
+    decide_label_r_stabilizing,
+    decide_output_r_stabilizing,
+    example1_protocol,
+    stable_labeling_pair,
+    valid_activation_sets,
+)
+
+from tests.helpers import copy_ring_protocol, or_clique_protocol
+
+
+# -- the seed StatesGraph BFS, kept as the structural reference ---------------
+
+
+def _seed_activation_sets(countdown, n):
+    forced = frozenset(i for i in range(n) if countdown[i] == 1)
+    optional = [i for i in range(n) if i not in forced]
+    sets = []
+    for size in range(len(optional) + 1):
+        for extra in combinations(optional, size):
+            t = forced | frozenset(extra)
+            if t:
+                sets.append(t)
+    return sets
+
+
+class _SeedGraph:
+    def __init__(self, protocol, inputs, r, initial_labelings, budget=400_000):
+        compiled = compile_protocol(protocol)
+        inputs = tuple(inputs)
+        n = protocol.n
+        self.index = {}
+        self.states = []
+        self.successors = []
+        self.parent = []
+        self.initial_indices = []
+
+        def add(state, parent):
+            self.index[state] = len(self.states)
+            self.states.append(state)
+            self.successors.append([])
+            self.parent.append(parent)
+
+        queue = deque()
+        for labeling in initial_labelings:
+            state = (labeling.values, (r,) * n)
+            if state not in self.index:
+                add(state, None)
+                self.initial_indices.append(self.index[state])
+                queue.append(self.index[state])
+        while queue:
+            k = queue.popleft()
+            values, countdown = self.states[k]
+            for t in _seed_activation_sets(countdown, n):
+                new_values, _ = compiled.step_values(values, None, t, inputs)
+                nxt = (
+                    new_values,
+                    tuple(r if i in t else countdown[i] - 1 for i in range(n)),
+                )
+                if nxt not in self.index:
+                    if len(self.states) >= budget:
+                        raise SearchBudgetExceeded("budget")
+                    add(nxt, (k, t))
+                    queue.append(self.index[nxt])
+                self.successors[k].append((self.index[nxt], t))
+
+
+def _gadgets():
+    e3 = example1_protocol(3)
+    e4 = example1_protocol(4)
+    ring = copy_ring_protocol(3)
+    orc = or_clique_protocol(clique(4))
+    return [
+        (e3, 1, list(broadcast_labelings(e3.topology, e3.label_space))),
+        (e3, 2, list(broadcast_labelings(e3.topology, e3.label_space))),
+        (e4, 2, list(broadcast_labelings(e4.topology, e4.label_space))),
+        (ring, 2, [Labeling(ring.topology, (1, 0, 0))]),
+        (orc, 3, list(broadcast_labelings(orc.topology, orc.label_space))),
+    ]
+
+
+class TestStructureMatchesSeed:
+    @pytest.mark.parametrize("case", range(5))
+    def test_identical_reachable_structure(self, case):
+        protocol, r, initials = _gadgets()[case]
+        inputs = default_inputs(protocol)
+        seed = _SeedGraph(protocol, inputs, r, initials)
+        core = StatesGraph(protocol, inputs, r, initials)
+        assert len(core) == len(seed.states)
+        assert core.states == seed.states
+        assert core.index == seed.index
+        assert core.successors == seed.successors
+        assert core.parent == seed.parent
+        assert core.initial_indices == seed.initial_indices
+
+    def test_attractor_region_matches_seed_fixpoint(self):
+        protocol = example1_protocol(3)
+        inputs = default_inputs(protocol)
+        initials = list(broadcast_labelings(protocol.topology, protocol.label_space))
+        seed = _SeedGraph(protocol, inputs, 2, initials)
+        core = StatesGraph(protocol, inputs, 2, initials)
+        zero, one = stable_labeling_pair(3)
+        targets = {zero.values, one.values}
+
+        # Reference inevitability fixpoint on the seed graph.
+        in_region = [seed.states[k][0] in targets for k in range(len(seed.states))]
+        changed = True
+        while changed:
+            changed = False
+            for k in range(len(seed.states)):
+                if not in_region[k] and all(in_region[j] for j, _ in seed.successors[k]):
+                    in_region[k] = True
+                    changed = True
+        reference = {k for k, inside in enumerate(in_region) if inside}
+        assert core.attractor_region(targets) == reference
+
+
+class TestInterning:
+    def test_labelings_are_interned_to_shared_tuples(self):
+        protocol = example1_protocol(3)
+        inputs = default_inputs(protocol)
+        graph = StatesGraph(
+            protocol,
+            inputs,
+            2,
+            broadcast_labelings(protocol.topology, protocol.label_space),
+        )
+        by_id: dict[int, tuple] = {}
+        for k in range(len(graph)):
+            lid = graph.label_id_of(k)
+            values = graph.labeling_of(k)
+            if lid in by_id:
+                assert by_id[lid] is values  # the same object, not a copy
+            by_id[lid] = values
+            # ids round-trip through the reverse lookup
+            assert graph.labeling_id(values) == lid
+        assert graph.num_labelings == len(by_id)
+        assert graph.num_labelings <= len(graph)
+
+    def test_countdowns_round_trip(self):
+        protocol = example1_protocol(3)
+        inputs = default_inputs(protocol)
+        graph = StatesGraph(
+            protocol,
+            inputs,
+            2,
+            broadcast_labelings(protocol.topology, protocol.label_space),
+        )
+        for k in graph.initial_indices:
+            assert graph.countdown_of(k) == (2, 2, 2)
+        for k in range(len(graph)):
+            countdown = graph.countdown_of(k)
+            assert len(countdown) == 3
+            assert all(1 <= c <= 2 for c in countdown)
+            assert graph.states[k] == (graph.labeling_of(k), countdown)
+
+    def test_label_only_graph_has_all_none_outputs(self):
+        protocol = copy_ring_protocol(3)
+        graph = ExplorationGraph(
+            protocol,
+            default_inputs(protocol),
+            1,
+            [Labeling(protocol.topology, (1, 0, 0))],
+        )
+        assert all(graph.outputs_of(k) == (None, None, None) for k in range(len(graph)))
+        assert all(graph.output_id_of(k) == 0 for k in range(len(graph)))
+
+    def test_output_tracking_matches_engine_stepping(self):
+        protocol = copy_ring_protocol(3)
+        inputs = default_inputs(protocol)
+        graph = ExplorationGraph(
+            protocol,
+            inputs,
+            1,
+            [Labeling(protocol.topology, (1, 0, 0))],
+            track_outputs=True,
+        )
+        compiled = compile_protocol(protocol)
+        for k in range(len(graph)):
+            for (j, t) in graph.successors[k]:
+                values, outputs = compiled.step_values(
+                    graph.labeling_of(k), graph.outputs_of(k), t, tuple(inputs)
+                )
+                assert graph.labeling_of(j) == values
+                assert graph.outputs_of(j) == outputs
+
+    def test_output_tracking_distinguishes_states(self):
+        # The label-only graph of the copy ring at r=1 has 8 states; with
+        # outputs tracked (initially all-None, then per-node bits) it has 16.
+        protocol = copy_ring_protocol(3)
+        inputs = default_inputs(protocol)
+        initial = [Labeling(protocol.topology, (1, 0, 0))]
+        label_only = ExplorationGraph(protocol, inputs, 1, initial)
+        with_outputs = ExplorationGraph(
+            protocol, inputs, 1, initial, track_outputs=True
+        )
+        assert len(label_only) < len(with_outputs)
+
+
+class TestBudgetAndValidation:
+    def test_budget_exhaustion_names_the_consumer(self):
+        protocol = example1_protocol(3)
+        inputs = default_inputs(protocol)
+        initials = list(broadcast_labelings(protocol.topology, protocol.label_space))
+        with pytest.raises(SearchBudgetExceeded, match="states-graph exceeded"):
+            StatesGraph(protocol, inputs, 2, initials, budget=10)
+        with pytest.raises(SearchBudgetExceeded, match="model checker exceeded"):
+            decide_label_r_stabilizing(
+                protocol,
+                inputs,
+                2,
+                initial_labelings=broadcast_labelings(
+                    protocol.topology, protocol.label_space
+                ),
+                budget=10,
+            )
+
+    def test_budget_allows_exactly_the_reachable_size(self):
+        protocol = example1_protocol(3)
+        inputs = default_inputs(protocol)
+        initials = list(broadcast_labelings(protocol.topology, protocol.label_space))
+        full = StatesGraph(protocol, inputs, 2, initials)
+        again = StatesGraph(protocol, inputs, 2, initials, budget=len(full))
+        assert len(again) == len(full)
+        with pytest.raises(SearchBudgetExceeded):
+            StatesGraph(protocol, inputs, 2, initials, budget=len(full) - 1)
+
+    def test_invalid_r_rejected(self):
+        protocol = example1_protocol(3)
+        with pytest.raises(ValidationError):
+            ExplorationGraph(protocol, default_inputs(protocol), 0, [])
+
+
+class TestWitnessReplay:
+    def test_path_to_replays_through_the_engine(self):
+        protocol = or_clique_protocol(clique(3))
+        inputs = default_inputs(protocol)
+        graph = StatesGraph(
+            protocol,
+            inputs,
+            2,
+            broadcast_labelings(protocol.topology, protocol.label_space),
+        )
+        simulator = Simulator(protocol, inputs)
+        checked = 0
+        for k in range(len(graph)):
+            actions = graph.path_to(k)
+            if not 0 < len(actions) <= 5:
+                continue
+            root = graph.root_of(k)
+            labeling = Labeling(protocol.topology, graph.labeling_of(root))
+            trace = simulator.run_trace(
+                labeling, ExplicitSchedule(3, actions, cycle=False), steps=len(actions)
+            )
+            assert trace[-1].labeling.values == graph.labeling_of(k)
+            checked += 1
+        assert checked > 10
+
+    def test_initial_labeling_objects_preserved(self):
+        protocol = example1_protocol(3)
+        inputs = default_inputs(protocol)
+        initials = list(broadcast_labelings(protocol.topology, protocol.label_space))
+        graph = StatesGraph(protocol, inputs, 2, initials)
+        recovered = [graph.initial_labeling(k) for k in graph.initial_indices]
+        assert [labeling.values for labeling in recovered] == [
+            labeling.values for labeling in initials
+        ]
+
+
+class TestGoldenWitnesses:
+    """Verdicts and witnesses captured from the seed model checker — the
+    rebuilt checker must reproduce them bit-for-bit."""
+
+    def test_example1_k3_r2(self):
+        protocol = example1_protocol(3)
+        inputs = default_inputs(protocol)
+        verdict = decide_label_r_stabilizing(
+            protocol,
+            inputs,
+            2,
+            initial_labelings=broadcast_labelings(
+                protocol.topology, protocol.label_space
+            ),
+        )
+        assert not verdict.stabilizing
+        assert verdict.states_explored == 35
+        witness = verdict.witness
+        assert witness.initial_labeling.values == (0, 0, 0, 0, 1, 1)
+        assert witness.prefix == (frozenset({0, 2}),)
+        assert witness.loop == (
+            frozenset({0, 1}),
+            frozenset({1, 2}),
+            frozenset({0, 2}),
+        )
+
+    def test_example1_k4_r3(self):
+        protocol = example1_protocol(4)
+        inputs = default_inputs(protocol)
+        verdict = decide_label_r_stabilizing(
+            protocol,
+            inputs,
+            3,
+            initial_labelings=broadcast_labelings(
+                protocol.topology, protocol.label_space
+            ),
+        )
+        assert not verdict.stabilizing
+        assert verdict.states_explored == 404
+        witness = verdict.witness
+        assert witness.initial_labeling.values == (0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1)
+        assert witness.prefix == (frozenset({0, 3}), frozenset({0, 1}))
+        assert witness.loop == (
+            frozenset({1, 2}),
+            frozenset({2, 3}),
+            frozenset({0, 3}),
+            frozenset({0, 1}),
+        )
+
+    def test_copy_ring_label_and_output(self):
+        protocol = copy_ring_protocol(3)
+        inputs = default_inputs(protocol)
+        label_verdict = decide_label_r_stabilizing(protocol, inputs, 1)
+        assert not label_verdict.stabilizing
+        assert label_verdict.states_explored == 8
+        assert label_verdict.witness.initial_labeling.values == (0, 0, 1)
+        assert label_verdict.witness.prefix == ()
+        assert label_verdict.witness.loop == (frozenset({0, 1, 2}),) * 3
+
+        output_verdict = decide_output_r_stabilizing(protocol, inputs, 1)
+        assert not output_verdict.stabilizing
+        assert output_verdict.states_explored == 16
+        assert output_verdict.witness.initial_labeling.values == (0, 0, 1)
+        assert output_verdict.witness.prefix == (frozenset({0, 1, 2}),)
+        assert output_verdict.witness.loop == (frozenset({0, 1, 2}),) * 3
+
+
+class TestActivationSetCache:
+    def test_matches_naive_enumeration_order(self):
+        for countdown in [(1, 3, 2), (5, 5, 5), (1, 1), (2,), (1, 2, 1, 2)]:
+            n = len(countdown)
+            assert valid_activation_sets(countdown, n) == _seed_activation_sets(
+                countdown, n
+            )
+
+    def test_returns_a_fresh_mutable_list(self):
+        first = valid_activation_sets((2, 2), 2)
+        first.clear()  # mutating the result must not corrupt the cache
+        assert valid_activation_sets((2, 2), 2) == _seed_activation_sets((2, 2), 2)
+
+    def test_accepts_any_sequence_type(self):
+        as_list = valid_activation_sets([1, 2, 2], 3)
+        as_tuple = valid_activation_sets((1, 2, 2), 3)
+        assert as_list == as_tuple
+
+    def test_cache_is_bounded(self, monkeypatch):
+        # Long-running greedy adversaries feed a near-unique countdown per
+        # step; the shared cache must evict rather than grow without bound.
+        from repro.stabilization import exploration
+
+        monkeypatch.setattr(exploration, "_ACTIVATION_SETS_CAP", 8)
+        for k in range(100):
+            # distinct countdowns (all > 1, so no forced set)
+            valid_activation_sets((2 + k, 2 + k + 1), 2)
+            assert len(exploration._ACTIVATION_SETS) <= 8
+        # correctness survives eviction
+        assert valid_activation_sets((2, 3), 2) == _seed_activation_sets((2, 3), 2)

@@ -323,14 +323,15 @@ class TestResilienceSweepMechanics:
             )
             for s in range(3)
         ]
-        report = run_resilience_sweep(
-            protocol,
-            cases,
-            _sync,
-            lambda i, c: OneShotFault(2, RandomCorruption(0.5, seed=i)),
-            max_steps=50,
-            processes=4,
-        )
+        with pytest.warns(RuntimeWarning, match="do not pickle"):
+            report = run_resilience_sweep(
+                protocol,
+                cases,
+                _sync,
+                lambda i, c: OneShotFault(2, RandomCorruption(0.5, seed=i)),
+                max_steps=50,
+                processes=4,
+            )
         assert len(report) == 3
 
     def test_no_fault_control_matches_plain_sweep(self):

@@ -13,6 +13,7 @@ from repro.core import (
     is_r_fair,
     minimal_fairness,
 )
+from repro.core.schedule import ShiftedSchedule
 from repro.exceptions import ScheduleError, ValidationError
 
 
@@ -112,6 +113,33 @@ class TestRandomRFair:
             RandomRFairSchedule(3, r=2, p=1.5)
 
 
+class TestShiftedPhase:
+    def test_phase_aligns_with_base_loop_past_preperiod(self):
+        # Regression: with offset > base.preperiod the clamped preperiod is
+        # 0, and the default phase formula decoupled from the base loop —
+        # shifted.phase(0) reported 0 even though the view starts mid-loop.
+        base = LassoSchedule(2, prefix=[{0}], loop=[{0}, {1}, {0, 1}])
+        shifted = base.shifted(2)  # offset 2 > preperiod 1
+        for t in range(12):
+            assert shifted.phase(t) == base.phase(t + 2)
+        assert shifted.phase(0) == 1  # mid-loop, not 0
+
+    def test_phase_matches_base_when_offset_within_preperiod(self):
+        base = LassoSchedule(2, prefix=[{0}, {1}, {0}], loop=[{0}, {1}])
+        shifted = base.shifted(1)
+        for t in range(12):
+            assert shifted.phase(t) == base.phase(t + 1)
+
+    def test_phase_consistent_with_active(self):
+        # Equal phases (past the preperiod) must mean equal activation sets.
+        base = LassoSchedule(3, prefix=[{0}], loop=[{1}, {2}])
+        shifted = ShiftedSchedule(base, 3)
+        for t in range(1, 10):
+            for u in range(1, 10):
+                if shifted.phase(t) == shifted.phase(u):
+                    assert shifted.active(t) == shifted.active(u)
+
+
 class TestFairnessMeasures:
     def test_minimal_fairness_counts_tail_gap(self):
         # node 1 is never activated after step 0 within the horizon
@@ -122,3 +150,17 @@ class TestFairnessMeasures:
         sched = ExplicitSchedule(2, [{0}, {1}], cycle=True)
         assert is_r_fair(sched, 2, 100)
         assert not is_r_fair(sched, 1, 100)
+
+    def test_minimal_fairness_none_when_node_never_activated(self):
+        # Regression: this used to return horizon + 1 — an r no
+        # horizon-length run can actually certify.
+        sched = ExplicitSchedule(2, [{0}], cycle=True)  # node 1 never runs
+        assert minimal_fairness(sched, 10) is None
+
+    def test_minimal_fairness_finite_once_every_node_seen(self):
+        sched = ExplicitSchedule(2, [{0}], cycle=True)
+        # shrinking horizon does not resurrect a bound
+        assert minimal_fairness(sched, 1) is None
+        # a schedule touching both nodes reports the real gap
+        both = ExplicitSchedule(2, [{0, 1}], cycle=True)
+        assert minimal_fairness(both, 10) == 1

@@ -216,5 +216,63 @@ class TestRunSweep:
             SweepCase((0, 0, 0), random_bit_labeling(protocol.topology, seed=s))
             for s in range(3)
         ]
-        report = run_sweep(protocol, cases, _sync_factory, processes=4)
+        with pytest.warns(RuntimeWarning, match="do not pickle"):
+            report = run_sweep(protocol, cases, _sync_factory, processes=4)
         assert len(report) == 3
+
+
+class TestFanOutDiagnostics:
+    """The serial fallback is never silent: it warns, or raises under
+    ``strict=True`` (regression for the bare ``except Exception`` that made
+    an 8-process sweep run on one core with no explanation)."""
+
+    def _unpicklable_cases(self):
+        protocol = or_clique_protocol(clique(3))  # closure reactions
+        cases = [
+            SweepCase((0, 0, 0), random_bit_labeling(protocol.topology, seed=s))
+            for s in range(4)
+        ]
+        return protocol, cases
+
+    def test_pickle_failure_warns_with_the_offending_error(self):
+        protocol, cases = self._unpicklable_cases()
+        with pytest.warns(RuntimeWarning) as captured:
+            report = run_sweep(protocol, cases, _sync_factory, processes=2)
+        assert len(report) == 4
+        message = str(captured[0].message)
+        assert "do not pickle" in message
+        # the underlying pickle error is carried in the warning text
+        assert "pickle" in message.lower()
+
+    def test_strict_reraises_the_pickle_error(self):
+        import pickle as _pickle
+
+        protocol, cases = self._unpicklable_cases()
+        with pytest.raises((AttributeError, TypeError, _pickle.PicklingError)):
+            run_sweep(protocol, cases, _sync_factory, processes=2, strict=True)
+
+    def test_serial_run_never_warns(self):
+        import warnings as _warnings
+
+        protocol, cases = self._unpicklable_cases()
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            report = run_sweep(protocol, cases, _sync_factory)  # no processes
+        assert len(report) == 4
+
+    def test_resilience_sweep_plumbs_strict(self):
+        import pickle as _pickle
+
+        from repro.analysis import run_resilience_sweep
+        from repro.faults import NoFaults
+
+        protocol, cases = self._unpicklable_cases()
+        with pytest.raises((AttributeError, TypeError, _pickle.PicklingError)):
+            run_resilience_sweep(
+                protocol,
+                cases,
+                _sync_factory,
+                lambda i, c: NoFaults(),
+                processes=2,
+                strict=True,
+            )
