@@ -84,7 +84,9 @@ def _calibration_rows():
         for kappa in (0, 1):
             spec = RingCounterSpec(5, 8, sigma=sigma, kappa=kappa)
             ok = all(_synchronizes(spec, seed) for seed in range(3))
-            rows.append([sigma, kappa, ok, "consistent" if sigma != kappa else "mismatched"])
+            rows.append(
+                [sigma, kappa, ok, "consistent" if sigma != kappa else "mismatched"]
+            )
             assert ok == (sigma != kappa)
     return rows
 

@@ -110,7 +110,12 @@ def test_a02_engine_throughput(benchmark):
         f"{STEPS} steps (median of {REPEATS})",
         ["engine", "median s / kernel", "steps/s", "speedup"],
         [
-            ["legacy dict-based", f"{legacy_median:.4f}", f"{legacy_rate:,.0f}", "1.0x"],
+            [
+                "legacy dict-based",
+                f"{legacy_median:.4f}",
+                f"{legacy_rate:,.0f}",
+                "1.0x",
+            ],
             [
                 "compiled fast path",
                 f"{compiled_median:.4f}",

@@ -9,7 +9,6 @@ from itertools import product
 
 from repro.analysis import print_table
 from repro.core import Labeling, Simulator, SynchronousSchedule, default_inputs
-from repro.graphs import clique
 from repro.power import worst_case_protocol
 from repro.stabilization import example1_protocol
 

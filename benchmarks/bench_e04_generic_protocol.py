@@ -9,7 +9,12 @@ import random
 
 from repro.analysis import SweepCase, print_table, run_sweep
 from repro.core import Labeling, SynchronousSchedule
-from repro.graphs import bidirectional_ring, clique, random_strongly_connected, unidirectional_ring
+from repro.graphs import (
+    bidirectional_ring,
+    clique,
+    random_strongly_connected,
+    unidirectional_ring,
+)
 from repro.power import generic_protocol, generic_round_bound
 from repro.power.generic_protocol import label_complexity
 

@@ -71,7 +71,10 @@ def test_e06_pspace_reduction(benchmark):
 
     # metanode compiler preserves both behaviors (Theorem B.14)
     compiler_rows = []
-    for name, g in (("never_halt_rotate", never_halt_rotate), ("always_halt", always_halt)):
+    for name, g in (
+        ("never_halt_rotate", never_halt_rotate),
+        ("always_halt", always_halt),
+    ):
         protocol = stateful_protocol_from_g(g, ("a", "b"), 2)
         compiled = metanode_compile(protocol)
         labeling = expand_labeling(

@@ -65,8 +65,17 @@ def test_e11_circuit_on_ring(benchmark):
     print_table(
         "E11: Theorem 5.4 — paper: circuit evaluated on the ring with "
         "O(log) labels and polynomial rounds, from any initial labeling",
-        ["circuit", "inputs", "gates", "ring N", "D", "measured bits",
-         "2log2(D)+6", "worst settle", "round bound"],
+        [
+            "circuit",
+            "inputs",
+            "gates",
+            "ring N",
+            "D",
+            "measured bits",
+            "2log2(D)+6",
+            "worst settle",
+            "round bound",
+        ],
         rows,
     )
 

@@ -1,0 +1,169 @@
+"""Benchmark-regression gate: fresh BENCH records vs the committed ones.
+
+Compares every ``benchmarks/BENCH_*.json`` in the working tree against the
+version committed at ``HEAD`` (via ``git show``) and fails when any entry's
+throughput regressed by more than the threshold (default 30%).  Records
+without a committed counterpart are reported as new and pass; records whose
+files were not regenerated compare equal and pass trivially, so the gate can
+run after a partial benchmark smoke.
+
+The throughput metric is ``steps_per_s`` when both versions carry it,
+otherwise ``1 / kernel_median_s``.
+
+Absolute throughput is machine-dependent, so the committed baselines must
+come from the hardware class that runs the gate.  If the gate reds out on
+every push with no performance-relevant diff, re-record the baselines on the
+gating hardware: take the fresh ``BENCH_*.json`` from the CI job's uploaded
+artifacts (or rerun ``python benchmarks/_runner.py``) and commit them.
+
+A commit that regenerates its own baselines compares fresh records against
+identical committed ones and passes trivially — so baseline re-records
+should be reviewed as such, and pull-request pipelines can pin the baseline
+to the merge base instead:
+``--baseline "$(git merge-base HEAD origin/main)"``.
+
+Usage:
+    python benchmarks/check_regression.py                # all records
+    python benchmarks/check_regression.py a02 a05        # substring filter
+    python benchmarks/check_regression.py --threshold 0.5
+    python benchmarks/check_regression.py --baseline origin/main
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+
+def committed_record(path: Path, baseline: str = "HEAD") -> dict | None:
+    """The baseline version of a benchmark record, or None when absent."""
+    relative = path.relative_to(REPO_ROOT).as_posix()
+    result = subprocess.run(
+        ["git", "show", f"{baseline}:{relative}"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if result.returncode != 0:
+        return None
+    try:
+        return json.loads(result.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def common_throughput(
+    fresh: dict, committed: dict
+) -> tuple[float, float, str] | None:
+    """Fresh and committed throughput on a metric both entries carry."""
+    if fresh.get("steps_per_s") and committed.get("steps_per_s"):
+        return (
+            float(fresh["steps_per_s"]),
+            float(committed["steps_per_s"]),
+            "steps/s",
+        )
+    if fresh.get("kernel_median_s") and committed.get("kernel_median_s"):
+        return (
+            1.0 / float(fresh["kernel_median_s"]),
+            1.0 / float(committed["kernel_median_s"]),
+            "1/kernel_s",
+        )
+    return None
+
+
+def compare(fresh: dict, committed: dict, threshold: float) -> list[tuple]:
+    """Rows ``(entry, metric, committed, fresh, ratio, verdict)``."""
+    rows = []
+    committed_entries = committed.get("entries", {})
+    for name, entry in fresh.get("entries", {}).items():
+        old = committed_entries.get(name)
+        if old is None:
+            rows.append((name, "-", None, None, None, "new entry"))
+            continue
+        metrics = common_throughput(entry, old)
+        if metrics is None:
+            rows.append((name, "-", None, None, None, "no common metric"))
+            continue
+        new_value, old_value, metric = metrics
+        ratio = new_value / old_value
+        verdict = "ok" if ratio >= 1.0 - threshold else "REGRESSED"
+        rows.append((name, metric, old_value, new_value, ratio, verdict))
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "patterns", nargs="*", help="substring filters on record names"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="maximum tolerated throughput loss (fraction, default 0.30)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="HEAD",
+        help="git ref to read the committed records from (default HEAD)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.threshold < 1.0:
+        parser.error("--threshold must lie in [0, 1)")
+
+    records = sorted(BENCH_DIR.glob("BENCH_*.json"))
+    if args.patterns:
+        records = [
+            path
+            for path in records
+            if any(pattern in path.stem for pattern in args.patterns)
+        ]
+    if not records:
+        print("no benchmark records found")
+        return 0
+
+    failures = []
+    for path in records:
+        fresh = json.loads(path.read_text())
+        committed = committed_record(path, args.baseline)
+        if committed is None:
+            print(f"{path.name}: no committed baseline (new record) — ok")
+            continue
+        for name, metric, old, new, ratio, verdict in compare(
+            fresh, committed, args.threshold
+        ):
+            if old is None:
+                print(f"{path.name} :: {name}: {verdict}")
+                continue
+            line = (
+                f"{path.name} :: {name}: {old:,.0f} -> {new:,.0f} {metric}"
+                f" ({ratio:.2f}x) {verdict}"
+            )
+            print(line)
+            if verdict == "REGRESSED":
+                failures.append(line)
+
+    if failures:
+        print(
+            f"\n{len(failures)} benchmark entr"
+            f"{'y' if len(failures) == 1 else 'ies'} regressed more than"
+            f" {args.threshold:.0%}:"
+        )
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(
+        f"\nall benchmark records within {args.threshold:.0%}"
+        f" of {args.baseline}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

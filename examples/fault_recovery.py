@@ -22,7 +22,13 @@ Run:  python examples/fault_recovery.py
 import random
 
 from repro.analysis import SweepCase, run_resilience_sweep
-from repro.core import Labeling, RunOutcome, Simulator, SynchronousSchedule, default_inputs
+from repro.core import (
+    Labeling,
+    RunOutcome,
+    Simulator,
+    SynchronousSchedule,
+    default_inputs,
+)
 from repro.dynamics import NO_ROUTE, bgp_protocol, good_gadget
 from repro.faults import BurstFault, OneShotFault, RandomCorruption
 from repro.power import d_counter_protocol

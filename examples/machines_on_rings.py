@@ -19,7 +19,11 @@ from repro.power import (
     simulate_unidirectional,
 )
 from repro.substrates.branching_programs import majority_bp
-from repro.substrates.turing import ConfigurationGraph, advice_equality_machine, parity_machine
+from repro.substrates.turing import (
+    ConfigurationGraph,
+    advice_equality_machine,
+    parity_machine,
+)
 
 
 def main() -> None:
@@ -35,7 +39,10 @@ def main() -> None:
     initial = Labeling.uniform(protocol.topology, next(iter(protocol.label_space)))
     sweep = run_sweep(
         protocol,
-        [SweepCase(inputs=x, labeling=initial, tag=x) for x in ((1, 0, 1, 1), (1, 1, 0, 0))],
+        [
+            SweepCase(inputs=x, labeling=initial, tag=x)
+            for x in ((1, 0, 1, 1), (1, 1, 0, 0))
+        ],
         lambda _i, _c: SynchronousSchedule(n),
         max_steps=machine_ring_round_bound(graph) + 100,
     )
@@ -53,7 +60,10 @@ def main() -> None:
     initial = Labeling.uniform(protocol.topology, next(iter(protocol.label_space)))
     sweep = run_sweep(
         protocol,
-        [SweepCase(inputs=x, labeling=initial, tag=x) for x in product((0, 1), repeat=3)],
+        [
+            SweepCase(inputs=x, labeling=initial, tag=x)
+            for x in product((0, 1), repeat=3)
+        ],
         lambda _i, _c: SynchronousSchedule(3),
         max_steps=machine_ring_round_bound(graph) + 100,
     )

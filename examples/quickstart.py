@@ -11,7 +11,6 @@ Run:  python examples/quickstart.py
 
 from repro.analysis import SweepCase, run_sweep
 from repro.core import (
-    Labeling,
     RandomRFairSchedule,
     Simulator,
     StatelessProtocol,

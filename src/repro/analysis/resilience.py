@@ -30,7 +30,6 @@ from __future__ import annotations
 from collections import Counter
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, replace
-from typing import Any
 
 from repro.analysis.sweeps import (
     CaseResult,
@@ -39,6 +38,7 @@ from repro.analysis.sweeps import (
     SweepReport,
     _coerce_case,
     fan_out,
+    resolve_executor,
 )
 from repro.core.compiled import compile_protocol
 from repro.core.convergence import RunOutcome
@@ -183,6 +183,41 @@ def _run_fault_cases(protocol, cases, per_case, max_steps, start_index):
     return results
 
 
+def _run_fault_cases_batch(protocol, cases, per_case, max_steps, start_index):
+    """Batch worker: all injected cases in one vectorized lockstep run."""
+    from repro.core.batch import BatchSimulator
+
+    simulator = BatchSimulator(protocol, [case.inputs for case in cases])
+    reports = simulator.run_batch_with_faults(
+        [case.labeling for case in cases],
+        [schedule for schedule, _ in per_case],
+        [faults for _, faults in per_case],
+        max_steps=max_steps,
+        initial_outputs=[case.initial_outputs for case in cases],
+    )
+    return [
+        FaultCaseResult(
+            index=start_index + offset,
+            tag=case.tag,
+            outcome=report.outcome,
+            label_rounds=report.recovery_rounds,
+            output_rounds=report.output_recovery_rounds,
+            steps_executed=report.steps_executed,
+            final_values=report.final.labeling.values,
+            outputs=report.final.outputs,
+            faults_fired=report.faults_fired,
+            last_fault_time=report.last_fault_time,
+            cycle_start=report.cycle_start,
+            cycle_length=report.cycle_length,
+        )
+        for offset, (case, report) in enumerate(zip(cases, reports))
+    ]
+
+
+#: Injected-case backends selectable via ``run_resilience_sweep(..., executor=...)``.
+EXECUTORS = {"serial": _run_fault_cases, "batch": _run_fault_cases_batch}
+
+
 def run_resilience_sweep(
     protocol: Protocol,
     cases: Iterable[SweepCase | tuple],
@@ -193,6 +228,7 @@ def run_resilience_sweep(
     processes: int | None = None,
     recovered: str | Callable[[FaultCaseResult], bool] = "label",
     strict: bool = False,
+    executor: str = "serial",
 ) -> ResilienceReport:
     """Inject faults into every case and measure certified recovery.
 
@@ -202,8 +238,12 @@ def run_resilience_sweep(
     predicate applied in the parent process.  Everything else matches
     :func:`repro.analysis.sweeps.run_sweep`, including the serial fallback
     (with a :class:`RuntimeWarning`, or re-raised under ``strict=True``)
-    when the sweep does not pickle.
+    when the sweep does not pickle and the ``executor="batch"`` option
+    (vectorized lockstep injection through :mod:`repro.core.batch`, with
+    fault models fired via their batch hooks — reports equal to serial,
+    case for case).
     """
+    runner = resolve_executor(executor, EXECUTORS)
     if callable(recovered):
         criterion = recovered
     else:
@@ -225,11 +265,18 @@ def run_resilience_sweep(
     results = None
     if processes is not None and processes > 1 and len(case_list) > 1:
         results = fan_out(
-            _run_fault_cases, protocol, case_list, per_case, max_steps, processes,
+            runner,
+            protocol,
+            case_list,
+            per_case,
+            max_steps,
+            processes,
             strict=strict,
         )
     if results is None:
-        results = _run_fault_cases(protocol, case_list, per_case, max_steps, 0)
+        results = runner(protocol, case_list, per_case, max_steps, 0)
     return ResilienceReport(
-        results=tuple(replace(result, recovered=criterion(result)) for result in results)
+        results=tuple(
+            replace(result, recovered=criterion(result)) for result in results
+        )
     )

@@ -1,5 +1,11 @@
 """Core model: labels, reactions, protocols, schedules, engine."""
 
+from repro.core.batch import (
+    BatchCompiledProtocol,
+    BatchSimulator,
+    LabelInterner,
+    batch_compile,
+)
 from repro.core.compiled import CompiledProtocol, compile_protocol
 from repro.core.configuration import Configuration, Labeling
 from repro.core.convergence import RunOutcome, RunReport
@@ -41,8 +47,12 @@ from repro.core.schedule import (
 )
 
 __all__ = [
+    "BatchCompiledProtocol",
+    "BatchSimulator",
     "BitStrings",
     "CompiledProtocol",
+    "LabelInterner",
+    "batch_compile",
     "Configuration",
     "compile_protocol",
     "ConstantReaction",

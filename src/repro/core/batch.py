@@ -1,0 +1,1071 @@
+"""Vectorized batch simulation: whole populations of configurations in lockstep.
+
+PR 1's compiled fast path made *one* trajectory cheap; sweeps still step each
+case through its own Python run loop, so a 1024-labeling recovery matrix pays
+1024 × (per-step adapter calls).  This module lifts the compiled engine over a
+**batch axis**: ``B`` configurations of the same protocol advance together,
+with the label state held as a ``(B, m)`` integer array (one interned label
+code per edge, canonical edge order — exactly the flat-tuple layout of
+:class:`~repro.core.compiled.CompiledProtocol`, with a batch dimension in
+front) and per-node outputs as a ``(B, n)`` code array.
+
+The lift has two tiers, chosen per node:
+
+* **Table lookup.**  When the label alphabet is finite and small enough
+  (``|Sigma|^in_degree`` rows fit the table budget), the node's compiled
+  adapter is enumerated once over every incoming-code combination into a flat
+  numpy table.  A step is then gather (incoming codes → mixed-radix key) →
+  table row → scatter, vectorized over all rows at once.  Because the table is
+  built by calling the *serial* adapter, batch transitions are equal to serial
+  transitions by construction.
+* **Per-row Python apply.**  Nodes that cannot be lifted (huge or
+  non-enumerable spaces, stateful reactions, labels escaping the declared
+  space, unhashable inputs) decode their rows back to label objects and call
+  the serial adapter directly.  Lifted and fallback nodes mix freely in one
+  protocol; if a fallback node ever emits a label outside the enumerated
+  space, every lifted node is demoted to the fallback path before the next
+  transition, so stale table keys can never be consulted.
+
+Convergence analysis runs per row on top of the shared stepping, replicating
+``Simulator.run`` decision-for-decision: periodic rows hash
+``(state bytes, phase)`` for exact cycle detection and classify through the
+engine's own :func:`~repro.core.engine.classify_cycle`; aperiodic rows carry
+vectorized witness masks for the fixed-point certifier; finished rows leave
+the live set and stop costing work while the rest keep stepping.  Reports are
+equal (``==``) to the serial engine's, field for field.
+
+Fault injection (:meth:`BatchSimulator.run_batch_with_faults`) mirrors
+:func:`repro.faults.injection.run_with_faults`: raw stepping through each
+row's fault window, models fired through
+:meth:`repro.faults.models.FaultModel.fire_batch` (which reproduces the
+serial ``(seed, fire time)`` RNG derivation row by row), then the certified
+analysis tail relative to each row's last fault.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections.abc import Sequence
+from itertools import product
+from typing import Any
+
+from repro.core.compiled import CompiledProtocol, compile_protocol
+from repro.core.configuration import Configuration, Labeling
+from repro.core.convergence import RunOutcome, RunReport
+from repro.core.engine import DEFAULT_MAX_STEPS, classify_cycle
+from repro.core.protocol import Protocol
+from repro.core.schedule import Schedule
+from repro.exceptions import ScheduleError, ValidationError
+
+try:  # numpy is an optional extra; everything else in repro runs without it.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    np = None
+
+#: Per-(node, input) table budget: a node lifts only while
+#: ``|Sigma| ** in_degree`` stays at or below this many rows.
+DEFAULT_MAX_TABLE_SIZE = 1 << 16
+
+
+def require_numpy() -> None:
+    """Raise a actionable error when numpy is unavailable."""
+    if np is None:
+        raise ValidationError(
+            "the batch simulation backend requires numpy; install it"
+            " (pip install numpy, or the 'batch' extra) or use the serial"
+            " executor"
+        )
+
+
+class LabelInterner:
+    """A growable bijection between label objects and small integer codes.
+
+    Interning is by equality (``dict`` lookup), so two labels that compare
+    equal share a code — exactly the equivalence the serial engine's tuple
+    comparisons use, which is what makes code-array equality a faithful stand-
+    in for labeling equality.
+    """
+
+    __slots__ = ("codes", "objects", "_identity")
+
+    def __init__(self, seed_objects=()):
+        self.codes: dict[Any, int] = {}
+        self.objects: list[Any] = []
+        self._identity = True
+        for obj in seed_objects:
+            self.encode(obj)
+
+    @property
+    def size(self) -> int:
+        return len(self.objects)
+
+    @property
+    def int_identity(self) -> bool:
+        """True while every interned object is exactly its own code.
+
+        Holds for the common integer spaces (``binary()``, ``IntegerRange``)
+        and lets bulk encode/decode skip the per-element dict walk: encoding
+        is ``np.asarray`` and decoding is ``tolist`` — numeric labels that
+        merely *equal* their code (``True``, ``1.0``) coerce to the same code
+        the dict would return, so equality semantics are unchanged.
+        """
+        return self._identity
+
+    def encode(self, obj) -> int:
+        """The code of ``obj``, interning it on first sight."""
+        code = self.codes.get(obj)
+        if code is None:
+            code = len(self.objects)
+            self.codes[obj] = code
+            self.objects.append(obj)
+            if self._identity and not (type(obj) is int and obj == code):
+                self._identity = False
+        return code
+
+    def decode(self, code: int):
+        return self.objects[code]
+
+    def encode_values(self, values) -> list[int]:
+        """Codes for a whole flat label tuple, in order."""
+        encode = self.encode
+        return [encode(value) for value in values]
+
+    def decode_values(self, codes) -> tuple:
+        """The label tuple behind one row of the code array."""
+        if self._identity:
+            try:
+                return tuple(codes.tolist())
+            except AttributeError:
+                pass
+        objects = self.objects
+        return tuple(objects[code] for code in codes)
+
+
+class BatchCompiledProtocol:
+    """A :class:`CompiledProtocol` lowered further, to batch lookup tables.
+
+    Construction interns the label space (when it is enumerable within the
+    table budget) and prepares per-node position arrays; the per-(node, input)
+    reaction tables themselves are built lazily by :meth:`column` and cached,
+    so one batch compilation serves every :class:`BatchSimulator` over the
+    protocol no matter which inputs each batch carries.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledProtocol,
+        max_table_size: int = DEFAULT_MAX_TABLE_SIZE,
+    ):
+        require_numpy()
+        protocol = compiled.protocol
+        if protocol is None:
+            raise ValidationError(
+                "cannot batch-compile: the source protocol has been collected"
+            )
+        if max_table_size < 1:
+            raise ValidationError("max_table_size must be at least 1")
+        self.compiled = compiled
+        self.topology = compiled.topology
+        self.label_space = protocol.label_space
+        self.is_stateful = protocol.is_stateful
+        self.max_table_size = max_table_size
+        self.n = compiled.n
+        self.m = compiled.m
+        self.in_positions = [
+            np.asarray(positions, dtype=np.int64)
+            for positions in compiled.in_positions
+        ]
+        self.out_positions = [
+            np.asarray(positions, dtype=np.int64)
+            for positions in compiled.out_positions
+        ]
+
+        #: Shared label interner.  Seeded with the full space when that is
+        #: enumerable within budget; codes past the seeded prefix mark labels
+        #: outside the declared space and disable the table tier.
+        space = self.label_space
+        if space.size <= max_table_size:
+            self.interner = LabelInterner(iter(space))
+        else:
+            self.interner = LabelInterner()
+        self.space_size = self.interner.size
+
+        #: Per-node output interners (outputs never key tables, so they may
+        #: grow freely at runtime).
+        self.y_interners = [LabelInterner() for _ in range(self.n)]
+        self._columns: dict[tuple[int, Any], tuple | None] = {}
+
+    def node_liftable(self, i: int) -> bool:
+        """Static (input-independent) part of the lift gate for node ``i``."""
+        if self.is_stateful or self.space_size == 0:
+            return False
+        degree = len(self.in_positions[i])
+        return self.space_size**degree <= self.max_table_size
+
+    def column(self, i: int, x):
+        """The lifted reaction table of node ``i`` under private input ``x``.
+
+        Returns ``(out_codes, y_codes, valid)`` — arrays of ``|Sigma|**d``
+        rows indexed by the mixed-radix key over the node's incoming codes —
+        or ``None`` when this (node, input) pair cannot be lifted (table too
+        large, unhashable input, a reaction emitting labels outside the
+        declared space or unhashable outputs).  Combinations on which the
+        serial adapter raises are marked invalid rather than failing the
+        lift; hitting one at runtime re-raises through the serial adapter.
+        """
+        try:
+            key = (i, x)
+            if key in self._columns:
+                return self._columns[key]
+        except TypeError:  # unhashable input value
+            return None
+        column = self._build_column(i, x) if self.node_liftable(i) else None
+        self._columns[key] = column
+        return column
+
+    def _build_column(self, i: int, x):
+        space_size = self.space_size
+        in_pos = self.in_positions[i]
+        out_pos = self.out_positions[i]
+        degree = len(in_pos)
+        n_out = len(out_pos)
+        rows = space_size**degree
+        adapter = self.compiled.adapter(i)
+        objects = self.interner.objects
+        label_codes = self.interner.codes
+        y_encode = self.y_interners[i].encode
+
+        out_codes = np.zeros((rows, n_out), dtype=np.int64)
+        y_codes = np.zeros(rows, dtype=np.int64)
+        valid = np.ones(rows, dtype=bool)
+        values: list[Any] = [None] * self.m
+        scratch: list[Any] = [None] * self.m
+        for row, combo in enumerate(product(range(space_size), repeat=degree)):
+            for position, code in zip(in_pos, combo):
+                values[position] = objects[code]
+            try:
+                y = adapter(values, scratch, x)
+            except Exception:
+                valid[row] = False
+                continue
+            try:
+                for j, position in enumerate(out_pos):
+                    code = label_codes.get(scratch[position])
+                    if code is None or code >= space_size:
+                        # The reaction leaves the declared space: no table can
+                        # close over its codes.  Fall back to Python apply.
+                        return None
+                    out_codes[row, j] = code
+                y_codes[row] = y_encode(y)
+            except TypeError:  # unhashable label or output
+                return None
+        return out_codes, y_codes, valid
+
+
+#: compiled form -> {max_table_size: batch compilation}; weak on the compiled
+#: form so batch compilations die with their protocols, keyed per table
+#: budget so alternating budgets never thrash the enumeration work.
+_BATCH_CACHE: "weakref.WeakKeyDictionary[CompiledProtocol, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def batch_compile(
+    protocol, max_table_size: int = DEFAULT_MAX_TABLE_SIZE
+) -> BatchCompiledProtocol:
+    """Batch-compile a protocol (or an already-compiled form), with caching.
+
+    Mirrors :func:`repro.core.compiled.compile_protocol`: repeated
+    ``BatchSimulator`` construction over one protocol pays the lookup-table
+    costs once per table budget.
+    """
+    require_numpy()
+    if isinstance(protocol, CompiledProtocol):
+        compiled = protocol
+    else:
+        compiled = compile_protocol(protocol)
+    per_size = _BATCH_CACHE.get(compiled)
+    if per_size is None:
+        per_size = _BATCH_CACHE[compiled] = {}
+    batch = per_size.get(max_table_size)
+    if batch is None:
+        batch = BatchCompiledProtocol(compiled, max_table_size=max_table_size)
+        per_size[max_table_size] = batch
+    return batch
+
+
+class _Group:
+    """One set of lifted nodes sharing an (in-degree, out-degree) shape."""
+
+    __slots__ = (
+        "nodes",
+        "in_pos",
+        "in_pos_flat",
+        "out_cols",
+        "powers",
+        "out_table",
+        "y_table",
+        "valid",
+        "all_valid",
+        "xbase",
+        "xbase_zero",
+        "n_out",
+        "degree",
+        "covers_all",
+    )
+
+
+class _RowAnalysis:
+    """Per-row convergence bookkeeping for the periodic analyzer."""
+
+    __slots__ = ("preperiod", "period", "seen", "history")
+
+    def __init__(self, preperiod, period, state):
+        self.preperiod = preperiod
+        self.period = period
+        self.seen = {} if preperiod else {(state[0], state[1], 0): 0}
+        self.history = [state]
+
+
+class BatchSimulator:
+    """Drives one protocol on a fixed population of input vectors.
+
+    The batch analog of :class:`~repro.core.engine.Simulator`: construction
+    binds the protocol and one input vector **per row** (pass a single vector
+    to broadcast it), :meth:`run_batch` then advances every row's own
+    ``(labeling, schedule)`` case in lockstep and returns one
+    :class:`~repro.core.convergence.RunReport` per row, equal to what the
+    serial engine returns for that case.
+    """
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        inputs: Sequence[Any],
+        batch_size: int | None = None,
+        compiled: CompiledProtocol | None = None,
+        batch_compiled: BatchCompiledProtocol | None = None,
+        max_table_size: int = DEFAULT_MAX_TABLE_SIZE,
+    ):
+        require_numpy()
+        if compiled is None:
+            compiled = compile_protocol(protocol)
+        elif compiled.protocol is not protocol:
+            raise ValidationError(
+                "compiled form was built from a different protocol object"
+            )
+        if batch_compiled is None:
+            batch_compiled = batch_compile(compiled, max_table_size)
+        elif batch_compiled.compiled is not compiled:
+            raise ValidationError(
+                "batch compilation was built from a different compiled form"
+            )
+        self.protocol = protocol
+        self._compiled = compiled
+        self._batch = batch_compiled
+        self._topology = protocol.topology
+        n = protocol.n
+
+        rows = self._normalize_inputs(inputs, n, batch_size)
+        self.inputs = rows
+        self.batch_size = len(rows)
+        self._interner = self._batch.interner
+        self._y_interners = self._batch.y_interners
+        self._space_size = self._batch.space_size
+        self._groups: list[_Group] = []
+        self._fallback: list[int] = []
+        self._assemble()
+
+    @staticmethod
+    def _normalize_inputs(inputs, n, batch_size):
+        try:
+            rows = [tuple(row) for row in inputs]
+        except TypeError:
+            raise ValidationError(
+                "inputs must be a sequence of per-row input vectors"
+            ) from None
+        if batch_size is not None:
+            if len(rows) == 1:
+                rows = rows * batch_size
+            elif len(rows) != batch_size:
+                raise ValidationError(
+                    f"got {len(rows)} input rows for batch_size={batch_size}"
+                )
+        if not rows:
+            raise ValidationError("a batch needs at least one input row")
+        for row in rows:
+            if len(row) != n:
+                raise ValidationError(f"need {n} inputs, got {len(row)}")
+        return tuple(rows)
+
+    @property
+    def compiled(self) -> CompiledProtocol:
+        return self._compiled
+
+    @property
+    def batch_compiled(self) -> BatchCompiledProtocol:
+        return self._batch
+
+    @property
+    def lifted_nodes(self) -> tuple[int, ...]:
+        """Nodes currently stepped through lookup tables (for tests/docs)."""
+        return tuple(
+            int(i) for group in self._groups for i in group.nodes.tolist()
+        )
+
+    # -- lift assembly -----------------------------------------------------
+
+    def _assemble(self) -> None:
+        """Partition nodes into table groups and Python-fallback nodes."""
+        batch = self._batch
+        n = batch.n
+        space_size = self._space_size
+        lifted: dict[tuple[int, int], list[tuple[int, list, dict]]] = {}
+        fallback: list[int] = []
+        for i in range(n):
+            columns: list[Any] = []
+            #: Distinct input values at node i, mapped to their column index.
+            seen: dict[Any, int] = {}
+            ok = batch.node_liftable(i)
+            if ok:
+                for row in self.inputs:
+                    x = row[i]
+                    try:
+                        if x in seen:
+                            continue
+                        seen[x] = len(columns)
+                    except TypeError:
+                        ok = False
+                        break
+                    column = batch.column(i, x)
+                    if column is None:
+                        ok = False
+                        break
+                    columns.append(column)
+            if not ok:
+                fallback.append(i)
+                continue
+            shape = (len(batch.in_positions[i]), len(batch.out_positions[i]))
+            lifted.setdefault(shape, []).append((i, columns, seen))
+
+        self._fallback = fallback
+        self._groups = []
+        B = self.batch_size
+        for (degree, n_out), members in sorted(lifted.items()):
+            group = _Group()
+            group.nodes = np.asarray([i for i, _, _ in members], dtype=np.int64)
+            group.in_pos = np.stack(
+                [batch.in_positions[i] for i, _, _ in members]
+            )
+            group.out_cols = (
+                np.concatenate([batch.out_positions[i] for i, _, _ in members])
+                if n_out
+                else np.zeros(0, dtype=np.int64)
+            )
+            group.n_out = n_out
+            group.powers = np.asarray(
+                [space_size ** (degree - 1 - k) for k in range(degree)],
+                dtype=np.int64,
+            )
+            block = space_size**degree
+            out_parts, y_parts, valid_parts = [], [], []
+            offsets = []
+            offset = 0
+            for i, columns, seen in members:
+                for out_codes, y_codes, valid in columns:
+                    out_parts.append(out_codes)
+                    y_parts.append(y_codes)
+                    valid_parts.append(valid)
+                offsets.append(offset)
+                offset += len(columns) * block
+            # One xbase row per distinct input vector, broadcast to its rows
+            # (sweeps typically share one input vector across the population).
+            xbase = np.zeros((B, len(members)), dtype=np.int64)
+            try:
+                unique_rows: dict[tuple, list[int]] = {}
+                for b, row in enumerate(self.inputs):
+                    unique_rows.setdefault(row, []).append(b)
+            except TypeError:  # unhashable input rows: assign row by row
+                for b, row in enumerate(self.inputs):
+                    for g, (i, _, seen) in enumerate(members):
+                        xbase[b, g] = offsets[g] + seen[row[i]] * block
+            else:
+                for row, row_slots in unique_rows.items():
+                    vector = [
+                        offsets[g] + seen[row[i]] * block
+                        for g, (i, _, seen) in enumerate(members)
+                    ]
+                    xbase[row_slots] = vector
+            group.out_table = np.concatenate(out_parts)
+            group.y_table = np.concatenate(y_parts)
+            group.valid = np.concatenate(valid_parts)
+            group.all_valid = bool(group.valid.all())
+            group.xbase = xbase
+            group.xbase_zero = not xbase.any()
+            group.degree = degree
+            group.in_pos_flat = group.in_pos[:, 0] if degree == 1 else None
+            group.covers_all = len(members) == n and bool(
+                (group.nodes == np.arange(n)).all()
+            )
+            self._groups.append(group)
+
+        # Monolithic fast route: every node lifted into one degree-1,
+        # out-degree-1 group whose out edges sit in identity layout (edge i
+        # owned by node i — rings and other functional graphs).  The whole
+        # transition then reduces to gather → table → blend with no scatter.
+        self._mono = None
+        if (
+            not self._fallback
+            and len(self._groups) == 1
+            and self._groups[0].covers_all
+            and self._groups[0].degree == 1
+            and self._groups[0].n_out == 1
+            and self._groups[0].all_valid
+            and np.array_equal(self._groups[0].out_cols, np.arange(batch.m))
+        ):
+            self._mono = self._groups[0]
+        self._refresh_fallback_cache()
+
+    def _demote_all(self) -> None:
+        """Move every lifted node to the Python fallback path.
+
+        Triggered when the interner outgrows the enumerated space (a fallback
+        reaction or a fault emitted a label outside ``Sigma``): table keys are
+        only sound while every code is below ``space_size``.
+        """
+        demoted = [int(i) for group in self._groups for i in group.nodes]
+        self._fallback = sorted(self._fallback + demoted)
+        self._groups = []
+        self._mono = None
+        self._refresh_fallback_cache()
+
+    def _refresh_fallback_cache(self) -> None:
+        """Per-node adapter/position lookups for the Python-apply path,
+        rebuilt only when the fallback set changes (assembly, demotion)."""
+        self._fallback_adapters = [
+            self._compiled.adapter(i) for i in self._fallback
+        ]
+        self._fallback_out_positions = [
+            self._batch.out_positions[i] for i in self._fallback
+        ]
+
+    # -- stepping ----------------------------------------------------------
+
+    def _raise_invalid(self, group, sub, idx, act, live_slots) -> None:
+        """Re-raise the serial adapter's error for the first invalid hit."""
+        bad = act & ~group.valid[idx]
+        rows, cols = np.nonzero(bad)
+        row, col = int(rows[0]), int(cols[0])
+        node = int(group.nodes[col])
+        values = self._interner.decode_values(sub[row])
+        scratch = list(values)
+        slot = int(live_slots[row])
+        self._compiled.adapter(node)(values, scratch, self.inputs[slot][node])
+        raise ValidationError(  # pragma: no cover - adapter should have raised
+            f"reaction of node {node} failed during batch stepping"
+        )
+
+    def _step_rows(self, sub, osub, mask, live_slots):
+        """One global transition over the live rows.
+
+        ``sub``/``osub`` are the live slices of the code arrays; ``mask`` is
+        the ``(L, n)`` activation mask.  Returns the post-step arrays; rows
+        and nodes outside the mask keep their codes (the paper's semantics:
+        unscheduled nodes hold their outgoing labels and outputs).
+        """
+        if self._groups and self._interner.size > self._space_size:
+            self._demote_all()
+        mono = self._mono
+        if mono is not None:
+            keys = sub[:, mono.in_pos_flat]
+            if not mono.xbase_zero:
+                keys = keys + (
+                    mono.xbase
+                    if mono.xbase.shape[0] == sub.shape[0]
+                    else mono.xbase[live_slots]
+                )
+            updates = mono.out_table[keys, 0]
+            ys = mono.y_table[keys]
+            if mask.all():
+                return updates, ys
+            return np.where(mask, updates, sub), np.where(mask, ys, osub)
+        new_sub = sub.copy()
+        new_osub = osub.copy()
+        L = sub.shape[0]
+        for group in self._groups:
+            act = mask if group.covers_all else mask[:, group.nodes]
+            if not act.any():
+                continue
+            all_active = bool(act.all())
+            if group.degree == 1:
+                keys = sub[:, group.in_pos_flat]  # (L, g)
+            elif group.degree:
+                keys = sub[:, group.in_pos] @ group.powers  # (L, g)
+            else:
+                keys = np.zeros((L, len(group.nodes)), dtype=np.int64)
+            if group.xbase_zero:
+                idx = keys
+            else:
+                idx = group.xbase[live_slots] + keys
+            if not group.all_valid and not group.valid[idx[act]].all():
+                self._raise_invalid(group, sub, idx, act, live_slots)
+            if group.n_out == 1:
+                updates = group.out_table[idx, 0]  # (L, g)
+                if all_active:
+                    new_sub[:, group.out_cols] = updates
+                else:
+                    current = new_sub[:, group.out_cols]
+                    new_sub[:, group.out_cols] = np.where(
+                        act, updates, current
+                    )
+            elif group.n_out:
+                updates = group.out_table[idx].reshape(L, -1)
+                if all_active:
+                    new_sub[:, group.out_cols] = updates
+                else:
+                    act_cols = np.repeat(act, group.n_out, axis=1)
+                    current = new_sub[:, group.out_cols]
+                    new_sub[:, group.out_cols] = np.where(
+                        act_cols, updates, current
+                    )
+            ys = group.y_table[idx]
+            if all_active:
+                new_osub[:, group.nodes] = ys
+            else:
+                new_osub[:, group.nodes] = np.where(
+                    act, ys, new_osub[:, group.nodes]
+                )
+        if self._fallback:
+            self._apply_fallback(sub, new_sub, new_osub, mask, live_slots)
+        return new_sub, new_osub
+
+    def _apply_fallback(self, sub, new_sub, new_osub, mask, live_slots):
+        nodes = self._fallback
+        adapters = self._fallback_adapters
+        out_positions = self._fallback_out_positions
+        act = mask[:, nodes]
+        interner = self._interner
+        y_interners = self._y_interners
+        for row in np.flatnonzero(act.any(axis=1)):
+            slot = int(live_slots[row])
+            inputs = self.inputs[slot]
+            values = interner.decode_values(sub[row])
+            scratch = list(values)
+            for k, i in enumerate(nodes):
+                if act[row, k]:
+                    y = adapters[k](values, scratch, inputs[i])
+                    new_osub[row, i] = y_interners[i].encode(y)
+            for k, i in enumerate(nodes):
+                if act[row, k]:
+                    for position in out_positions[k]:
+                        new_sub[row, position] = interner.encode(
+                            scratch[position]
+                        )
+
+    # -- runs --------------------------------------------------------------
+
+    def _check_topology(self, labeling: Labeling) -> None:
+        topology = labeling.topology
+        if topology is not self._topology and (
+            topology.n != self._topology.n
+            or topology.edges != self._topology.edges
+        ):
+            raise ValidationError(
+                "labeling topology does not match the protocol's topology"
+            )
+
+    def _materialize(self, value_codes, output_codes) -> Configuration:
+        labeling = Labeling(
+            self._topology, self._interner.decode_values(value_codes)
+        )
+        outputs = tuple(
+            self._y_interners[i].decode(code)
+            for i, code in enumerate(output_codes)
+        )
+        return Configuration(labeling, outputs)
+
+    def run_batch(
+        self,
+        labelings: Sequence[Labeling],
+        schedules: Sequence[Schedule] | Schedule,
+        *,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        initial_outputs: Sequence[Sequence[Any] | None] | None = None,
+    ) -> list[RunReport]:
+        """Run every row's case to a verdict; one ``RunReport`` per row.
+
+        ``schedules`` is one schedule per row (a single schedule object is
+        shared by every row — only sound for stateless-in-time schedules,
+        which all of :mod:`repro.core.schedule` are).  Traces are not
+        recorded; use the serial engine for ``record_trace`` runs.
+        """
+        reports = self._run_lockstep(
+            labelings, schedules, None, max_steps, initial_outputs
+        )
+        return [report for report, _, _ in reports]
+
+    def run_batch_with_faults(
+        self,
+        labelings: Sequence[Labeling],
+        schedules: Sequence[Schedule] | Schedule,
+        fault_plans: Sequence[Any],
+        *,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        initial_outputs: Sequence[Sequence[Any] | None] | None = None,
+    ):
+        """Injected batch runs; one ``FaultRunReport`` per row.
+
+        The batch analog of :func:`repro.faults.injection.run_with_faults`,
+        certified the same way: every round count is relative to the row's
+        last fault.
+        """
+        from repro.faults.injection import FaultRunReport
+
+        reports = self._run_lockstep(
+            labelings, schedules, fault_plans, max_steps, initial_outputs
+        )
+        out = []
+        for report, fault_times, base in reports:
+            out.append(
+                FaultRunReport(
+                    outcome=report.outcome,
+                    recovery_rounds=report.label_rounds,
+                    output_recovery_rounds=report.output_rounds,
+                    cycle_start=report.cycle_start,
+                    cycle_length=report.cycle_length,
+                    faults_fired=len(fault_times),
+                    fault_times=tuple(fault_times),
+                    last_fault_time=fault_times[-1] if fault_times else None,
+                    # Report rounds are local to the analysis tail; the whole
+                    # run additionally executed the pre-fault window.
+                    steps_executed=base + report.steps_executed,
+                    final=report.final,
+                )
+            )
+        return out
+
+    def _run_lockstep(
+        self, labelings, schedules, fault_plans, max_steps, initial_outputs
+    ):
+        B = self.batch_size
+        n = self.protocol.n
+        if isinstance(schedules, Schedule):
+            schedules = [schedules] * B
+        else:
+            schedules = list(schedules)
+        labelings = list(labelings)
+        if len(labelings) != B or len(schedules) != B:
+            raise ValidationError(
+                f"need {B} labelings and schedules, got"
+                f" {len(labelings)} and {len(schedules)}"
+            )
+        if initial_outputs is None:
+            initial_outputs = [None] * B
+        elif len(initial_outputs) != B:
+            raise ValidationError("outputs must have one entry per row")
+
+        interner = self._interner
+        y_interners = self._y_interners
+        m = self.protocol.topology.m
+        codes = np.empty((B, m), dtype=np.int64)
+        ocodes = np.empty((B, n), dtype=np.int64)
+        encoded = False
+        if interner.int_identity:
+            # Bulk fast path for integer spaces whose labels are their own
+            # codes: one asarray replaces B*m dict walks.  Anything that is
+            # not a clean in-range integer array falls back per row.
+            try:
+                bulk = np.array([labeling.values for labeling in labelings])
+            except ValueError:
+                bulk = None
+            if (
+                bulk is not None
+                and bulk.shape == (B, m)
+                and np.issubdtype(bulk.dtype, np.integer)
+                and (0 <= bulk).all()
+                and (bulk < interner.size).all()
+            ):
+                codes = bulk.astype(np.int64)
+                encoded = True
+        none_row = None
+        for b, labeling in enumerate(labelings):
+            self._check_topology(labeling)
+            if not encoded:
+                codes[b] = interner.encode_values(labeling.values)
+            outs = initial_outputs[b]
+            if outs is None:
+                if none_row is None:
+                    none_row = [
+                        y_interners[i].encode(None) for i in range(n)
+                    ]
+                row = none_row
+            else:
+                outs = tuple(outs)
+                if len(outs) != n:
+                    raise ValidationError(
+                        "outputs must have one entry per node"
+                    )
+                row = [y_interners[i].encode(outs[i]) for i in range(n)]
+            ocodes[b] = row
+
+        # Fault fire lists, validated by the serial injector's own check so
+        # the two executors accept exactly the same fault plans.
+        if fault_plans is not None:
+            from repro.faults.injection import validate_fires
+
+            fault_plans = list(fault_plans)
+            if len(fault_plans) != B:
+                raise ValidationError("need one fault plan per row")
+            pending = []
+            for plan in fault_plans:
+                fires = plan.fires_within(max_steps)
+                validate_fires(fires, max_steps)
+                pending.append(fires)
+        else:
+            pending = [[] for _ in range(B)]
+        fault_times: list[list[int]] = [[] for _ in range(B)]
+
+        # Per-row analysis state.
+        t0 = np.zeros(B, dtype=np.int64)
+        witnessed = np.zeros((B, n), dtype=bool)
+        llc = np.full(B, -1, dtype=np.int64)  # last label change, local time
+        loc = np.full(B, -1, dtype=np.int64)  # last output change, local time
+        analysis: list[_RowAnalysis | None] = [None] * B
+        is_periodic = np.zeros(B, dtype=bool)
+        in_analysis = np.zeros(B, dtype=bool)
+        results: list[Any] = [None] * B
+
+        def start_analysis(slot: int, t: int) -> None:
+            t0[slot] = t
+            in_analysis[slot] = True
+            schedule = schedules[slot]
+            period = schedule.period
+            if period is not None:
+                is_periodic[slot] = True
+                preperiod = max(0, schedule.preperiod - t)
+                state = (codes[slot].tobytes(), ocodes[slot].tobytes())
+                analysis[slot] = _RowAnalysis(preperiod, period, state)
+            else:
+                witnessed[slot] = False
+                llc[slot] = -1
+                loc[slot] = -1
+
+        raw_rows = []
+        for slot in range(B):
+            if pending[slot]:
+                raw_rows.append(slot)
+            else:
+                start_analysis(slot, 0)
+
+        def conclude_timeout(slot: int, executed_local: int):
+            results[slot] = (
+                RunReport(
+                    outcome=RunOutcome.TIMEOUT,
+                    label_rounds=None,
+                    output_rounds=None,
+                    final=self._materialize(codes[slot], ocodes[slot]),
+                    steps_executed=executed_local,
+                ),
+                fault_times[slot],
+                int(t0[slot]),
+            )
+
+        alive = np.ones(B, dtype=bool)
+        live = np.arange(B)
+        setvec_cache: dict[frozenset, Any] = {}
+        topology = self._topology
+        space = self.protocol.label_space
+
+        # Group rows by schedule object: a schedule shared across rows (the
+        # run_batch broadcast, or a factory returning one object) is queried
+        # once per step and its activation vector assigned to all its rows.
+        by_schedule: dict[int, tuple[Schedule, list[int]]] = {}
+        for slot, schedule in enumerate(schedules):
+            by_schedule.setdefault(id(schedule), (schedule, []))[1].append(slot)
+        sched_groups = [
+            (schedule, np.asarray(slots, dtype=np.int64))
+            for schedule, slots in by_schedule.values()
+        ]
+        mask_full = np.zeros((B, n), dtype=bool)
+
+        for t in range(max_steps):
+            if not live.size:
+                break
+            # 1. Fire faults scheduled for time t (before sigma(t) applies).
+            if raw_rows:
+                buckets: dict[tuple, tuple[list, list]] = {}
+                started = []
+                for slot in raw_rows:
+                    fires = pending[slot]
+                    count = 0
+                    while count < len(fires) and fires[count][0] == t:
+                        count += 1
+                    if not count:
+                        continue
+                    now_models = [model for _, model in fires[:count]]
+                    pending[slot] = fires[count:]
+                    fault_times[slot].extend([t] * count)
+                    signature = tuple(id(model) for model in now_models)
+                    bucket = buckets.setdefault(signature, (now_models, []))
+                    bucket[1].append(slot)
+                    if not pending[slot]:
+                        started.append(slot)
+                for models, slots in buckets.values():
+                    for model in models:
+                        model.fire_batch(
+                            codes, slots, topology, space, interner, t
+                        )
+                for slot in started:
+                    raw_rows.remove(slot)
+                    start_analysis(slot, t)
+
+            # 2. Activation sets (a finite schedule may run dry here).
+            mask_full[live] = False
+            exhausted = []
+            for schedule, slots in sched_groups:
+                current = slots[alive[slots]]
+                if not current.size:
+                    continue
+                try:
+                    active = schedule.active(t)
+                except ScheduleError:
+                    exhausted.extend(int(slot) for slot in current)
+                    continue
+                vec = setvec_cache.get(active)
+                if vec is None:
+                    vec = np.zeros(n, dtype=bool)
+                    vec[list(active)] = True
+                    setvec_cache[active] = vec
+                mask_full[current] = vec
+            if exhausted:
+                for slot in exhausted:
+                    results[slot] = (
+                        RunReport(
+                            outcome=RunOutcome.SCHEDULE_EXHAUSTED,
+                            label_rounds=None,
+                            output_rounds=None,
+                            final=self._materialize(
+                                codes[slot], ocodes[slot]
+                            ),
+                            steps_executed=t - int(t0[slot]),
+                        ),
+                        fault_times[slot],
+                        int(t0[slot]),
+                    )
+                    alive[slot] = False
+                    if slot in raw_rows:
+                        raw_rows.remove(slot)
+                live = live[alive[live]]
+                if not live.size:
+                    break
+
+            # 3. One vectorized global transition over the live rows.  While
+            # every row is still live the code arrays are used as-is (no
+            # gather); once rows have finished, the live slice is compacted
+            # out so dead rows stop costing work.
+            full = live.size == B
+            sub = codes if full else codes[live]
+            osub = ocodes if full else ocodes[live]
+            mask = mask_full if full else mask_full[live]
+            new_sub, new_osub = self._step_rows(sub, osub, mask, live)
+
+            # 4. Convergence bookkeeping, replicated from Simulator.run.
+            dead = []
+            aper = in_analysis[live] & ~is_periodic[live]
+            if aper.any():
+                rows = np.flatnonzero(aper)
+                slots = live[rows]
+                # One full-array compare beats two fancy-indexed copies; the
+                # aperiodic rows are usually all (or nearly all) of the batch.
+                changed_all = (new_sub != sub).any(axis=1)
+                ochanged_all = (new_osub != osub).any(axis=1)
+                changed = changed_all[rows]
+                ochanged = ochanged_all[rows]
+                local_now = t - t0[slots]
+                llc[slots[changed]] = local_now[changed]
+                witnessed[slots[changed]] = False
+                unchanged_slots = slots[~changed]
+                witnessed[unchanged_slots] |= mask[rows[~changed]]
+                loc[slots[ochanged]] = local_now[ochanged]
+                finished = witnessed[slots].all(axis=1)
+                for slot, row in zip(slots[finished], rows[finished]):
+                    slot = int(slot)
+                    results[slot] = (
+                        RunReport(
+                            outcome=RunOutcome.LABEL_STABLE,
+                            label_rounds=int(llc[slot]) + 1,
+                            output_rounds=int(loc[slot]) + 1,
+                            final=self._materialize(
+                                new_sub[row], new_osub[row]
+                            ),
+                            steps_executed=t - int(t0[slot]) + 1,
+                        ),
+                        fault_times[slot],
+                        int(t0[slot]),
+                    )
+                    dead.append(slot)
+            per = in_analysis[live] & is_periodic[live]
+            if per.any():
+                for row in np.flatnonzero(per):
+                    slot = int(live[row])
+                    state = analysis[slot]
+                    vb = new_sub[row].tobytes()
+                    ob = new_osub[row].tobytes()
+                    local_now = t - int(t0[slot]) + 1
+                    if local_now >= state.preperiod:
+                        key = (
+                            vb,
+                            ob,
+                            (local_now - state.preperiod) % state.period,
+                        )
+                        cycle_start = state.seen.get(key)
+                        if cycle_start is not None:
+                            outcome, label_rounds, output_rounds, final = (
+                                classify_cycle(
+                                    state.history, cycle_start, local_now
+                                )
+                            )
+                            final_values = np.frombuffer(
+                                final[0], dtype=np.int64
+                            )
+                            final_outputs = np.frombuffer(
+                                final[1], dtype=np.int64
+                            )
+                            results[slot] = (
+                                RunReport(
+                                    outcome=outcome,
+                                    label_rounds=label_rounds,
+                                    output_rounds=output_rounds,
+                                    final=self._materialize(
+                                        final_values, final_outputs
+                                    ),
+                                    steps_executed=local_now,
+                                    cycle_start=cycle_start,
+                                    cycle_length=max(
+                                        local_now - cycle_start, 1
+                                    ),
+                                ),
+                                fault_times[slot],
+                                int(t0[slot]),
+                            )
+                            dead.append(slot)
+                            continue
+                        state.seen[key] = local_now
+                    state.history.append((vb, ob))
+
+            # 5. Commit and drop finished rows.
+            if full:
+                codes = new_sub
+                ocodes = new_osub
+            else:
+                codes[live] = new_sub
+                ocodes[live] = new_osub
+            if dead:
+                for slot in dead:
+                    alive[slot] = False
+                live = live[alive[live]]
+
+        for slot in live:
+            slot = int(slot)
+            conclude_timeout(slot, max_steps - int(t0[slot]))
+        return results

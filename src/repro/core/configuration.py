@@ -69,12 +69,18 @@ class Labeling:
     def incoming(self, i: int) -> dict[Edge, Label]:
         """The labels a node reads when activated (the paper's ``l_{-i}``)."""
         position = self._topology.edge_position
-        return {edge: self._values[position(edge)] for edge in self._topology.in_edges(i)}
+        return {
+            edge: self._values[position(edge)]
+            for edge in self._topology.in_edges(i)
+        }
 
     def outgoing(self, i: int) -> dict[Edge, Label]:
         """The node's current outgoing labels (the paper's ``l_{+i}``)."""
         position = self._topology.edge_position
-        return {edge: self._values[position(edge)] for edge in self._topology.out_edges(i)}
+        return {
+            edge: self._values[position(edge)]
+            for edge in self._topology.out_edges(i)
+        }
 
     def replace(self, updates: Mapping[Edge, Label]) -> "Labeling":
         """A new labeling with the given edges overwritten."""
@@ -88,7 +94,9 @@ class Labeling:
         """Raise unless every label belongs to ``space``."""
         for edge, label in zip(self._topology.edges, self._values):
             if label not in space:
-                raise ValidationError(f"label {label!r} on edge {edge!r} not in {space!r}")
+                raise ValidationError(
+                    f"label {label!r} on edge {edge!r} not in {space!r}"
+                )
 
     # -- dunder ------------------------------------------------------------
 
@@ -136,4 +144,7 @@ class Configuration:
         return self._hash
 
     def __repr__(self) -> str:
-        return f"<Configuration labels={self.labeling.values!r} outputs={self.outputs!r}>"
+        return (
+            f"<Configuration labels={self.labeling.values!r}"
+            f" outputs={self.outputs!r}>"
+        )

@@ -205,7 +205,9 @@ class Simulator:
             initial_outputs=initial_outputs,
         )
 
-    def _run_periodic(self, labeling, schedule, max_steps, initial_outputs, record_trace):
+    def _run_periodic(
+        self, labeling, schedule, max_steps, initial_outputs, record_trace
+    ):
         period = schedule.period
         preperiod = schedule.preperiod
         values, outputs = self._initial_raw(labeling, initial_outputs)
@@ -235,21 +237,9 @@ class Simulator:
         )
 
     def _classify_cycle(self, raw, cycle_start, now, record_trace):
-        cycle = raw[cycle_start:now] or [raw[cycle_start]]
-        cycle_values = {v for v, _ in cycle}
-        cycle_outputs = {o for _, o in cycle}
-        final_values, final_outputs = cycle[0]
-        label_rounds = None
-        output_rounds = None
-        if len(cycle_values) == 1:
-            outcome = RunOutcome.LABEL_STABLE
-            label_rounds = _settle_time(raw, 0, final_values)
-            output_rounds = _settle_time(raw, 1, final_outputs)
-        elif len(cycle_outputs) == 1:
-            outcome = RunOutcome.OUTPUT_STABLE
-            output_rounds = _settle_time(raw, 1, final_outputs)
-        else:
-            outcome = RunOutcome.OSCILLATING
+        outcome, label_rounds, output_rounds, (final_values, final_outputs) = (
+            classify_cycle(raw, cycle_start, now)
+        )
         return RunReport(
             outcome=outcome,
             label_rounds=label_rounds,
@@ -261,7 +251,9 @@ class Simulator:
             trace=[self._materialize(v, o) for v, o in raw] if record_trace else None,
         )
 
-    def _run_aperiodic(self, labeling, schedule, max_steps, initial_outputs, record_trace):
+    def _run_aperiodic(
+        self, labeling, schedule, max_steps, initial_outputs, record_trace
+    ):
         n = self.protocol.n
         values, outputs = self._initial_raw(labeling, initial_outputs)
         step = self._compiled.step_values
@@ -322,7 +314,40 @@ class Simulator:
         )
 
 
-def _settle_time(raw, component, final_value) -> int:
+def classify_cycle(raw, cycle_start, now):
+    """Classify a detected revisit in a periodic run's raw state history.
+
+    ``raw`` holds one ``(values, outputs)`` pair per step (indices
+    ``0..now-1``); the state reached at local time ``now`` was first seen at
+    ``cycle_start``, so ``raw[cycle_start:now]`` is exactly one period of the
+    run's final cycle.  Returns ``(outcome, label_rounds, output_rounds,
+    final_pair)``.
+
+    The pairs only need well-defined equality — the engine passes label/output
+    tuples, the batch backend (:mod:`repro.core.batch`) passes the byte views
+    of its interned code rows, and both classify identically because code
+    equality mirrors label equality.
+    """
+    cycle = raw[cycle_start:now] or [raw[cycle_start]]
+    cycle_values = {v for v, _ in cycle}
+    cycle_outputs = {o for _, o in cycle}
+    final = cycle[0]
+    final_values, final_outputs = final
+    label_rounds = None
+    output_rounds = None
+    if len(cycle_values) == 1:
+        outcome = RunOutcome.LABEL_STABLE
+        label_rounds = settle_time(raw, 0, final_values)
+        output_rounds = settle_time(raw, 1, final_outputs)
+    elif len(cycle_outputs) == 1:
+        outcome = RunOutcome.OUTPUT_STABLE
+        output_rounds = settle_time(raw, 1, final_outputs)
+    else:
+        outcome = RunOutcome.OSCILLATING
+    return outcome, label_rounds, output_rounds, final
+
+
+def settle_time(raw, component, final_value) -> int:
     """Smallest T such that raw[t][component] == final_value for all t >= T."""
     settle = len(raw)
     for t in range(len(raw) - 1, -1, -1):

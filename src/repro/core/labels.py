@@ -135,7 +135,11 @@ class IntegerRange(LabelSpace):
         return self._size
 
     def __contains__(self, label: Label) -> bool:
-        return isinstance(label, int) and not isinstance(label, bool) and 0 <= label < self._size
+        return (
+            isinstance(label, int)
+            and not isinstance(label, bool)
+            and 0 <= label < self._size
+        )
 
     def __iter__(self) -> Iterator[int]:
         return iter(range(self._size))

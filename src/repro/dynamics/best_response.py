@@ -122,7 +122,9 @@ def best_response_protocol(game: GraphicalGame) -> StatelessProtocol:
 
     def make_reaction(i: int):
         def react(incoming, _x):
-            neighbor_strategies = {u: incoming[(u, i)] for (u, _) in topology.in_edges(i)}
+            neighbor_strategies = {
+                u: incoming[(u, i)] for (u, _) in topology.in_edges(i)
+            }
             choice = game.best_response(i, neighbor_strategies)
             return choice, choice
 

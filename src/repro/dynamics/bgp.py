@@ -139,7 +139,9 @@ def bgp_protocol(instance: SPPInstance) -> StatelessProtocol:
     constantly advertises ``(destination,)``; outputs are the selected paths.
     """
     topology = instance.topology
-    label_space = ExplicitLabelSpace(instance.all_labels(), name=f"{instance.name}-paths")
+    label_space = ExplicitLabelSpace(
+        instance.all_labels(), name=f"{instance.name}-paths"
+    )
 
     def make_reaction(i: int):
         if i == instance.destination:

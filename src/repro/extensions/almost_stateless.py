@@ -36,7 +36,9 @@ from repro.exceptions import ValidationError
 from repro.graphs.topology import Topology
 
 #: reaction(incoming_labels, memory, x) -> (outgoing_labels, new_memory, y)
-MemoryReaction = Callable[[Mapping[Edge, Any], Any, Any], tuple[Mapping[Edge, Any], Any, Any]]
+MemoryReaction = Callable[
+    [Mapping[Edge, Any], Any, Any], tuple[Mapping[Edge, Any], Any, Any]
+]
 
 
 class MemoryProtocol:
@@ -62,7 +64,9 @@ class MemoryProtocol:
     def n(self) -> int:
         return self.topology.n
 
-    def run_trace(self, labeling_values, memories, inputs, schedule: Schedule, steps: int):
+    def run_trace(
+        self, labeling_values, memories, inputs, schedule: Schedule, steps: int
+    ):
         """Reference semantics: direct execution with explicit memory."""
         values = dict(zip(self.topology.edges, labeling_values))
         memories = list(memories)
@@ -71,7 +75,9 @@ class MemoryProtocol:
             new_values = dict(values)
             for i in schedule.active(t):
                 incoming = {e: values[e] for e in self.topology.in_edges(i)}
-                outgoing, memory, _y = self.reactions[i](incoming, memories[i], inputs[i])
+                outgoing, memory, _y = self.reactions[i](
+                    incoming, memories[i], inputs[i]
+                )
                 for edge, label in outgoing.items():
                     new_values[edge] = label
                 memories[i] = memory

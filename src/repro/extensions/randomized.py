@@ -20,7 +20,6 @@ from typing import Any
 
 from repro.core.configuration import Configuration, Labeling
 from repro.core.labels import LabelSpace, binary
-from repro.core.protocol import StatelessProtocol
 from repro.core.schedule import Schedule
 from repro.exceptions import ValidationError
 from repro.graphs.standard import clique
@@ -68,7 +67,9 @@ class RandomizedSimulator:
         outputs = list(config.outputs)
         for i in active:
             incoming = labeling.incoming(i)
-            outgoing, y = self.protocol.reactions[i](incoming, self.inputs[i], self._rng)
+            outgoing, y = self.protocol.reactions[i](
+                incoming, self.inputs[i], self._rng
+            )
             updates.update(outgoing)
             outputs[i] = y
         return Configuration(labeling.replace(updates), tuple(outputs))

@@ -90,6 +90,22 @@ class FaultRunReport:
         return "FaultRunReport(" + ", ".join(parts) + ")"
 
 
+def validate_fires(fires, max_steps: int) -> None:
+    """Check a materialized fire list obeys the injection contract.
+
+    Shared by this serial injector and the batch backend
+    (:meth:`repro.core.batch.BatchSimulator.run_batch_with_faults`), so the
+    two executors accept exactly the same fault plans.
+    """
+    for (time, _model) in fires:
+        if time < 0 or time >= max_steps:
+            raise ValidationError(
+                f"fault schedule fired at {time}, outside 0..{max_steps - 1}"
+            )
+    if any(fires[k][0] > fires[k + 1][0] for k in range(len(fires) - 1)):
+        raise ValidationError("fault schedule fires must be sorted by time")
+
+
 def run_with_faults(
     simulator: Simulator,
     labeling: Labeling,
@@ -107,13 +123,7 @@ def run_with_faults(
     Also reachable as ``Simulator.run_with_faults`` sugar.
     """
     fires = faults.fires_within(max_steps)
-    for (time, _model) in fires:
-        if time < 0 or time >= max_steps:
-            raise ValidationError(
-                f"fault schedule fired at {time}, outside 0..{max_steps - 1}"
-            )
-    if any(fires[k][0] > fires[k + 1][0] for k in range(len(fires) - 1)):
-        raise ValidationError("fault schedule fires must be sorted by time")
+    validate_fires(fires, max_steps)
 
     # Raw pre-fault window: identical stepping to the engine's run loops.
     values, outputs = simulator._initial_raw(labeling, initial_outputs)

@@ -30,7 +30,6 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from collections.abc import Iterable, Mapping
-from typing import Any
 
 from repro.core.labels import Label, LabelSpace
 from repro.core.reaction import Edge
@@ -57,6 +56,27 @@ class FaultModel(ABC):
     ) -> tuple:
         """The corrupted labeling values (``values`` itself if nothing changed)."""
 
+    def fire_batch(self, codes, rows, topology, space, interner, step) -> None:
+        """Apply this fault to several rows of a batch code array, in place.
+
+        ``codes`` is the batch backend's ``(B, m)`` label-code array
+        (:mod:`repro.core.batch`), ``rows`` the row indices firing this model
+        at time ``step``, and ``interner`` the backend's label interner.  The
+        contract is equality with :meth:`apply` row by row — same ``(seed,
+        fire time)`` RNG derivation, same resulting labeling — so batch
+        resilience sweeps stay interchangeable with serial ones.
+
+        The default decodes each row and runs :meth:`apply` itself (exact by
+        construction); models whose draw sequence does not depend on the
+        current labeling override this to derive the corruption once and
+        scatter it across all rows.
+        """
+        for row in rows:
+            values = self.apply(
+                interner.decode_values(codes[row]), topology, space, step
+            )
+            codes[row] = interner.encode_values(values)
+
 
 class RandomCorruption(FaultModel):
     """Overwrite each edge independently with probability ``fraction``.
@@ -82,6 +102,23 @@ class RandomCorruption(FaultModel):
                 new_values[position] = space.sample(rng)
                 changed = True
         return tuple(new_values) if changed else values
+
+    def fire_batch(self, codes, rows, topology, space, interner, step) -> None:
+        # The draw sequence of apply() depends only on (seed, step), never on
+        # the current labeling, so one replay serves every row.
+        rng = _derive_rng(self.seed, step)
+        fraction = self.fraction
+        positions: list[int] = []
+        labels: list = []
+        for position in range(codes.shape[1]):
+            if rng.random() < fraction:
+                positions.append(position)
+                labels.append(space.sample(rng))
+        if not positions:
+            return
+        new_codes = [interner.encode(label) for label in labels]
+        for row in rows:
+            codes[row, positions] = new_codes
 
     def __repr__(self) -> str:
         return f"RandomCorruption(fraction={self.fraction}, seed={self.seed})"
@@ -130,6 +167,27 @@ class TargetedCorruption(FaultModel):
             new_values[position(edge)] = label
         return tuple(new_values)
 
+    def fire_batch(self, codes, rows, topology, space, interner, step) -> None:
+        # Same edit list for every row: explicit labels are fixed, random
+        # replacements replay apply()'s (seed, step) draw sequence.
+        rng = _derive_rng(self.seed, step)
+        position = topology.edge_position
+        positions: list[int] = []
+        new_codes: list[int] = []
+        for edge in self.edges:
+            if self.labels is not None and edge in self.labels:
+                label = self.labels[edge]
+                if label not in space:
+                    raise ValidationError(
+                        f"fault label {label!r} for edge {edge!r} is not in {space!r}"
+                    )
+            else:
+                label = space.sample(rng)
+            positions.append(position(edge))
+            new_codes.append(interner.encode(label))
+        for row in rows:
+            codes[row, positions] = new_codes
+
     def __repr__(self) -> str:
         return (
             f"TargetedCorruption(edges={self.edges!r},"
@@ -167,6 +225,17 @@ class StuckAtFault(FaultModel):
                 changed = True
         return tuple(new_values) if changed else values
 
+    def fire_batch(self, codes, rows, topology, space, interner, step) -> None:
+        if self.label not in space:
+            raise ValidationError(
+                f"stuck-at label {self.label!r} is not in {space!r}"
+            )
+        position = topology.edge_position
+        positions = [position(edge) for edge in self.edges]
+        code = interner.encode(self.label)
+        for row in rows:
+            codes[row, positions] = code
+
     def __repr__(self) -> str:
         return f"StuckAtFault(edges={self.edges!r}, label={self.label!r})"
 
@@ -183,6 +252,10 @@ class ComposedFault(FaultModel):
         for model in self.models:
             values = model.apply(values, topology, space, step)
         return values
+
+    def fire_batch(self, codes, rows, topology, space, interner, step) -> None:
+        for model in self.models:
+            model.fire_batch(codes, rows, topology, space, interner, step)
 
     def __repr__(self) -> str:
         return f"ComposedFault({list(self.models)!r})"

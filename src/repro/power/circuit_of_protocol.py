@@ -17,7 +17,6 @@ output wire after the last layer.
 from __future__ import annotations
 
 import math
-from collections.abc import Sequence
 
 from repro.core.configuration import Labeling
 from repro.core.protocol import StatelessProtocol

@@ -76,7 +76,9 @@ _ACTIVATION_SETS: dict[tuple[tuple[int, ...], int], tuple[frozenset[int], ...]] 
 _ACTIVATION_SETS_CAP = 1 << 16
 
 
-def _cached_activation_sets(countdown: tuple[int, ...], n: int) -> tuple[frozenset[int], ...]:
+def _cached_activation_sets(
+    countdown: tuple[int, ...], n: int
+) -> tuple[frozenset[int], ...]:
     """All nonempty T containing every node whose countdown is 1 (cached)."""
     key = (countdown, n)
     cached = _ACTIVATION_SETS.get(key)
@@ -244,7 +246,9 @@ class ExplorationGraph:
                 nxt = transitions.get(tkey)
                 if nxt is None:
                     if track_outputs:
-                        new_values, new_outputs = step(labels[lid], outs[oid], t, inputs_t)
+                        new_values, new_outputs = step(
+                            labels[lid], outs[oid], t, inputs_t
+                        )
                         noid = out_ids.get(new_outputs)
                         if noid is None:
                             noid = len(outs)

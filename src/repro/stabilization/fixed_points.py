@@ -22,7 +22,9 @@ from repro.graphs.topology import Topology
 DEFAULT_ENUMERATION_BUDGET = 2_000_000
 
 
-def is_stable_labeling(protocol: Protocol, inputs: Sequence[Any], labeling: Labeling) -> bool:
+def is_stable_labeling(
+    protocol: Protocol, inputs: Sequence[Any], labeling: Labeling
+) -> bool:
     """True when every node's reaction fixes its outgoing labels under ``labeling``."""
     for i in range(protocol.n):
         incoming = labeling.incoming(i)

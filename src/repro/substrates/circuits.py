@@ -278,6 +278,8 @@ def random_circuit(n_inputs: int, n_gates: int, seed: int = 0) -> Circuit:
             wire = builder.not_(rng.choice(wires))
         else:
             a, b = rng.choice(wires), rng.choice(wires)
-            wire = getattr(builder, {"AND": "and_", "OR": "or_", "XOR": "xor"}[op])(a, b)
+            wire = getattr(builder, {"AND": "and_", "OR": "or_", "XOR": "xor"}[op])(
+                a, b
+            )
         wires.append(wire)
     return builder.build(wires[-1])

@@ -104,7 +104,9 @@ class LogspaceMachine:
     def initial_config(self) -> Config:
         return (self.initial_state, (self.blank,) * self.work_length, 0, 0, 0)
 
-    def run(self, x: Sequence[int], advice: str = "", max_steps: int = 1_000_000) -> int:
+    def run(
+        self, x: Sequence[int], advice: str = "", max_steps: int = 1_000_000
+    ) -> int:
         """Direct execution; returns 1 on accept, 0 on reject."""
         graph = ConfigurationGraph(self, len(x), advice)
         config = self.initial_config()

@@ -11,7 +11,7 @@ from repro.analysis import (
 )
 from repro.core import Labeling, default_inputs
 from repro.exceptions import ConvergenceError
-from repro.graphs import clique, unidirectional_ring
+from repro.graphs import clique
 from repro.stabilization import example1_protocol, one_token_labeling
 
 from tests.helpers import copy_ring_protocol, or_clique_protocol

@@ -1,0 +1,623 @@
+"""Batch backend equivalence with the serial engine.
+
+The contract of :mod:`repro.core.batch` is *equality*: for any case the
+serial engine can run, the batch backend must produce an equal report —
+outcome, round counts, steps, cycle facts, and final configuration.  These
+tests drive that contract property-style over randomly generated protocols,
+schedules, and fault plans, plus directed tests for each lift/fallback tier.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import SweepCase, run_resilience_sweep, run_sweep
+from repro.core import (
+    BatchSimulator,
+    BitStrings,
+    ExplicitLabelSpace,
+    ExplicitSchedule,
+    Labeling,
+    LambdaStatefulReaction,
+    LassoSchedule,
+    RandomRFairSchedule,
+    RoundRobinSchedule,
+    Simulator,
+    StatefulProtocol,
+    StatelessProtocol,
+    SynchronousSchedule,
+    TabularReaction,
+    UniformReaction,
+    batch_compile,
+    binary,
+    compile_protocol,
+)
+from repro.core.batch import LabelInterner
+from repro.exceptions import ValidationError
+from repro.faults import (
+    BurstFault,
+    ComposedFault,
+    ComposedFaultSchedule,
+    NoFaults,
+    OneShotFault,
+    PeriodicFault,
+    RandomCorruption,
+    StuckAtFault,
+    TargetedCorruption,
+    WindowFault,
+)
+from repro.graphs import clique, unidirectional_ring
+
+np = pytest.importorskip("numpy")
+
+RUN_FIELDS = (
+    "outcome",
+    "label_rounds",
+    "output_rounds",
+    "steps_executed",
+    "cycle_start",
+    "cycle_length",
+)
+FAULT_FIELDS = (
+    "outcome",
+    "recovery_rounds",
+    "output_recovery_rounds",
+    "cycle_start",
+    "cycle_length",
+    "faults_fired",
+    "fault_times",
+    "last_fault_time",
+    "steps_executed",
+)
+
+
+def assert_reports_equal(serial, batch, fields=RUN_FIELDS):
+    for field in fields:
+        assert getattr(serial, field) == getattr(batch, field), (
+            field,
+            serial.describe(),
+            batch.describe(),
+        )
+    assert serial.final == batch.final
+
+
+# -- random case generators --------------------------------------------------
+
+
+def random_tabular_protocol(rng: random.Random) -> StatelessProtocol:
+    """A complete random lookup-table protocol on a small ring or clique."""
+    if rng.random() < 0.5:
+        topology = unidirectional_ring(rng.randrange(3, 7))
+    else:
+        topology = clique(rng.randrange(3, 5))
+    labels = tuple(range(rng.randrange(2, 4)))
+    space = ExplicitLabelSpace(labels)
+    reactions = []
+    for i in range(topology.n):
+        in_edges = topology.in_edges(i)
+        out_edges = topology.out_edges(i)
+        table = {}
+        for combo in product(labels, repeat=len(in_edges)):
+            for x in (0, 1):
+                table[(combo, x)] = (
+                    tuple(rng.choice(labels) for _ in out_edges),
+                    rng.randrange(3),
+                )
+        reactions.append(TabularReaction(in_edges, out_edges, table))
+    return StatelessProtocol(topology, space, reactions, name="random-tabular")
+
+
+def random_schedule(rng: random.Random, n: int):
+    kind = rng.randrange(6)
+    if kind == 0:
+        return SynchronousSchedule(n)
+    if kind == 1:
+        return RoundRobinSchedule(n)
+    if kind == 2:
+        return RandomRFairSchedule(
+            n, r=rng.randrange(1, 4), seed=rng.randrange(1 << 20), p=0.4
+        )
+    if kind == 3:
+        steps = [
+            rng.sample(range(n), rng.randrange(1, n + 1))
+            for _ in range(rng.randrange(1, 6))
+        ]
+        return ExplicitSchedule(n, steps)
+    if kind == 4:
+        steps = [
+            rng.sample(range(n), rng.randrange(1, n + 1))
+            for _ in range(rng.randrange(1, 25))
+        ]
+        return ExplicitSchedule(n, steps, cycle=False)
+    prefix = [
+        rng.sample(range(n), rng.randrange(1, n + 1))
+        for _ in range(rng.randrange(0, 4))
+    ]
+    loop = [
+        rng.sample(range(n), rng.randrange(1, n + 1))
+        for _ in range(rng.randrange(1, 4))
+    ]
+    return LassoSchedule(n, prefix, loop)
+
+
+def random_fault_model(rng: random.Random, topology, space):
+    kind = rng.randrange(4)
+    edges = list(topology.edges)
+    labels = list(space)
+    if kind == 0:
+        return RandomCorruption(rng.random(), seed=rng.randrange(1 << 20))
+    if kind == 1:
+        chosen = rng.sample(edges, rng.randrange(1, len(edges) + 1))
+        return TargetedCorruption(chosen, seed=rng.randrange(1 << 20))
+    if kind == 2:
+        chosen = rng.sample(edges, rng.randrange(1, 3))
+        return StuckAtFault(chosen, rng.choice(labels))
+    return ComposedFault(
+        [random_fault_model(rng, topology, space) for _ in range(rng.randrange(1, 3))]
+    )
+
+
+def random_fault_plan(rng: random.Random, topology, space, horizon: int):
+    kind = rng.randrange(6)
+    model = random_fault_model(rng, topology, space)
+    if kind == 0:
+        return NoFaults()
+    if kind == 1:
+        return OneShotFault(rng.randrange(horizon), model)
+    if kind == 2:
+        times = sorted(
+            rng.sample(range(horizon), rng.randrange(1, min(4, horizon)))
+        )
+        return BurstFault(times, model)
+    if kind == 3:
+        start = rng.randrange(horizon - 1)
+        return WindowFault(start, rng.randrange(start + 1, horizon), model)
+    if kind == 4:
+        start = rng.randrange(horizon)
+        return PeriodicFault(rng.randrange(1, 8), model, start=start)
+    return ComposedFaultSchedule(
+        [
+            random_fault_plan(rng, topology, space, horizon)
+            for _ in range(rng.randrange(1, 3))
+        ]
+    )
+
+
+def random_rows(rng: random.Random, protocol, count: int):
+    topology = protocol.topology
+    labels = list(protocol.label_space)
+    labelings = [
+        Labeling(
+            topology, tuple(rng.choice(labels) for _ in range(topology.m))
+        )
+        for _ in range(count)
+    ]
+    inputs = [
+        tuple(rng.randrange(2) for _ in range(topology.n))
+        for _ in range(count)
+    ]
+    schedules = [random_schedule(rng, topology.n) for _ in range(count)]
+    return labelings, inputs, schedules
+
+
+# -- property-style equivalence ----------------------------------------------
+
+
+class TestRunEquivalence:
+    @given(st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=20, deadline=None)
+    def test_arbitrary_cases_match_serial(self, seed):
+        rng = random.Random(seed)
+        protocol = random_tabular_protocol(rng)
+        count = rng.randrange(2, 7)
+        max_steps = rng.choice([4, 30, 120])
+        labelings, inputs, schedules = random_rows(rng, protocol, count)
+        serial = [
+            Simulator(protocol, inputs[b]).run(
+                labelings[b], schedules[b], max_steps=max_steps
+            )
+            for b in range(count)
+        ]
+        batch = BatchSimulator(protocol, inputs).run_batch(
+            labelings, schedules, max_steps=max_steps
+        )
+        for s, r in zip(serial, batch):
+            assert_reports_equal(s, r)
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=20, deadline=None)
+    def test_arbitrary_fault_plans_match_serial(self, seed):
+        rng = random.Random(seed)
+        protocol = random_tabular_protocol(rng)
+        space = protocol.label_space
+        count = rng.randrange(2, 6)
+        max_steps = rng.choice([20, 80])
+        labelings, inputs, schedules = random_rows(rng, protocol, count)
+        plans = [
+            random_fault_plan(rng, protocol.topology, space, max_steps)
+            for _ in range(count)
+        ]
+        serial = [
+            Simulator(protocol, inputs[b]).run_with_faults(
+                labelings[b], schedules[b], plans[b], max_steps=max_steps
+            )
+            for b in range(count)
+        ]
+        batch = BatchSimulator(protocol, inputs).run_batch_with_faults(
+            labelings, schedules, plans, max_steps=max_steps
+        )
+        for s, r in zip(serial, batch):
+            assert_reports_equal(s, r, FAULT_FIELDS)
+
+    def test_initial_outputs_and_shared_schedule(self):
+        rng = random.Random(5)
+        protocol = random_tabular_protocol(rng)
+        n = protocol.n
+        count = 4
+        labelings, inputs, _ = random_rows(rng, protocol, count)
+        outputs = [tuple(rng.randrange(3) for _ in range(n)) for _ in range(count)]
+        schedule = SynchronousSchedule(n)
+        serial = [
+            Simulator(protocol, inputs[b]).run(
+                labelings[b],
+                schedule,
+                max_steps=60,
+                initial_outputs=outputs[b],
+            )
+            for b in range(count)
+        ]
+        batch = BatchSimulator(protocol, inputs).run_batch(
+            labelings, schedule, max_steps=60, initial_outputs=outputs
+        )
+        for s, r in zip(serial, batch):
+            assert_reports_equal(s, r)
+
+
+# -- sweep-level equivalence -------------------------------------------------
+
+
+def _xor_ring_protocol(n: int) -> StatelessProtocol:
+    topology = unidirectional_ring(n)
+
+    def make(i):
+        def fn(incoming, x):
+            (value,) = incoming.values()
+            return value ^ x, value
+
+        return UniformReaction(topology.out_edges(i), fn)
+
+    return StatelessProtocol(
+        topology, binary(), [make(i) for i in range(n)], name=f"xor-ring({n})"
+    )
+
+
+class TestSweepEquivalence:
+    def _cases(self, protocol, count, seed):
+        rng = random.Random(seed)
+        topology = protocol.topology
+        return [
+            SweepCase(
+                tuple(rng.randrange(2) for _ in range(topology.n)),
+                Labeling(
+                    topology,
+                    tuple(rng.randrange(2) for _ in range(topology.m)),
+                ),
+                tag=("case", k),
+            )
+            for k in range(count)
+        ]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_run_sweep_batch_equals_serial(self, seed):
+        protocol = _xor_ring_protocol(8)
+        cases = self._cases(protocol, 16, seed)
+
+        def factory(index, case):
+            return RandomRFairSchedule(8, r=3, seed=1000 * seed + index)
+
+        serial = run_sweep(protocol, cases, factory, max_steps=120)
+        batch = run_sweep(
+            protocol, cases, factory, max_steps=120, executor="batch"
+        )
+        assert serial == batch
+        assert serial.outcome_counts == batch.outcome_counts
+        assert serial.round_histogram() == batch.round_histogram()
+        assert [r.index for r in batch] == list(range(len(cases)))
+        assert [r.tag for r in batch] == [case.tag for case in cases]
+
+    @pytest.mark.parametrize("criterion", ["label", "orbit"])
+    def test_resilience_sweep_batch_equals_serial(self, criterion):
+        protocol = _xor_ring_protocol(7)
+        cases = self._cases(protocol, 12, 3)
+        edges = protocol.topology.edges
+
+        def schedule_factory(index, case):
+            return RandomRFairSchedule(7, r=3, seed=index)
+
+        def fault_factory(index, case):
+            if index % 4 == 0:
+                return NoFaults()
+            if index % 4 == 1:
+                return BurstFault([3, 11], RandomCorruption(0.5, seed=index))
+            if index % 4 == 2:
+                return WindowFault(2, 6, StuckAtFault([edges[0]], 1))
+            return OneShotFault(
+                5, TargetedCorruption([edges[1], edges[2]], seed=index)
+            )
+
+        serial = run_resilience_sweep(
+            protocol,
+            cases,
+            schedule_factory,
+            fault_factory,
+            max_steps=100,
+            recovered=criterion,
+        )
+        batch = run_resilience_sweep(
+            protocol,
+            cases,
+            schedule_factory,
+            fault_factory,
+            max_steps=100,
+            recovered=criterion,
+            executor="batch",
+        )
+        assert serial == batch
+        assert serial.recovery_rate == batch.recovery_rate
+        assert serial.recovery_histogram() == batch.recovery_histogram()
+
+    def test_unknown_executor_rejected(self):
+        protocol = _xor_ring_protocol(5)
+        cases = self._cases(protocol, 2, 0)
+        with pytest.raises(ValidationError, match="unknown executor"):
+            run_sweep(
+                protocol,
+                cases,
+                lambda i, c: SynchronousSchedule(5),
+                executor="gpu",
+            )
+        with pytest.raises(ValidationError, match="unknown executor"):
+            run_resilience_sweep(
+                protocol,
+                cases,
+                lambda i, c: SynchronousSchedule(5),
+                lambda i, c: NoFaults(),
+                executor="gpu",
+            )
+
+
+# -- lift tiers and fallbacks ------------------------------------------------
+
+
+class TestLiftTiers:
+    def test_small_space_protocol_fully_lifted(self):
+        protocol = _xor_ring_protocol(6)
+        simulator = BatchSimulator(protocol, [(0,) * 6, (1, 0, 0, 0, 0, 0)])
+        assert simulator.lifted_nodes == tuple(range(6))
+
+    def test_huge_space_falls_back_to_python_apply(self):
+        n = 4
+        topology = unidirectional_ring(n)
+        space = BitStrings(20)
+
+        def make(i):
+            def fn(incoming, x):
+                (value,) = incoming.values()
+                return tuple(1 - bit for bit in value), sum(value)
+
+            return UniformReaction(topology.out_edges(i), fn)
+
+        protocol = StatelessProtocol(
+            topology, space, [make(i) for i in range(n)], name="big-space"
+        )
+        rng = random.Random(3)
+        labelings = [
+            Labeling(
+                topology, tuple(space.sample(rng) for _ in range(topology.m))
+            )
+            for _ in range(3)
+        ]
+        simulator = BatchSimulator(protocol, [(0,) * n] * 3)
+        assert simulator.lifted_nodes == ()
+        schedule = SynchronousSchedule(n)
+        batch = simulator.run_batch(labelings, schedule, max_steps=40)
+        for labeling, report in zip(labelings, batch):
+            serial = Simulator(protocol, (0,) * n).run(
+                labeling, schedule, max_steps=40
+            )
+            assert_reports_equal(serial, report)
+
+    def test_batch_form_hook_and_cache(self):
+        protocol = _xor_ring_protocol(5)
+        compiled = compile_protocol(protocol)
+        batch = compiled.batch_form()
+        assert batch is batch_compile(protocol)
+        assert batch is batch_compile(compiled)
+        # Distinct table budgets coexist in the cache instead of evicting
+        # each other.
+        small = compiled.batch_form(max_table_size=1)
+        assert small is not batch
+        assert compiled.batch_form() is batch
+        assert compiled.batch_form(max_table_size=1) is small
+
+    def test_max_table_size_gates_the_lift(self):
+        protocol = _xor_ring_protocol(5)
+        compiled = compile_protocol(protocol)
+        batch = batch_compile(compiled, max_table_size=1)
+        simulator = BatchSimulator(
+            protocol, [(0,) * 5] * 2, compiled=compiled, batch_compiled=batch
+        )
+        assert simulator.lifted_nodes == ()
+        rng = random.Random(0)
+        labelings = [
+            Labeling(
+                protocol.topology,
+                tuple(rng.randrange(2) for _ in range(protocol.topology.m)),
+            )
+            for _ in range(2)
+        ]
+        schedule = RoundRobinSchedule(5)
+        batch_reports = simulator.run_batch(labelings, schedule, max_steps=60)
+        for labeling, report in zip(labelings, batch_reports):
+            serial = Simulator(protocol, (0,) * 5).run(
+                labeling, schedule, max_steps=60
+            )
+            assert_reports_equal(serial, report)
+
+    def test_out_of_space_label_demotes_lifted_nodes(self):
+        n = 5
+        topology = unidirectional_ring(n)
+
+        def make(i):
+            if i == 0:
+                # Emits label 2, which is outside the declared binary space.
+                def escape(incoming, x):
+                    (value,) = incoming.values()
+                    return (2 if value == 1 else 0), value
+
+                return UniformReaction(topology.out_edges(i), escape)
+
+            def forward(incoming, x):
+                (value,) = incoming.values()
+                return value, value
+
+            return UniformReaction(topology.out_edges(i), forward)
+
+        protocol = StatelessProtocol(
+            topology, binary(), [make(i) for i in range(n)], name="escaper"
+        )
+        simulator = BatchSimulator(protocol, [(0,) * n] * 3)
+        # Node 0 cannot be lifted (its table would leave the space)...
+        assert 0 not in simulator.lifted_nodes
+        assert set(simulator.lifted_nodes) == {1, 2, 3, 4}
+        rng = random.Random(9)
+        labelings = [
+            Labeling(
+                topology, tuple(rng.randrange(2) for _ in range(topology.m))
+            )
+            for _ in range(3)
+        ]
+        schedule = RoundRobinSchedule(n)
+        batch = simulator.run_batch(labelings, schedule, max_steps=50)
+        # ... and once label 2 entered the interner, every node was demoted.
+        assert simulator.lifted_nodes == ()
+        for labeling, report in zip(labelings, batch):
+            serial = Simulator(protocol, (0,) * n).run(
+                labeling, schedule, max_steps=50
+            )
+            assert_reports_equal(serial, report)
+
+    def test_stateful_protocol_uses_fallback(self):
+        n = 4
+        topology = unidirectional_ring(n)
+
+        def make(i):
+            def fn(incoming, own, x):
+                (value,) = incoming.values()
+                (mine,) = own.values()
+                return {
+                    edge: value ^ mine for edge in topology.out_edges(i)
+                }, mine
+
+            return LambdaStatefulReaction(fn)
+
+        protocol = StatefulProtocol(
+            topology, binary(), [make(i) for i in range(n)], name="stateful"
+        )
+        simulator = BatchSimulator(protocol, [(0,) * n] * 2)
+        assert simulator.lifted_nodes == ()
+        rng = random.Random(11)
+        labelings = [
+            Labeling(
+                topology, tuple(rng.randrange(2) for _ in range(topology.m))
+            )
+            for _ in range(2)
+        ]
+        schedule = SynchronousSchedule(n)
+        batch = simulator.run_batch(labelings, schedule, max_steps=40)
+        for labeling, report in zip(labelings, batch):
+            serial = Simulator(protocol, (0,) * n).run(
+                labeling, schedule, max_steps=40
+            )
+            assert_reports_equal(serial, report)
+
+    def test_partial_table_raises_like_serial(self):
+        topology = unidirectional_ring(3)
+        space = binary()
+        reactions = []
+        for i in range(3):
+            in_edges = topology.in_edges(i)
+            out_edges = topology.out_edges(i)
+            # Only the all-zeros row exists; any 1 on the wire is undefined.
+            table = {((0,), 0): ((0,), 0)}
+            reactions.append(TabularReaction(in_edges, out_edges, table))
+        protocol = StatelessProtocol(topology, space, reactions, name="partial")
+        bad = Labeling(topology, (1, 0, 0))
+        schedule = SynchronousSchedule(3)
+        with pytest.raises(ValidationError, match="no row"):
+            Simulator(protocol, (0,) * 3).run(bad, schedule, max_steps=5)
+        simulator = BatchSimulator(protocol, [(0,) * 3])
+        with pytest.raises(ValidationError, match="no row"):
+            simulator.run_batch([bad], schedule, max_steps=5)
+
+    def test_batch_validates_row_counts(self):
+        protocol = _xor_ring_protocol(4)
+        simulator = BatchSimulator(protocol, [(0,) * 4] * 2)
+        labeling = Labeling.uniform(protocol.topology, 0)
+        with pytest.raises(ValidationError):
+            simulator.run_batch([labeling], SynchronousSchedule(4))
+        with pytest.raises(ValidationError):
+            BatchSimulator(protocol, [(0,) * 3])
+
+
+# -- fire_batch contract -----------------------------------------------------
+
+
+class TestFireBatch:
+    @pytest.mark.parametrize("step", [0, 7, 123])
+    def test_models_fire_batch_equals_apply(self, step):
+        protocol = _xor_ring_protocol(6)
+        topology = protocol.topology
+        space = protocol.label_space
+        rng = random.Random(step)
+        edges = list(topology.edges)
+        models = [
+            RandomCorruption(0.6, seed=17),
+            TargetedCorruption(edges[:3], seed=21),
+            TargetedCorruption(edges[1:3], labels={edges[1]: 1}, seed=4),
+            StuckAtFault(edges[2:4], 1),
+            ComposedFault(
+                [RandomCorruption(0.3, seed=9), StuckAtFault([edges[0]], 0)]
+            ),
+        ]
+        rows = [
+            tuple(rng.randrange(2) for _ in range(topology.m))
+            for _ in range(5)
+        ]
+        for model in models:
+            interner = LabelInterner(iter(space))
+            codes = np.array(
+                [interner.encode_values(row) for row in rows], dtype=np.int64
+            )
+            model.fire_batch(
+                codes, list(range(len(rows))), topology, space, interner, step
+            )
+            for b, row in enumerate(rows):
+                expected = model.apply(row, topology, space, step)
+                assert interner.decode_values(codes[b]) == tuple(expected), (
+                    model,
+                    b,
+                )
+
+    def test_interner_round_trip(self):
+        interner = LabelInterner(["a", "b"])
+        assert interner.encode("a") == 0
+        assert interner.encode("c") == 2
+        assert interner.size == 3
+        values = ("c", "a", "b", "a")
+        assert interner.decode_values(interner.encode_values(values)) == values

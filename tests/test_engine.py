@@ -99,7 +99,9 @@ class TestPeriodicRuns:
 
             return UniformReaction(topo.out_edges(i), fn)
 
-        proto = StatelessProtocol(topo, binary(), [rotate_out_zero(i) for i in range(3)])
+        proto = StatelessProtocol(
+            topo, binary(), [rotate_out_zero(i) for i in range(3)]
+        )
         labeling = Labeling(topo, (1, 0, 0))
         report = synchronous_run(proto, (0,) * 3, labeling)
         assert report.outcome is RunOutcome.OUTPUT_STABLE

@@ -130,7 +130,9 @@ class TestStructureMatchesSeed:
         while changed:
             changed = False
             for k in range(len(seed.states)):
-                if not in_region[k] and all(in_region[j] for j, _ in seed.successors[k]):
+                if not in_region[k] and all(
+                    in_region[j] for j, _ in seed.successors[k]
+                ):
                     in_region[k] = True
                     changed = True
         reference = {k for k, inside in enumerate(in_region) if inside}

@@ -6,7 +6,6 @@
   adversarial (n-1)-fair schedule almost surely.
 """
 
-import random
 
 import pytest
 

@@ -7,7 +7,6 @@ run with no faults to a plain analyzed run.
 """
 
 import pickle
-import random
 
 import pytest
 
@@ -17,7 +16,6 @@ from repro.core import (
     RoundRobinSchedule,
     Simulator,
     SynchronousSchedule,
-    binary,
     compile_protocol,
 )
 from repro.core.schedule import ShiftedSchedule
@@ -34,7 +32,7 @@ from repro.faults import (
     TargetedCorruption,
     WindowFault,
 )
-from repro.graphs import clique, unidirectional_ring
+from repro.graphs import clique
 from repro.stabilization import example1_protocol, stable_labeling_pair
 
 from tests.helpers import copy_ring_protocol, or_clique_protocol, random_bit_labeling
@@ -211,7 +209,10 @@ class TestFaultSchedules:
 
     def test_schedules_pickle(self):
         fault = ComposedFaultSchedule(
-            [OneShotFault(3, RandomCorruption(seed=4)), WindowFault(5, 8, StuckAtFault([(0, 1)], 0))]
+            [
+                OneShotFault(3, RandomCorruption(seed=4)),
+                WindowFault(5, 8, StuckAtFault([(0, 1)], 0)),
+            ]
         )
         clone = pickle.loads(pickle.dumps(fault))
         assert [t for t, _ in clone.fires_within(10)] == [3, 5, 6, 7]

@@ -64,7 +64,10 @@ def random_broadcast_protocol(n: int, seed: int) -> StatelessProtocol:
 
 
 class TestBroadcastReductionSoundness:
-    @given(st.integers(min_value=0, max_value=150), st.integers(min_value=1, max_value=2))
+    @given(
+        st.integers(min_value=0, max_value=150),
+        st.integers(min_value=1, max_value=2),
+    )
     @settings(max_examples=25, deadline=None)
     def test_full_and_broadcast_space_verdicts_agree(self, seed, r):
         protocol = random_broadcast_protocol(3, seed)

@@ -23,7 +23,6 @@ from repro.core import (
     StatelessProtocol,
     SynchronousSchedule,
     TabularReaction,
-    binary,
 )
 from repro.exceptions import ValidationError
 from repro.graphs import unidirectional_ring

@@ -22,7 +22,6 @@ from repro.core import (
     Labeling,
     RandomRFairSchedule,
     RunOutcome,
-    Simulator,
     StatelessProtocol,
     SynchronousSchedule,
     UniformReaction,
@@ -49,7 +48,11 @@ from repro.power import (
     machine_ring_round_bound,
     ring_inputs,
 )
-from repro.stabilization import example1_protocol, one_token_labeling, oscillating_schedule
+from repro.stabilization import (
+    example1_protocol,
+    one_token_labeling,
+    oscillating_schedule,
+)
 from repro.substrates.circuits import parity_circuit
 from repro.substrates.turing import ConfigurationGraph, parity_machine
 

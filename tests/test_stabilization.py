@@ -9,14 +9,13 @@ These machine-verify the Part I results of the paper on small instances:
 import pytest
 
 from repro.core import (
-    Labeling,
     RunOutcome,
     Simulator,
     default_inputs,
     minimal_fairness,
 )
 from repro.exceptions import SearchBudgetExceeded
-from repro.graphs import clique, unidirectional_ring
+from repro.graphs import clique
 from repro.stabilization import (
     StatesGraph,
     all_labelings,

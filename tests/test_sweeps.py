@@ -63,7 +63,11 @@ class TestRunSweep:
     def test_results_match_individual_runs(self):
         protocol = or_clique_protocol(clique(3))
         cases = [
-            SweepCase(inputs=(0, 0, 0), labeling=random_bit_labeling(protocol.topology, seed=s), tag=s)
+            SweepCase(
+                inputs=(0, 0, 0),
+                labeling=random_bit_labeling(protocol.topology, seed=s),
+                tag=s,
+            )
             for s in range(6)
         ]
         report = run_sweep(protocol, cases, _sync_factory)
@@ -118,7 +122,11 @@ class TestRunSweep:
             return RandomRFairSchedule(3, r=2, seed=index)
 
         cases = [
-            SweepCase((0, 0, 0), random_bit_labeling(protocol.topology, seed=s), tag=f"case{s}")
+            SweepCase(
+                (0, 0, 0),
+                random_bit_labeling(protocol.topology, seed=s),
+                tag=f"case{s}",
+            )
             for s in range(3)
         ]
         run_sweep(protocol, cases, factory)

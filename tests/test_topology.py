@@ -119,7 +119,10 @@ class TestStandardFamilies:
         assert topo.n == 7
         assert set(topo.out_neighbors(0)) == {1, 2}
 
-    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=0, max_value=10))
+    @given(
+        st.integers(min_value=2, max_value=12),
+        st.integers(min_value=0, max_value=10),
+    )
     def test_random_strongly_connected_is_strongly_connected(self, n, extra):
         from repro.graphs import is_strongly_connected
 
