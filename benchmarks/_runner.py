@@ -7,6 +7,11 @@ stand-in for the pytest-benchmark fixture, records the kernel's median wall
 time, and writes ``BENCH_<name>.json`` next to this file — so the performance
 trajectory of the repository is machine-readable from this PR on.
 
+Each record keeps that trajectory explicitly: the top-level ``entries`` hold
+the latest run (what ``check_regression.py`` gates on), and every earlier
+run is appended to a ``history`` list, newest last, so re-recording a
+baseline never discards the measurements it replaces.
+
 A module may set ``BENCH_STEPS`` (engine steps executed per kernel call) to
 get a derived ``steps_per_s`` figure in its JSON.
 
@@ -119,7 +124,45 @@ def run_bench_file(path: Path, repeats: int) -> dict:
         if steps_per_call and fixture.median:
             entry["steps_per_s"] = steps_per_call / fixture.median
         entries[name] = entry
-    return {"bench": path.stem, "entries": entries}
+    return {
+        "bench": path.stem,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "entries": entries,
+    }
+
+
+#: Oldest history snapshots are dropped past this many (newest kept).
+HISTORY_LIMIT = 50
+
+
+def merge_history(out_path: Path, record: dict) -> dict:
+    """Fold the previous record into ``record["history"]``, newest last.
+
+    The committed file's own ``history`` is carried over and its top-level
+    run is appended as one more snapshot (skipped when identical to the last
+    snapshot, so migrated records do not duplicate their seed entry).
+    """
+    history: list = []
+    if out_path.exists():
+        try:
+            previous = json.loads(out_path.read_text())
+        except json.JSONDecodeError:
+            previous = None
+        if isinstance(previous, dict) and previous.get("entries"):
+            history = [
+                item
+                for item in previous.get("history", [])
+                if isinstance(item, dict)
+            ]
+            snapshot = {
+                key: previous[key]
+                for key in ("recorded_at", "entries")
+                if key in previous
+            }
+            if not history or history[-1].get("entries") != snapshot["entries"]:
+                history.append(snapshot)
+    record["history"] = history[-HISTORY_LIMIT:]
+    return record
 
 
 def select_bench_files(patterns: list[str]) -> list[Path]:
@@ -151,6 +194,7 @@ def main(argv: list[str] | None = None) -> None:
         print(f"== {path.stem} ==", flush=True)
         record = run_bench_file(path, args.repeats)
         out_path = BENCH_DIR / f"BENCH_{path.stem}.json"
+        record = merge_history(out_path, record)
         out_path.write_text(json.dumps(record, indent=2) + "\n")
         for name, entry in record["entries"].items():
             line = (

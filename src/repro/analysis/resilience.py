@@ -27,6 +27,7 @@ criterion is a parameter:
 
 from __future__ import annotations
 
+import functools
 from collections import Counter
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, replace
@@ -183,35 +184,50 @@ def _run_fault_cases(protocol, cases, per_case, max_steps, start_index):
     return results
 
 
-def _run_fault_cases_batch(protocol, cases, per_case, max_steps, start_index):
-    """Batch worker: all injected cases in one vectorized lockstep run."""
-    from repro.core.batch import BatchSimulator
+def _run_fault_cases_batch(
+    protocol, cases, per_case, max_steps, start_index, kernel=None
+):
+    """Batch worker: injected cases in vectorized lockstep runs.
 
-    simulator = BatchSimulator(protocol, [case.inputs for case in cases])
-    reports = simulator.run_batch_with_faults(
-        [case.labeling for case in cases],
-        [schedule for schedule, _ in per_case],
-        [faults for _, faults in per_case],
-        max_steps=max_steps,
-        initial_outputs=[case.initial_outputs for case in cases],
-    )
-    return [
-        FaultCaseResult(
-            index=start_index + offset,
-            tag=case.tag,
-            outcome=report.outcome,
-            label_rounds=report.recovery_rounds,
-            output_rounds=report.output_recovery_rounds,
-            steps_executed=report.steps_executed,
-            final_values=report.final.labeling.values,
-            outputs=report.final.outputs,
-            faults_fired=report.faults_fired,
-            last_fault_time=report.last_fault_time,
-            cycle_start=report.cycle_start,
-            cycle_length=report.cycle_length,
+    Large case lists run as sub-batches of ``SWEEP_CHUNK_ROWS`` for cache
+    residency, mirroring :func:`repro.analysis.sweeps._run_cases_batch`.
+    """
+    from repro.core.batch import SWEEP_CHUNK_ROWS, BatchSimulator
+
+    results = []
+    for lo in range(0, len(cases), SWEEP_CHUNK_ROWS):
+        chunk = cases[lo : lo + SWEEP_CHUNK_ROWS]
+        chunk_per_case = per_case[lo : lo + SWEEP_CHUNK_ROWS]
+        simulator = BatchSimulator(
+            protocol,
+            [case.inputs for case in chunk],
+            kernel=kernel if kernel is not None else "auto",
         )
-        for offset, (case, report) in enumerate(zip(cases, reports))
-    ]
+        reports = simulator.run_batch_with_faults(
+            [case.labeling for case in chunk],
+            [schedule for schedule, _ in chunk_per_case],
+            [faults for _, faults in chunk_per_case],
+            max_steps=max_steps,
+            initial_outputs=[case.initial_outputs for case in chunk],
+        )
+        results.extend(
+            FaultCaseResult(
+                index=start_index + lo + offset,
+                tag=case.tag,
+                outcome=report.outcome,
+                label_rounds=report.recovery_rounds,
+                output_rounds=report.output_recovery_rounds,
+                steps_executed=report.steps_executed,
+                final_values=report.final.labeling.values,
+                outputs=report.final.outputs,
+                faults_fired=report.faults_fired,
+                last_fault_time=report.last_fault_time,
+                cycle_start=report.cycle_start,
+                cycle_length=report.cycle_length,
+            )
+            for offset, (case, report) in enumerate(zip(chunk, reports))
+        )
+    return results
 
 
 #: Injected-case backends selectable via ``run_resilience_sweep(..., executor=...)``.
@@ -229,6 +245,7 @@ def run_resilience_sweep(
     recovered: str | Callable[[FaultCaseResult], bool] = "label",
     strict: bool = False,
     executor: str = "serial",
+    kernel: str | None = None,
 ) -> ResilienceReport:
     """Inject faults into every case and measure certified recovery.
 
@@ -241,9 +258,17 @@ def run_resilience_sweep(
     when the sweep does not pickle and the ``executor="batch"`` option
     (vectorized lockstep injection through :mod:`repro.core.batch`, with
     fault models fired via their batch hooks — reports equal to serial,
-    case for case).
+    case for case).  ``kernel`` (batch executor only) picks the batch
+    compute kernel, as in :func:`run_sweep`.
     """
     runner = resolve_executor(executor, EXECUTORS)
+    if kernel is not None:
+        if executor != "batch":
+            raise ValidationError(
+                "kernel= selects a batch compute kernel;"
+                " it requires executor='batch'"
+            )
+        runner = functools.partial(runner, kernel=kernel)
     if callable(recovered):
         criterion = recovered
     else:

@@ -33,6 +33,7 @@ so callers never need to special-case the environment.
 
 from __future__ import annotations
 
+import functools
 import pickle
 import warnings
 from collections import Counter
@@ -198,35 +199,46 @@ def _run_cases_batch(
     schedules: Sequence[Schedule],
     max_steps: int,
     start_index: int,
+    kernel: str | None = None,
 ) -> list[CaseResult]:
     """Run a slice of cases in lockstep through the vectorized batch backend.
 
     Same contract as :func:`_run_cases` (the reports are equal case for
     case); the import is deferred so the serial sweep path never requires
-    numpy.
+    numpy.  Large case lists run as several sub-batches of
+    ``SWEEP_CHUNK_ROWS`` — cases are independent, so slicing changes nothing
+    but cache residency.
     """
-    from repro.core.batch import BatchSimulator
+    from repro.core.batch import SWEEP_CHUNK_ROWS, BatchSimulator
 
-    simulator = BatchSimulator(protocol, [case.inputs for case in cases])
-    reports = simulator.run_batch(
-        [case.labeling for case in cases],
-        schedules,
-        max_steps=max_steps,
-        initial_outputs=[case.initial_outputs for case in cases],
-    )
-    return [
-        CaseResult(
-            index=start_index + offset,
-            tag=case.tag,
-            outcome=report.outcome,
-            label_rounds=report.label_rounds,
-            output_rounds=report.output_rounds,
-            steps_executed=report.steps_executed,
-            final_values=report.final.labeling.values,
-            outputs=report.final.outputs,
+    results = []
+    for lo in range(0, len(cases), SWEEP_CHUNK_ROWS):
+        chunk = cases[lo : lo + SWEEP_CHUNK_ROWS]
+        simulator = BatchSimulator(
+            protocol,
+            [case.inputs for case in chunk],
+            kernel=kernel if kernel is not None else "auto",
         )
-        for offset, (case, report) in enumerate(zip(cases, reports))
-    ]
+        reports = simulator.run_batch(
+            [case.labeling for case in chunk],
+            schedules[lo : lo + SWEEP_CHUNK_ROWS],
+            max_steps=max_steps,
+            initial_outputs=[case.initial_outputs for case in chunk],
+        )
+        results.extend(
+            CaseResult(
+                index=start_index + lo + offset,
+                tag=case.tag,
+                outcome=report.outcome,
+                label_rounds=report.label_rounds,
+                output_rounds=report.output_rounds,
+                steps_executed=report.steps_executed,
+                final_values=report.final.labeling.values,
+                outputs=report.final.outputs,
+            )
+            for offset, (case, report) in enumerate(zip(chunk, reports))
+        )
+    return results
 
 
 #: Case-execution backends selectable via ``run_sweep(..., executor=...)``.
@@ -266,6 +278,7 @@ def run_sweep(
     processes: int | None = None,
     strict: bool = False,
     executor: str = "serial",
+    kernel: str | None = None,
 ) -> SweepReport:
     """Run every case through one compiled form of ``protocol``.
 
@@ -284,9 +297,19 @@ def run_sweep(
     backend (:mod:`repro.core.batch`) instead of one run loop per case; the
     resulting :class:`SweepReport` is equal to the serial one, case for
     case.  Batch execution composes with ``processes``: each worker runs its
-    chunk as one vectorized batch.
+    chunk as one vectorized batch.  ``kernel`` (batch executor only) picks
+    the batch compute kernel — ``"numpy"``, ``"numba"``, or ``"auto"``
+    (:class:`repro.core.batch.BatchSimulator`); the reports are bit-identical
+    either way.
     """
     runner = resolve_executor(executor)
+    if kernel is not None:
+        if executor != "batch":
+            raise ValidationError(
+                "kernel= selects a batch compute kernel;"
+                " it requires executor='batch'"
+            )
+        runner = functools.partial(runner, kernel=kernel)
     case_list = [_coerce_case(case) for case in cases]
     if not case_list:
         return SweepReport(results=())

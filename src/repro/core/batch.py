@@ -26,6 +26,29 @@ The lift has two tiers, chosen per node:
   space, every lifted node is demoted to the fallback path before the next
   transition, so stale table keys can never be consulted.
 
+Three throughput layers sit on top of the lift (this module's hot loop):
+
+* **Packed codes.**  Code arrays and lookup-table columns are packed to the
+  smallest dtype the enumerated label space allows (u8/u16/u32, int64 when
+  the space is not enumerable), and mixed-radix key strides are precomputed
+  so gather → key is one fused take-plus-dot.  If the interner ever outgrows
+  the packed dtype (a fallback reaction or fault emitting labels outside the
+  declared space), the code arrays are *widened* first and any byte-hashed
+  cycle history is re-coded — packed runs can demote, never silently
+  overflow.
+* **Fused multi-step windows.**  When every node is lifted, k steps run as
+  one kernel invocation over a resident ``(k+1, L, m)`` state stack; the
+  convergence bookkeeping is then evaluated once per window from the stored
+  intermediate states, which keeps it exactly serial-equivalent (a row that
+  settles mid-window is concluded from its in-window state, and the extra
+  stepped states are simply discarded).  Windows shrink to 1 near settle
+  points and around fault fire times, and grow while nothing happens.
+* **Optional numba kernels.**  ``kernel="numba"`` routes the fused window
+  through :mod:`repro.core.batch_kernels`' ``@njit`` loops when numba is
+  importable (``kernel="auto"``, the default, selects it automatically);
+  the numpy route remains the reference and the two are bit-identical by
+  construction — same packed tables, same window semantics.
+
 Convergence analysis runs per row on top of the shared stepping, replicating
 ``Simulator.run`` decision-for-decision: periodic rows hash
 ``(state bytes, phase)`` for exact cycle detection and classify through the
@@ -39,7 +62,8 @@ Fault injection (:meth:`BatchSimulator.run_batch_with_faults`) mirrors
 row's fault window, models fired through
 :meth:`repro.faults.models.FaultModel.fire_batch` (which reproduces the
 serial ``(seed, fire time)`` RNG derivation row by row), then the certified
-analysis tail relative to each row's last fault.
+analysis tail relative to each row's last fault.  A fault fire time inside a
+fused window splits the window: fires always land exactly at window starts.
 """
 
 from __future__ import annotations
@@ -49,6 +73,7 @@ from collections.abc import Sequence
 from itertools import product
 from typing import Any
 
+from repro.core import batch_kernels as _kernels
 from repro.core.compiled import CompiledProtocol, compile_protocol
 from repro.core.configuration import Configuration, Labeling
 from repro.core.convergence import RunOutcome, RunReport
@@ -66,6 +91,27 @@ except ImportError:  # pragma: no cover - exercised only on numpy-less installs
 #: ``|Sigma| ** in_degree`` stays at or below this many rows.
 DEFAULT_MAX_TABLE_SIZE = 1 << 16
 
+#: Upper bound on the adaptive fused-window length (``fuse="auto"``).
+MAX_FUSE_WINDOW = 64
+
+#: Resident-stack budget for one fused window, in bytes; the window length
+#: is clamped so ``(k+1)`` state slices stay within it.  Sized so the
+#: per-window fixed costs (stack load/commit copies) amortize even for
+#: populations of 10^5 packed rows.
+STACK_BUDGET_BYTES = 128 << 20
+
+#: Row-tile footprint for the fused mono kernels: one frame slice of this
+#: many bytes (times the handful of live arrays per step) stays resident in
+#: the outer cache levels while a tile runs all k steps.
+MONO_TILE_BYTES = 1 << 20
+
+#: Preferred sub-batch size for sweep-level drivers: populations larger than
+#: this are run as several lockstep batches so the per-window working set
+#: (codes, outputs, window stacks, bookkeeping) stays cache-resident.
+#: Measured on the a05 ring workload, 10^5-row single batches run ~25-40%
+#: slower than the same rows in slices of this size.
+SWEEP_CHUNK_ROWS = 8192
+
 
 def require_numpy() -> None:
     """Raise a actionable error when numpy is unavailable."""
@@ -75,6 +121,27 @@ def require_numpy() -> None:
             " (pip install numpy, or the 'batch' extra) or use the serial"
             " executor"
         )
+
+
+def packed_dtype(count: int):
+    """The smallest unsigned dtype whose range covers codes ``0..count-1``.
+
+    Falls back to int64 past 32 bits.  This is the dtype ladder behind the
+    packed code arrays: a binary space steps in u8, a 4096-label space in
+    u16, and only genuinely huge (or non-enumerable) spaces pay for int64.
+    """
+    if count <= 1 << 8:
+        return np.uint8
+    if count <= 1 << 16:
+        return np.uint16
+    if count <= 1 << 32:
+        return np.uint32
+    return np.int64
+
+
+def dtype_capacity(dtype) -> int:
+    """How many distinct codes ``dtype`` can represent (for overflow gates)."""
+    return int(np.iinfo(np.dtype(dtype)).max) + 1
 
 
 class LabelInterner:
@@ -131,7 +198,7 @@ class LabelInterner:
         return [encode(value) for value in values]
 
     def decode_values(self, codes) -> tuple:
-        """The label tuple behind one row of the code array."""
+        """The label tuple behind one row of the code array (any int dtype)."""
         if self._identity:
             try:
                 return tuple(codes.tolist())
@@ -139,6 +206,36 @@ class LabelInterner:
                 pass
         objects = self.objects
         return tuple(objects[code] for code in codes)
+
+    def bulk_encode(self, rows, dtype=None):
+        """Codes for many label rows at once, or ``None`` when ineligible.
+
+        The fast path applies while the interner is int-identity: ``rows``
+        (any nested sequence, or an integer ndarray of *any* dtype — u8 and
+        u16 inputs are accepted as-is, with no int64 round-trip) is coerced
+        with one ``asarray`` and bounds-checked against the interned
+        population, replacing one dict walk per element.  The result is
+        emitted in ``dtype`` (default: the smallest packed dtype covering
+        the interner).  Returns ``None`` — fall back to per-element
+        :meth:`encode_values` — when the interner is not int-identity, the
+        rows are ragged or non-integer, or any code falls outside the
+        interned population (bulk encoding never interns new labels).
+        """
+        if not self._identity:
+            return None
+        try:
+            bulk = np.asarray(rows)
+        except ValueError:
+            return None
+        if not np.issubdtype(bulk.dtype, np.integer):
+            return None
+        if bulk.size and (
+            int(bulk.min()) < 0 or int(bulk.max()) >= len(self.objects)
+        ):
+            return None
+        if dtype is None:
+            dtype = packed_dtype(len(self.objects))
+        return bulk.astype(dtype, copy=False)
 
 
 class BatchCompiledProtocol:
@@ -190,6 +287,17 @@ class BatchCompiledProtocol:
             self.interner = LabelInterner()
         self.space_size = self.interner.size
 
+        #: Smallest dtype covering the enumerated space codes.  Table columns
+        #: are packed to it, and code arrays start at it (they widen on
+        #: demand if the interner ever outgrows the space).  int64 when the
+        #: space is not enumerable within budget: the eventual code
+        #: population is unknown, so packing would only buy repeated widening.
+        self.code_dtype = (
+            np.dtype(packed_dtype(self.space_size))
+            if self.space_size
+            else np.dtype(np.int64)
+        )
+
         #: Per-node output interners (outputs never key tables, so they may
         #: grow freely at runtime).
         self.y_interners = [LabelInterner() for _ in range(self.n)]
@@ -212,6 +320,7 @@ class BatchCompiledProtocol:
         declared space or unhashable outputs).  Combinations on which the
         serial adapter raises are marked invalid rather than failing the
         lift; hitting one at runtime re-raises through the serial adapter.
+        ``out_codes`` is packed to :attr:`code_dtype`.
         """
         try:
             key = (i, x)
@@ -235,7 +344,7 @@ class BatchCompiledProtocol:
         label_codes = self.interner.codes
         y_encode = self.y_interners[i].encode
 
-        out_codes = np.zeros((rows, n_out), dtype=np.int64)
+        out_codes = np.zeros((rows, n_out), dtype=self.code_dtype)
         y_codes = np.zeros(rows, dtype=np.int64)
         valid = np.ones(rows, dtype=bool)
         values: list[Any] = [None] * self.m
@@ -304,14 +413,20 @@ class _Group:
         "out_cols",
         "powers",
         "out_table",
+        "out_flat",
         "y_table",
         "valid",
         "all_valid",
         "xbase",
         "xbase_zero",
+        "xbase_row",
         "n_out",
         "degree",
         "covers_all",
+        "comb",
+        "s2",
+        "y_cast",
+        "shift",
     )
 
 
@@ -336,6 +451,13 @@ class BatchSimulator:
     ``(labeling, schedule)`` case in lockstep and returns one
     :class:`~repro.core.convergence.RunReport` per row, equal to what the
     serial engine returns for that case.
+
+    ``kernel`` selects the compute route for the fused stepping windows:
+    ``"numpy"`` (whole-array operations, always available), ``"numba"``
+    (the ``@njit`` kernels of :mod:`repro.core.batch_kernels`; raises when
+    numba is not importable), or ``"auto"`` (numba when importable, numpy
+    otherwise — the default).  The routes are bit-identical; the knob only
+    trades compilation latency for step throughput.
     """
 
     def __init__(
@@ -346,6 +468,7 @@ class BatchSimulator:
         compiled: CompiledProtocol | None = None,
         batch_compiled: BatchCompiledProtocol | None = None,
         max_table_size: int = DEFAULT_MAX_TABLE_SIZE,
+        kernel: str = "auto",
     ):
         require_numpy()
         if compiled is None:
@@ -360,6 +483,21 @@ class BatchSimulator:
             raise ValidationError(
                 "batch compilation was built from a different compiled form"
             )
+        if kernel not in ("auto", "numpy", "numba"):
+            raise ValidationError(
+                f"unknown kernel {kernel!r};"
+                " expected 'auto', 'numpy', or 'numba'"
+            )
+        if kernel == "numba" and not _kernels.HAVE_NUMBA:
+            raise ValidationError(
+                "kernel='numba' requires numba; install the 'numba' extra"
+                " or pass kernel='numpy'"
+            )
+        self._kernel = (
+            "numba"
+            if kernel != "numpy" and _kernels.HAVE_NUMBA
+            else "numpy"
+        )
         self.protocol = protocol
         self._compiled = compiled
         self._batch = batch_compiled
@@ -369,6 +507,13 @@ class BatchSimulator:
         rows = self._normalize_inputs(inputs, n, batch_size)
         self.inputs = rows
         self.batch_size = len(rows)
+        # Sweeps typically share one input vector across the population;
+        # detecting that once lets _assemble scan a single row instead of
+        # B rows per node (identity usually short-circuits the compare).
+        first = rows[0]
+        self._uniform_inputs = all(
+            row is first or row == first for row in rows
+        )
         self._interner = self._batch.interner
         self._y_interners = self._batch.y_interners
         self._space_size = self._batch.space_size
@@ -407,6 +552,11 @@ class BatchSimulator:
         return self._batch
 
     @property
+    def kernel(self) -> str:
+        """The resolved compute kernel ("numpy" or "numba")."""
+        return self._kernel
+
+    @property
     def lifted_nodes(self) -> tuple[int, ...]:
         """Nodes currently stepped through lookup tables (for tests/docs)."""
         return tuple(
@@ -428,7 +578,10 @@ class BatchSimulator:
             seen: dict[Any, int] = {}
             ok = batch.node_liftable(i)
             if ok:
-                for row in self.inputs:
+                scan = (
+                    self.inputs[:1] if self._uniform_inputs else self.inputs
+                )
+                for row in scan:
                     x = row[i]
                     try:
                         if x in seen:
@@ -478,32 +631,74 @@ class BatchSimulator:
                     valid_parts.append(valid)
                 offsets.append(offset)
                 offset += len(columns) * block
+            # Mixed-radix table indices fit the concatenated row count, so
+            # the per-row base offsets pack to the matching dtype; the
+            # gather-plus-base sum then promotes to (at most) that dtype and
+            # can never wrap.
+            index_dtype = packed_dtype(max(offset, 1))
             # One xbase row per distinct input vector, broadcast to its rows
             # (sweeps typically share one input vector across the population).
-            xbase = np.zeros((B, len(members)), dtype=np.int64)
-            try:
-                unique_rows: dict[tuple, list[int]] = {}
-                for b, row in enumerate(self.inputs):
-                    unique_rows.setdefault(row, []).append(b)
-            except TypeError:  # unhashable input rows: assign row by row
-                for b, row in enumerate(self.inputs):
-                    for g, (i, _, seen) in enumerate(members):
-                        xbase[b, g] = offsets[g] + seen[row[i]] * block
+            xbase = np.zeros((B, len(members)), dtype=index_dtype)
+            if self._uniform_inputs:
+                row = self.inputs[0]
+                xbase[:] = [
+                    offsets[g] + seen[row[i]] * block
+                    for g, (i, _, seen) in enumerate(members)
+                ]
             else:
-                for row, row_slots in unique_rows.items():
-                    vector = [
-                        offsets[g] + seen[row[i]] * block
-                        for g, (i, _, seen) in enumerate(members)
-                    ]
-                    xbase[row_slots] = vector
+                try:
+                    unique_rows: dict[tuple, list[int]] = {}
+                    for b, row in enumerate(self.inputs):
+                        unique_rows.setdefault(row, []).append(b)
+                except TypeError:  # unhashable input rows: assign row by row
+                    for b, row in enumerate(self.inputs):
+                        for g, (i, _, seen) in enumerate(members):
+                            xbase[b, g] = offsets[g] + seen[row[i]] * block
+                else:
+                    for row, row_slots in unique_rows.items():
+                        vector = [
+                            offsets[g] + seen[row[i]] * block
+                            for g, (i, _, seen) in enumerate(members)
+                        ]
+                        xbase[row_slots] = vector
             group.out_table = np.concatenate(out_parts)
-            group.y_table = np.concatenate(y_parts)
+            group.out_flat = (
+                np.ascontiguousarray(group.out_table[:, 0])
+                if n_out == 1
+                else None
+            )
+            # Output codes for lifted nodes are fully enumerated at column
+            # build time, so the per-group packed dtype is final.
+            y_max = max(
+                (batch.y_interners[i].size for i, _, _ in members), default=0
+            )
+            group.y_table = np.concatenate(y_parts).astype(
+                packed_dtype(max(y_max, 1))
+            )
             group.valid = np.concatenate(valid_parts)
             group.all_valid = bool(group.valid.all())
             group.xbase = xbase
             group.xbase_zero = not xbase.any()
+            group.xbase_row = None
+            if not group.xbase_zero and bool((xbase == xbase[0]).all()):
+                # Every row shares one input vector: a single base row
+                # broadcasts, saving a (B, g) gather per step.
+                group.xbase_row = xbase[0]
             group.degree = degree
             group.in_pos_flat = group.in_pos[:, 0] if degree == 1 else None
+            group.comb = None  # lazy: fused (label | output << 8) table
+            group.s2 = None  # lazy: binary-space arithmetic constants
+            group.y_cast = None  # lazy: y_table cast to the run's y dtype
+            # Cyclic-shift reads (ring families): the per-step gather
+            # becomes two contiguous slice copies instead of a random take.
+            group.shift = None
+            if group.in_pos_flat is not None:
+                width = group.in_pos_flat.size
+                s = int(group.in_pos_flat[0])
+                if np.array_equal(
+                    group.in_pos_flat, (np.arange(width) + s) % width
+                ):
+                    group.shift = s
             group.covers_all = len(members) == n and bool(
                 (group.nodes == np.arange(n)).all()
             )
@@ -565,32 +760,13 @@ class BatchSimulator:
             f"reaction of node {node} failed during batch stepping"
         )
 
-    def _step_rows(self, sub, osub, mask, live_slots):
-        """One global transition over the live rows.
+    def _apply_groups(self, sub, new_sub, new_osub, mask, live_slots) -> None:
+        """Apply every lifted table group in place on the post-step arrays.
 
-        ``sub``/``osub`` are the live slices of the code arrays; ``mask`` is
-        the ``(L, n)`` activation mask.  Returns the post-step arrays; rows
-        and nodes outside the mask keep their codes (the paper's semantics:
+        ``new_sub``/``new_osub`` must enter holding the pre-step codes; rows
+        and nodes outside ``mask`` are left untouched (the paper's semantics:
         unscheduled nodes hold their outgoing labels and outputs).
         """
-        if self._groups and self._interner.size > self._space_size:
-            self._demote_all()
-        mono = self._mono
-        if mono is not None:
-            keys = sub[:, mono.in_pos_flat]
-            if not mono.xbase_zero:
-                keys = keys + (
-                    mono.xbase
-                    if mono.xbase.shape[0] == sub.shape[0]
-                    else mono.xbase[live_slots]
-                )
-            updates = mono.out_table[keys, 0]
-            ys = mono.y_table[keys]
-            if mask.all():
-                return updates, ys
-            return np.where(mask, updates, sub), np.where(mask, ys, osub)
-        new_sub = sub.copy()
-        new_osub = osub.copy()
         L = sub.shape[0]
         for group in self._groups:
             act = mask if group.covers_all else mask[:, group.nodes]
@@ -605,12 +781,14 @@ class BatchSimulator:
                 keys = np.zeros((L, len(group.nodes)), dtype=np.int64)
             if group.xbase_zero:
                 idx = keys
+            elif group.xbase_row is not None:
+                idx = keys + group.xbase_row
             else:
                 idx = group.xbase[live_slots] + keys
             if not group.all_valid and not group.valid[idx[act]].all():
                 self._raise_invalid(group, sub, idx, act, live_slots)
             if group.n_out == 1:
-                updates = group.out_table[idx, 0]  # (L, g)
+                updates = group.out_flat[idx]  # (L, g)
                 if all_active:
                     new_sub[:, group.out_cols] = updates
                 else:
@@ -635,17 +813,58 @@ class BatchSimulator:
                 new_osub[:, group.nodes] = np.where(
                     act, ys, new_osub[:, group.nodes]
                 )
+
+    def _step_rows(self, sub, osub, mask, live_slots):
+        """One global transition over the live rows.
+
+        ``sub``/``osub`` are the live slices of the code arrays; ``mask`` is
+        the ``(L, n)`` activation mask.  Returns the post-step arrays; the
+        returned dtypes may be wider than the inputs' when a fallback
+        reaction interned labels past the packed range (the caller widens
+        its master arrays to match — packed codes never wrap).
+        """
+        if self._groups and self._interner.size > self._space_size:
+            self._demote_all()
+        mono = self._mono
+        if mono is not None:
+            keys = sub[:, mono.in_pos_flat]
+            if not mono.xbase_zero:
+                if mono.xbase_row is not None:
+                    keys = keys + mono.xbase_row
+                elif mono.xbase.shape[0] == sub.shape[0]:
+                    keys = keys + mono.xbase
+                else:
+                    keys = keys + mono.xbase[live_slots]
+            updates = mono.out_flat[keys]
+            ys = mono.y_table[keys]
+            if mask.all():
+                return updates, ys
+            return np.where(mask, updates, sub), np.where(mask, ys, osub)
+        new_sub = sub.copy()
+        new_osub = osub.copy()
+        self._apply_groups(sub, new_sub, new_osub, mask, live_slots)
         if self._fallback:
-            self._apply_fallback(sub, new_sub, new_osub, mask, live_slots)
+            new_sub, new_osub = self._apply_fallback(
+                sub, new_sub, new_osub, mask, live_slots
+            )
         return new_sub, new_osub
 
     def _apply_fallback(self, sub, new_sub, new_osub, mask, live_slots):
+        """Per-row Python apply for the non-lifted nodes.
+
+        Writes are collected first and scattered after an overflow check, so
+        a reaction interning labels (or outputs) past the packed dtype's
+        range widens the post-step arrays instead of wrapping.  Returns the
+        (possibly widened) post-step arrays.
+        """
         nodes = self._fallback
         adapters = self._fallback_adapters
         out_positions = self._fallback_out_positions
         act = mask[:, nodes]
         interner = self._interner
         y_interners = self._y_interners
+        label_writes: list[tuple[int, int, int]] = []
+        output_writes: list[tuple[int, int, int]] = []
         for row in np.flatnonzero(act.any(axis=1)):
             slot = int(live_slots[row])
             inputs = self.inputs[slot]
@@ -654,13 +873,299 @@ class BatchSimulator:
             for k, i in enumerate(nodes):
                 if act[row, k]:
                     y = adapters[k](values, scratch, inputs[i])
-                    new_osub[row, i] = y_interners[i].encode(y)
+                    output_writes.append((row, i, y_interners[i].encode(y)))
             for k, i in enumerate(nodes):
                 if act[row, k]:
                     for position in out_positions[k]:
-                        new_sub[row, position] = interner.encode(
-                            scratch[position]
+                        label_writes.append(
+                            (row, position, interner.encode(scratch[position]))
                         )
+        if label_writes:
+            high = max(code for _, _, code in label_writes)
+            if high >= dtype_capacity(new_sub.dtype):
+                new_sub = new_sub.astype(
+                    packed_dtype(max(self._space_size, high + 1))
+                )
+            for row, position, code in label_writes:
+                new_sub[row, position] = code
+        if output_writes:
+            high = max(code for _, _, code in output_writes)
+            if high >= dtype_capacity(new_osub.dtype):
+                new_osub = new_osub.astype(packed_dtype(high + 1))
+            for row, i, code in output_writes:
+                new_osub[row, i] = code
+        return new_sub, new_osub
+
+    def _fill_stack(self, stack, ostack, masks, live):
+        """Fuse ``k = len(masks)`` steps into one resident-stack kernel run.
+
+        ``stack``/``ostack`` are ``(k+1, L, m)`` / ``(k+1, L, n)`` state
+        stacks whose slice 0 holds the current codes; every mask is either a
+        shared ``(n,)`` activation vector or a per-row ``(L, n)`` array.
+        Only called when every node is lifted (no fallback), so the interner
+        cannot grow mid-window and the packed dtypes are stable.
+
+        Returns ``(diffs, odiffs)`` — the ``(k, L)`` per-step change flags —
+        when the kernel computed them as a by-product (the tiled mono route,
+        where the frames are still cache-resident), else ``None`` and the
+        caller falls back to :meth:`_window_diffs`.
+        """
+        L = stack.shape[1]
+        n = self._batch.n
+        mono = self._mono
+        if mono is not None:
+            flat = mono.in_pos_flat
+            shift = mono.shift
+            table = mono.out_flat
+            ytab = mono.y_table
+            if mono.xbase_zero:
+                xb = None
+            elif mono.xbase_row is not None:
+                xb = mono.xbase_row
+            elif mono.xbase.shape[0] == L:
+                xb = mono.xbase
+            else:
+                xb = mono.xbase[live]
+            if (
+                self._kernel == "numba"
+                and _kernels.HAVE_NUMBA
+                and (mono.xbase_zero or mono.xbase_row is not None)
+                and all(mk.ndim == 1 for mk in masks)
+            ):
+                base = (
+                    np.zeros(len(flat), dtype=np.int64)
+                    if mono.xbase_zero
+                    else mono.xbase_row.astype(np.int64)
+                )
+                _kernels.mono_window(
+                    stack,
+                    ostack,
+                    np.ascontiguousarray(np.stack(masks)),
+                    np.ascontiguousarray(flat),
+                    base,
+                    table,
+                    ytab,
+                )
+                return None
+            m = stack.shape[2]
+            shared_xb = None
+            if mono.xbase_zero:
+                shared_xb = np.zeros(m, dtype=np.int64)
+            elif mono.xbase_row is not None:
+                shared_xb = mono.xbase_row.astype(np.int64)
+            packed_u8 = (
+                stack.dtype == np.uint8
+                and ostack.dtype == np.uint8
+                and table.dtype == np.uint8
+                and ytab.dtype == np.uint8
+            )
+            if packed_u8 and self._space_size == 2 and shared_xb is not None:
+                # Binary alphabet: each per-edge table holds two entries, so
+                # the lookup collapses to arithmetic select over the packed
+                # u8 arrays — ``entry0 ^ code * (entry0 ^ entry1)`` — with
+                # no index conversion at all.
+                variant = "s2"
+                if mono.s2 is None:
+                    a0 = table[shared_xb]
+                    a1 = table[shared_xb + 1]
+                    y0 = ytab[shared_xb]
+                    y1 = ytab[shared_xb + 1]
+                    flip = a0 ^ a1
+                    yflip = y0 ^ y1
+                    # All-ones flips (both table entries differ everywhere,
+                    # e.g. xor rings) make the multiply an identity.
+                    mono.s2 = (
+                        a0,
+                        flip,
+                        y0,
+                        yflip,
+                        bool((flip == 1).all()),
+                        bool((yflip == 1).all()),
+                    )
+                base_row, flip, ybase, yflip, flip_unit, yflip_unit = mono.s2
+            elif packed_u8:
+                # Fuse the label and output tables into one u16 lookup: one
+                # gather per step instead of two, split by cheap bit ops.
+                variant = "comb"
+                if mono.comb is None:
+                    mono.comb = table.astype(np.uint16) | (
+                        ytab.astype(np.uint16) << 8
+                    )
+                comb = mono.comb
+            else:
+                variant = "takes"
+                if mono.y_cast is None or mono.y_cast.dtype != ostack.dtype:
+                    mono.y_cast = (
+                        ytab
+                        if ytab.dtype == ostack.dtype
+                        else ytab.astype(ostack.dtype)
+                    )
+                ytab_cast = mono.y_cast
+            #: Columns each step's mask leaves inactive (gathers write every
+            #: column; the blend copies these back) — None for 2D masks.
+            inactive = [
+                np.flatnonzero(~mk)
+                if mk.ndim == 1 and not mk.all()
+                else None
+                for mk in masks
+            ]
+            # Tile the window over row blocks so a tile's frames stay
+            # cache-resident across the whole k-step loop instead of
+            # streaming every frame through DRAM once per pass.
+            tile = max(1, MONO_TILE_BYTES // (m * stack.dtype.itemsize))
+            tile = min(tile, L)
+            k = len(masks)
+            diffs = np.empty((k, L), dtype=bool)
+            odiffs = np.empty((k, L), dtype=bool)
+            neq = np.empty((tile, m), dtype=bool)
+            # Change detection compares whole rows; viewing each packed row
+            # as u64 words compares 8 bytes per lane and shrinks the any()
+            # reduction by the same factor.
+            s_words = (m * stack.dtype.itemsize) % 8 == 0
+            o_words = (m * ostack.dtype.itemsize) % 8 == 0
+            gather = np.empty((tile, m), dtype=stack.dtype)
+            wide = (
+                np.empty((tile, m), dtype=np.uint16)
+                if variant == "comb"
+                else None
+            )
+            idx = (
+                np.empty((tile, m), dtype=np.intp)
+                if variant != "s2"
+                else None
+            )
+            for r0 in range(0, L, tile):
+                r1 = min(L, r0 + tile)
+                height = r1 - r0
+                st = stack[:, r0:r1]
+                ost = ostack[:, r0:r1]
+                g = gather[:height]
+                xb_t = None
+                if shared_xb is None and xb is not None:
+                    xb_t = xb[r0:r1]
+                fused_shift = (
+                    shift is not None
+                    and variant == "s2"
+                    and flip_unit
+                    and yflip_unit
+                )
+                for j, mk in enumerate(masks):
+                    src = st[j]
+                    if fused_shift:
+                        # Ring xor family: the gather is a cyclic shift and
+                        # both selects are plain xors, so each step is two
+                        # segment xors per stack — no staging buffer at all.
+                        a = m - shift
+                        np.bitwise_xor(
+                            src[:, shift:], base_row[:a], out=st[j + 1][:, :a]
+                        )
+                        np.bitwise_xor(
+                            src[:, shift:], ybase[:a], out=ost[j + 1][:, :a]
+                        )
+                        if shift:
+                            np.bitwise_xor(
+                                src[:, :shift],
+                                base_row[a:],
+                                out=st[j + 1][:, a:],
+                            )
+                            np.bitwise_xor(
+                                src[:, :shift],
+                                ybase[a:],
+                                out=ost[j + 1][:, a:],
+                            )
+                    elif shift is not None:
+                        # Cyclic-shift gather: two contiguous block copies.
+                        g[:, : m - shift] = src[:, shift:]
+                        if shift:
+                            g[:, m - shift :] = src[:, :shift]
+                    else:
+                        # mode="clip" skips the bounds check; ``flat`` is a
+                        # compile-time permutation, always in range.
+                        np.take(src, flat, axis=1, out=g, mode="clip")
+                    if fused_shift:
+                        pass
+                    elif variant == "s2":
+                        if flip_unit:
+                            np.bitwise_xor(g, base_row, out=st[j + 1])
+                        else:
+                            np.multiply(g, flip, out=st[j + 1])
+                            np.bitwise_xor(st[j + 1], base_row, out=st[j + 1])
+                        if yflip_unit:
+                            np.bitwise_xor(g, ybase, out=ost[j + 1])
+                        else:
+                            np.multiply(g, yflip, out=ost[j + 1])
+                            np.bitwise_xor(ost[j + 1], ybase, out=ost[j + 1])
+                    elif variant == "comb":
+                        i_ = idx[:height]
+                        w_ = wide[:height]
+                        np.add(
+                            g,
+                            shared_xb if shared_xb is not None else xb_t,
+                            out=i_,
+                            casting="unsafe",
+                        )
+                        np.take(comb, i_, out=w_, mode="clip")
+                        np.bitwise_and(
+                            w_, 0xFF, out=st[j + 1], casting="unsafe"
+                        )
+                        np.right_shift(w_, 8, out=w_)
+                        np.copyto(ost[j + 1], w_, casting="unsafe")
+                    else:
+                        i_ = idx[:height]
+                        if shared_xb is not None:
+                            np.add(g, shared_xb, out=i_, casting="unsafe")
+                        elif xb_t is not None:
+                            np.add(g, xb_t, out=i_, casting="unsafe")
+                        else:
+                            np.copyto(i_, g, casting="unsafe")
+                        np.take(table, i_, out=st[j + 1], mode="clip")
+                        np.take(ytab_cast, i_, out=ost[j + 1], mode="clip")
+                    mk = masks[j]
+                    if mk.ndim == 1:
+                        cols = inactive[j]
+                        if cols is not None:
+                            st[j + 1][:, cols] = st[j][:, cols]
+                            ost[j + 1][:, cols] = ost[j][:, cols]
+                    else:
+                        off = ~mk[r0:r1]
+                        np.copyto(st[j + 1], st[j], where=off)
+                        np.copyto(ost[j + 1], ost[j], where=off)
+                    sa, sb = st[j + 1], st[j]
+                    if s_words:
+                        sa = sa.view(np.uint64)
+                        sb = sb.view(np.uint64)
+                    n_ = neq[:height, : sa.shape[1]]
+                    np.not_equal(sa, sb, out=n_)
+                    np.any(n_, axis=1, out=diffs[j, r0:r1])
+                    oa, ob = ost[j + 1], ost[j]
+                    if o_words:
+                        oa = oa.view(np.uint64)
+                        ob = ob.view(np.uint64)
+                    n_ = neq[:height, : oa.shape[1]]
+                    np.not_equal(oa, ob, out=n_)
+                    np.any(n_, axis=1, out=odiffs[j, r0:r1])
+            return diffs, odiffs
+        for j, mk in enumerate(masks):
+            if mk.ndim == 1:
+                mk = np.broadcast_to(mk, (L, n))
+            np.copyto(stack[j + 1], stack[j])
+            np.copyto(ostack[j + 1], ostack[j])
+            self._apply_groups(stack[j], stack[j + 1], ostack[j + 1], mk, live)
+        return None
+
+    def _window_diffs(self, frames, k: int, L: int):
+        """``(k, L)`` change flags: did row ``r`` change during step ``j``."""
+        if (
+            self._kernel == "numba"
+            and _kernels.HAVE_NUMBA
+            and isinstance(frames, np.ndarray)
+            and frames.flags["C_CONTIGUOUS"]
+        ):
+            return _kernels.window_changes(frames).astype(bool)
+        out = np.empty((k, L), dtype=bool)
+        for j in range(k):
+            out[j] = (frames[j + 1] != frames[j]).any(axis=1)
+        return out
 
     # -- runs --------------------------------------------------------------
 
@@ -684,6 +1189,49 @@ class BatchSimulator:
         )
         return Configuration(labeling, outputs)
 
+    def _materialize_many(self, value_rows, output_rows) -> list[Configuration]:
+        """Configurations for many rows at once (column-wise decode).
+
+        Replaces one Python decode loop per row with per-column list lookups;
+        at timeout (every surviving row materializes at once) this is the
+        difference between the decode tail showing up in profiles or not.
+        """
+        value_rows = np.asarray(value_rows)
+        output_rows = np.asarray(output_rows)
+        interner = self._interner
+        def object_lut(objects):
+            # np.empty + slice assign, not asarray: sequence-valued labels
+            # must stay single object elements, never expand a dimension.
+            lut = np.empty(len(objects), dtype=object)
+            lut[:] = objects
+            return lut
+
+        if interner.int_identity:
+            values = list(map(tuple, value_rows.tolist()))
+        else:
+            values = list(
+                map(tuple, object_lut(interner.objects)[value_rows].tolist())
+            )
+        # One object-dtype gather per node column beats a Python decode loop
+        # per row; the column stack then rebuilds row tuples in C.  When all
+        # nodes share one output universe (the usual uniform-reaction case)
+        # the whole matrix decodes in a single gather.
+        y_objects = [yi.objects for yi in self._y_interners]
+        if all(objs == y_objects[0] for objs in y_objects[1:]):
+            decoded = object_lut(y_objects[0])[output_rows]
+        else:
+            decoded = np.empty(output_rows.shape, dtype=object)
+            for i in range(output_rows.shape[1]):
+                decoded[:, i] = object_lut(y_objects[i])[output_rows[:, i]]
+        outputs = list(map(tuple, decoded.tolist()))
+        topology = self._topology
+        trusted_labeling = Labeling._trusted
+        trusted_config = Configuration._trusted
+        return [
+            trusted_config(trusted_labeling(topology, vals), outs)
+            for vals, outs in zip(values, outputs)
+        ]
+
     def run_batch(
         self,
         labelings: Sequence[Labeling],
@@ -691,16 +1239,21 @@ class BatchSimulator:
         *,
         max_steps: int = DEFAULT_MAX_STEPS,
         initial_outputs: Sequence[Sequence[Any] | None] | None = None,
+        fuse: int | str = "auto",
     ) -> list[RunReport]:
         """Run every row's case to a verdict; one ``RunReport`` per row.
 
         ``schedules`` is one schedule per row (a single schedule object is
         shared by every row — only sound for stateless-in-time schedules,
-        which all of :mod:`repro.core.schedule` are).  Traces are not
-        recorded; use the serial engine for ``record_trace`` runs.
+        which all of :mod:`repro.core.schedule` are).  ``fuse`` bounds the
+        fused stepping window: ``"auto"`` (adaptive, the default), or a
+        fixed positive step count (``1`` disables fusion; any value is
+        serial-equivalent, the knob only exists for benchmarking and
+        bisection).  Traces are not recorded; use the serial engine for
+        ``record_trace`` runs.
         """
         reports = self._run_lockstep(
-            labelings, schedules, None, max_steps, initial_outputs
+            labelings, schedules, None, max_steps, initial_outputs, fuse
         )
         return [report for report, _, _ in reports]
 
@@ -712,17 +1265,19 @@ class BatchSimulator:
         *,
         max_steps: int = DEFAULT_MAX_STEPS,
         initial_outputs: Sequence[Sequence[Any] | None] | None = None,
+        fuse: int | str = "auto",
     ):
         """Injected batch runs; one ``FaultRunReport`` per row.
 
         The batch analog of :func:`repro.faults.injection.run_with_faults`,
         certified the same way: every round count is relative to the row's
-        last fault.
+        last fault.  Fault fire times split fused windows, so every model
+        fires at exactly its serial time.
         """
         from repro.faults.injection import FaultRunReport
 
         reports = self._run_lockstep(
-            labelings, schedules, fault_plans, max_steps, initial_outputs
+            labelings, schedules, fault_plans, max_steps, initial_outputs, fuse
         )
         out = []
         for report, fault_times, base in reports:
@@ -745,7 +1300,8 @@ class BatchSimulator:
         return out
 
     def _run_lockstep(
-        self, labelings, schedules, fault_plans, max_steps, initial_outputs
+        self, labelings, schedules, fault_plans, max_steps, initial_outputs,
+        fuse="auto",
     ):
         B = self.batch_size
         n = self.protocol.n
@@ -763,50 +1319,72 @@ class BatchSimulator:
             initial_outputs = [None] * B
         elif len(initial_outputs) != B:
             raise ValidationError("outputs must have one entry per row")
+        if fuse != "auto" and (
+            isinstance(fuse, bool) or not isinstance(fuse, int) or fuse < 1
+        ):
+            raise ValidationError(
+                "fuse must be 'auto' or a positive step count"
+            )
+        adaptive = fuse == "auto"
 
         interner = self._interner
         y_interners = self._y_interners
         m = self.protocol.topology.m
-        codes = np.empty((B, m), dtype=np.int64)
-        ocodes = np.empty((B, n), dtype=np.int64)
-        encoded = False
-        if interner.int_identity:
-            # Bulk fast path for integer spaces whose labels are their own
-            # codes: one asarray replaces B*m dict walks.  Anything that is
-            # not a clean in-range integer array falls back per row.
-            try:
-                bulk = np.array([labeling.values for labeling in labelings])
-            except ValueError:
-                bulk = None
-            if (
-                bulk is not None
-                and bulk.shape == (B, m)
-                and np.issubdtype(bulk.dtype, np.integer)
-                and (0 <= bulk).all()
-                and (bulk < interner.size).all()
-            ):
-                codes = bulk.astype(np.int64)
-                encoded = True
-        none_row = None
-        for b, labeling in enumerate(labelings):
+
+        # -- encode the starting population.  Labels first, dtypes second:
+        # the code arrays are allocated only after every starting label has
+        # been interned, so an out-of-range code can never wrap into a
+        # too-narrow packed array.
+        for labeling in labelings:
             self._check_topology(labeling)
-            if not encoded:
-                codes[b] = interner.encode_values(labeling.values)
+        bulk = interner.bulk_encode(
+            [labeling.values for labeling in labelings]
+        )
+        if bulk is not None and bulk.shape != (B, m):
+            bulk = None
+        value_rows = None
+        if bulk is None:
+            value_rows = [
+                interner.encode_values(labeling.values)
+                for labeling in labelings
+            ]
+        output_rows = []
+        none_row = None
+        for b in range(B):
             outs = initial_outputs[b]
             if outs is None:
                 if none_row is None:
-                    none_row = [
-                        y_interners[i].encode(None) for i in range(n)
-                    ]
-                row = none_row
+                    none_row = [y_interners[i].encode(None) for i in range(n)]
+                output_rows.append(none_row)
             else:
                 outs = tuple(outs)
                 if len(outs) != n:
                     raise ValidationError(
                         "outputs must have one entry per node"
                     )
-                row = [y_interners[i].encode(outs[i]) for i in range(n)]
-            ocodes[b] = row
+                output_rows.append(
+                    [y_interners[i].encode(outs[i]) for i in range(n)]
+                )
+
+        if self._space_size == 0:
+            code_dt = np.dtype(np.int64)
+        else:
+            code_dt = np.dtype(
+                packed_dtype(max(self._space_size, interner.size))
+            )
+        y_dt = np.dtype(
+            packed_dtype(
+                max([yi.size for yi in y_interners], default=1) or 1
+            )
+        )
+        codes = (
+            bulk.astype(code_dt, copy=False)
+            if bulk is not None
+            else np.asarray(value_rows, dtype=code_dt)
+        )
+        if codes.base is not None or codes.dtype != code_dt:
+            codes = np.ascontiguousarray(codes, dtype=code_dt)
+        ocodes = np.asarray(output_rows, dtype=y_dt)
 
         # Fault fire lists, validated by the serial injector's own check so
         # the two executors accept exactly the same fault plans.
@@ -822,8 +1400,12 @@ class BatchSimulator:
                 validate_fires(fires, max_steps)
                 pending.append(fires)
         else:
-            pending = [[] for _ in range(B)]
-        fault_times: list[list[int]] = [[] for _ in range(B)]
+            # Fault-free rows never append; sharing one immutable empty per
+            # row skips 2B list allocations at sweep scale.
+            pending = [()] * B
+        fault_times: list = (
+            [[] for _ in range(B)] if fault_plans is not None else [()] * B
+        )
 
         # Per-row analysis state.
         t0 = np.zeros(B, dtype=np.int64)
@@ -851,30 +1433,79 @@ class BatchSimulator:
                 loc[slot] = -1
 
         raw_rows = []
-        for slot in range(B):
-            if pending[slot]:
-                raw_rows.append(slot)
-            else:
-                start_analysis(slot, 0)
-
-        def conclude_timeout(slot: int, executed_local: int):
-            results[slot] = (
-                RunReport(
-                    outcome=RunOutcome.TIMEOUT,
-                    label_rounds=None,
-                    output_rounds=None,
-                    final=self._materialize(codes[slot], ocodes[slot]),
-                    steps_executed=executed_local,
-                ),
-                fault_times[slot],
-                int(t0[slot]),
-            )
+        if (
+            fault_plans is None
+            and all(s is schedules[0] for s in schedules)
+            and schedules[0].period is None
+        ):
+            # The common sweep shape — one shared aperiodic schedule, no
+            # faults: every row starts analysis at t=0 and the per-row state
+            # arrays already hold exactly what start_analysis would write.
+            in_analysis[:] = True
+        else:
+            for slot in range(B):
+                if pending[slot]:
+                    raw_rows.append(slot)
+                else:
+                    start_analysis(slot, 0)
 
         alive = np.ones(B, dtype=bool)
         live = np.arange(B)
         setvec_cache: dict[frozenset, Any] = {}
         topology = self._topology
         space = self.protocol.label_space
+
+        # -- widening: re-code the byte-hashed cycle history when the code
+        # arrays grow a dtype (packed runs demote or widen, never wrap).
+        def recode_histories(part: int, old_dt, new_dt) -> None:
+            for slot in range(B):
+                if not alive[slot]:
+                    continue
+                state = analysis[slot]
+                if state is None:
+                    continue
+
+                def recode(raw: bytes) -> bytes:
+                    return (
+                        np.frombuffer(raw, dtype=old_dt)
+                        .astype(new_dt)
+                        .tobytes()
+                    )
+
+                if part == 0:
+                    state.history = [
+                        (recode(vb), ob) for vb, ob in state.history
+                    ]
+                    state.seen = {
+                        (recode(vb), ob, phase): when
+                        for (vb, ob, phase), when in state.seen.items()
+                    }
+                else:
+                    state.history = [
+                        (vb, recode(ob)) for vb, ob in state.history
+                    ]
+                    state.seen = {
+                        (vb, recode(ob), phase): when
+                        for (vb, ob, phase), when in state.seen.items()
+                    }
+
+        def widen_codes_to(new_dt) -> None:
+            nonlocal codes, code_dt
+            new_dt = np.dtype(new_dt)
+            if new_dt == code_dt:
+                return
+            recode_histories(0, code_dt, new_dt)
+            codes = codes.astype(new_dt)
+            code_dt = new_dt
+
+        def widen_ocodes_to(new_dt) -> None:
+            nonlocal ocodes, y_dt
+            new_dt = np.dtype(new_dt)
+            if new_dt == y_dt:
+                return
+            recode_histories(1, y_dt, new_dt)
+            ocodes = ocodes.astype(new_dt)
+            y_dt = new_dt
 
         # Group rows by schedule object: a schedule shared across rows (the
         # run_batch broadcast, or a factory returning one object) is queried
@@ -886,11 +1517,65 @@ class BatchSimulator:
             (schedule, np.asarray(slots, dtype=np.int64))
             for schedule, slots in by_schedule.values()
         ]
+        shared_schedule = len(sched_groups) == 1
         mask_full = np.zeros((B, n), dtype=bool)
 
-        for t in range(max_steps):
-            if not live.size:
-                break
+        def activation_vector(active):
+            vec = setvec_cache.get(active)
+            if vec is None:
+                vec = np.zeros(n, dtype=bool)
+                vec[list(active)] = True
+                setvec_cache[active] = vec
+            return vec
+
+        def build_masks(t: int, k: int):
+            """Activation masks for window offsets ``0..k-1``.
+
+            Returns ``(masks, k_eff, exhausted)``: the per-step masks (a
+            shared ``(n,)`` vector per step, or a per-row ``(L, n)`` array
+            when rows follow different schedules), the window truncated at
+            the first offset whose schedule ran dry, and — only when that
+            offset is 0 — the rows to conclude ``SCHEDULE_EXHAUSTED`` now.
+            """
+            masks = []
+            exhausted: list[int] = []
+            if shared_schedule:
+                schedule, _ = sched_groups[0]
+                for j in range(k):
+                    try:
+                        active = schedule.active(t + j)
+                    except ScheduleError:
+                        if j == 0:
+                            exhausted = [int(s) for s in live]
+                        return masks, j, exhausted
+                    masks.append(activation_vector(active))
+                return masks, k, exhausted
+            for j in range(k):
+                mask_full[live] = False
+                failed = False
+                for schedule, slots in sched_groups:
+                    current = slots[alive[slots]]
+                    if not current.size:
+                        continue
+                    try:
+                        active = schedule.active(t + j)
+                    except ScheduleError:
+                        failed = True
+                        if j == 0:
+                            exhausted.extend(int(s) for s in current)
+                        continue
+                    mask_full[current] = activation_vector(active)
+                if failed:
+                    return masks, j, exhausted
+                masks.append(mask_full[live].copy())
+            return masks, k, exhausted
+
+        # -- main loop, in fused windows of k >= 1 steps ------------------
+        t = 0
+        window = 1 if adaptive else int(fuse)
+        stack_buf = None
+        ostack_buf = None
+        while t < max_steps and live.size:
             # 1. Fire faults scheduled for time t (before sigma(t) applies).
             if raw_rows:
                 buckets: dict[tuple, tuple[list, list]] = {}
@@ -911,42 +1596,77 @@ class BatchSimulator:
                     if not pending[slot]:
                         started.append(slot)
                 for models, slots in buckets.values():
-                    for model in models:
-                        model.fire_batch(
-                            codes, slots, topology, space, interner, t
-                        )
+                    if code_dt.itemsize == 8:
+                        for model in models:
+                            model.fire_batch(
+                                codes, slots, topology, space, interner, t
+                            )
+                    else:
+                        # Fire into an int64 staging copy of just these rows:
+                        # a model interning labels past the packed range then
+                        # widens the master array before commit instead of
+                        # wrapping inside it.
+                        staging = codes[slots].astype(np.int64)
+                        local = list(range(len(slots)))
+                        for model in models:
+                            model.fire_batch(
+                                staging, local, topology, space, interner, t
+                            )
+                        if interner.size > dtype_capacity(code_dt):
+                            widen_codes_to(
+                                packed_dtype(
+                                    max(self._space_size, interner.size)
+                                )
+                            )
+                        codes[slots] = staging
                 for slot in started:
                     raw_rows.remove(slot)
                     start_analysis(slot, t)
 
-            # 2. Activation sets (a finite schedule may run dry here).
-            mask_full[live] = False
-            exhausted = []
-            for schedule, slots in sched_groups:
-                current = slots[alive[slots]]
-                if not current.size:
-                    continue
-                try:
-                    active = schedule.active(t)
-                except ScheduleError:
-                    exhausted.extend(int(slot) for slot in current)
-                    continue
-                vec = setvec_cache.get(active)
-                if vec is None:
-                    vec = np.zeros(n, dtype=bool)
-                    vec[list(active)] = True
-                    setvec_cache[active] = vec
-                mask_full[current] = vec
+            # 2. Table soundness and packing gates (fault or prior-run
+            # growth): demote when the interner left the enumerated space,
+            # widen when it left the packed range.
+            if self._groups and interner.size > self._space_size:
+                self._demote_all()
+            if interner.size > dtype_capacity(code_dt):
+                widen_codes_to(
+                    packed_dtype(max(self._space_size, interner.size))
+                )
+
+            # 3. Window length: fused only while every node is lifted; a
+            # pending fault fire or the step budget truncates, and the stack
+            # budget bounds residency.
+            if self._fallback:
+                k = 1
+            else:
+                k = min(window, max_steps - t)
+                if raw_rows:
+                    next_fire = min(
+                        pending[slot][0][0] for slot in raw_rows
+                    )
+                    k = min(k, next_fire - t)
+                if k > 1:
+                    per_step = live.size * (
+                        m * code_dt.itemsize + n * y_dt.itemsize
+                    )
+                    if not shared_schedule:
+                        per_step += live.size * n
+                    k = min(k, max(1, STACK_BUDGET_BYTES // per_step))
+                k = max(int(k), 1)
+
+            # 4. Activation masks (a finite schedule may run dry here).
+            masks, k, exhausted = build_masks(t, k)
             if exhausted:
-                for slot in exhausted:
+                finals = self._materialize_many(
+                    codes[exhausted], ocodes[exhausted]
+                )
+                for slot, final in zip(exhausted, finals):
                     results[slot] = (
                         RunReport(
                             outcome=RunOutcome.SCHEDULE_EXHAUSTED,
                             label_rounds=None,
                             output_rounds=None,
-                            final=self._materialize(
-                                codes[slot], ocodes[slot]
-                            ),
+                            final=final,
                             steps_executed=t - int(t0[slot]),
                         ),
                         fault_times[slot],
@@ -956,116 +1676,303 @@ class BatchSimulator:
                     if slot in raw_rows:
                         raw_rows.remove(slot)
                 live = live[alive[live]]
-                if not live.size:
-                    break
+            if k == 0:
+                # Offset-0 exhaustion: the window was concluded away, not
+                # stepped.  Re-enter with the surviving rows, same t.
+                continue
 
-            # 3. One vectorized global transition over the live rows.  While
-            # every row is still live the code arrays are used as-is (no
-            # gather); once rows have finished, the live slice is compacted
-            # out so dead rows stop costing work.
-            full = live.size == B
-            sub = codes if full else codes[live]
-            osub = ocodes if full else ocodes[live]
-            mask = mask_full if full else mask_full[live]
-            new_sub, new_osub = self._step_rows(sub, osub, mask, live)
+            # 5. k fused transitions over the live rows.
+            L = live.size
+            full = L == B
+            if k == 1:
+                sub = codes if full else codes[live]
+                osub = ocodes if full else ocodes[live]
+                mk = masks[0]
+                mk2 = (
+                    np.broadcast_to(mk, (L, n)) if mk.ndim == 1 else mk
+                )
+                new_sub, new_osub = self._step_rows(sub, osub, mk2, live)
+                if new_sub.dtype != code_dt:
+                    widen_codes_to(new_sub.dtype)
+                if new_osub.dtype != y_dt:
+                    widen_ocodes_to(new_osub.dtype)
+                frames: Any = (sub, new_sub)
+                oframes: Any = (osub, new_osub)
+                window_diffs = None
+            else:
+                # Window stacks are reused across windows (first-axis slices
+                # of the cached buffers stay contiguous); reallocating each
+                # window would page-fault fresh memory every few steps.
+                if (
+                    stack_buf is None
+                    or stack_buf.dtype != code_dt
+                    or stack_buf.shape[1] != L
+                    or stack_buf.shape[0] < k + 1
+                ):
+                    stack_buf = np.empty((k + 1, L, m), dtype=code_dt)
+                if (
+                    ostack_buf is None
+                    or ostack_buf.dtype != y_dt
+                    or ostack_buf.shape[1] != L
+                    or ostack_buf.shape[0] < k + 1
+                ):
+                    ostack_buf = np.empty((k + 1, L, n), dtype=y_dt)
+                stack = stack_buf[: k + 1]
+                ostack = ostack_buf[: k + 1]
+                stack[0] = codes if full else codes[live]
+                ostack[0] = ocodes if full else ocodes[live]
+                window_diffs = self._fill_stack(stack, ostack, masks, live)
+                frames = stack
+                oframes = ostack
 
-            # 4. Convergence bookkeeping, replicated from Simulator.run.
+            # 6. Convergence bookkeeping, replicated from Simulator.run and
+            # evaluated per window step from the stored intermediate states
+            # (rollback-free: a row settling at offset j concludes from
+            # frames[j + 1], its later stepped states are discarded).
             dead = []
+            finished_any = False
             aper = in_analysis[live] & ~is_periodic[live]
             if aper.any():
                 rows = np.flatnonzero(aper)
                 slots = live[rows]
-                # One full-array compare beats two fancy-indexed copies; the
-                # aperiodic rows are usually all (or nearly all) of the batch.
-                changed_all = (new_sub != sub).any(axis=1)
-                ochanged_all = (new_osub != osub).any(axis=1)
-                changed = changed_all[rows]
-                ochanged = ochanged_all[rows]
-                local_now = t - t0[slots]
-                llc[slots[changed]] = local_now[changed]
-                witnessed[slots[changed]] = False
-                unchanged_slots = slots[~changed]
-                witnessed[unchanged_slots] |= mask[rows[~changed]]
-                loc[slots[ochanged]] = local_now[ochanged]
-                finished = witnessed[slots].all(axis=1)
-                for slot, row in zip(slots[finished], rows[finished]):
-                    slot = int(slot)
-                    results[slot] = (
-                        RunReport(
-                            outcome=RunOutcome.LABEL_STABLE,
-                            label_rounds=int(llc[slot]) + 1,
-                            output_rounds=int(loc[slot]) + 1,
-                            final=self._materialize(
-                                new_sub[row], new_osub[row]
-                            ),
-                            steps_executed=t - int(t0[slot]) + 1,
-                        ),
-                        fault_times[slot],
-                        int(t0[slot]),
+                all_rows = rows.size == L
+                if window_diffs is not None:
+                    diffs, odiffs = window_diffs
+                else:
+                    diffs = self._window_diffs(frames, k, L)
+                    odiffs = self._window_diffs(oframes, k, L)
+                if not all_rows:
+                    diffs = diffs[:, rows]
+                    odiffs = odiffs[:, rows]
+                wit = witnessed[slots]
+                llc_local = llc[slots]
+                loc_local = loc[slots]
+                t0_local = t0[slots]
+                open_ = np.ones(rows.size, dtype=bool)
+                fin: list[tuple[int, int, int, int, int]] = []
+                if all(mk.ndim == 1 for mk in masks):
+                    # Shared-schedule windows: the witness evolution between
+                    # two label changes depends only on the masks, not the
+                    # row, so coverage is precomputed per window (tiny (k, n)
+                    # scans) and the per-step work drops to O(rows) integer
+                    # ops — a row finishes at step j exactly when j is its
+                    # segment's precomputed full-coverage step.
+                    mask_block = np.stack(masks)
+                    prefix = np.logical_or.accumulate(mask_block, axis=0)
+                    #: First window step covering each node (k = never).
+                    first_cover = np.where(
+                        prefix[-1], np.argmax(prefix, axis=0), k
+                    ).astype(np.int16)  # shrinks the (rows, n) temp below 4x
+                    suffix = np.zeros((k + 1, n), dtype=bool)
+                    for s in range(k - 1, -1, -1):
+                        suffix[s] = suffix[s + 1] | mask_block[s]
+                    #: nextfull[s] = first j >= s with mk[s..j] covering every
+                    #: node (k = not in this window).
+                    nextfull = np.full(k + 1, k, dtype=np.int64)
+                    for s in range(k):
+                        if not suffix[s].all():
+                            break
+                        acc = mask_block[s].copy()
+                        j2 = s
+                        while not acc.all():
+                            j2 += 1
+                            acc |= mask_block[j2]
+                        nextfull[s] = j2
+                    # A row's pending finish step: while it has not changed
+                    # in-window, the first step whose mask prefix covers
+                    # everything its carried witness set is missing.
+                    pending = np.maximum(
+                        np.where(~wit, first_cover, -1).max(axis=1), 0
                     )
-                    dead.append(slot)
+                    lastc = np.full(rows.size, -1, dtype=np.int64)
+                    olastc = np.full(rows.size, -1, dtype=np.int64)
+                    for j in range(k):
+                        ch = diffs[j] & open_
+                        if ch.any():
+                            lastc[ch] = j
+                            pending[ch] = nextfull[j + 1]
+                        och = odiffs[j] & open_
+                        if och.any():
+                            olastc[och] = j
+                        done = open_ & (pending == j) & ~diffs[j]
+                        if done.any():
+                            finished_any = True
+                            for ii in np.flatnonzero(done).tolist():
+                                lc = int(lastc[ii])
+                                label_last = (
+                                    t + lc - int(t0_local[ii])
+                                    if lc >= 0
+                                    else int(llc_local[ii])
+                                )
+                                oc = int(olastc[ii])
+                                output_last = (
+                                    t + oc - int(t0_local[ii])
+                                    if oc >= 0
+                                    else int(loc_local[ii])
+                                )
+                                fin.append(
+                                    (
+                                        int(slots[ii]),
+                                        int(rows[ii]),
+                                        j,
+                                        label_last + 1,
+                                        output_last + 1,
+                                    )
+                                )
+                            open_[done] = False
+                    np.copyto(llc_local, t + lastc - t0_local, where=lastc >= 0)
+                    np.copyto(
+                        loc_local, t + olastc - t0_local, where=olastc >= 0
+                    )
+                    # Witness at window exit: the mask union since the last
+                    # change, plus the carried set for never-changed rows.
+                    wit_out = suffix[lastc + 1]
+                    first_seg = lastc < 0
+                    wit_out[first_seg] |= wit[first_seg]
+                    wit = wit_out
+                else:
+                    for j in range(k):
+                        changed = diffs[j] & open_
+                        if changed.any():
+                            llc_local[changed] = (t + j) - t0_local[changed]
+                            wit[changed] = False
+                        unchanged = open_ & ~diffs[j]
+                        ochanged = odiffs[j] & open_
+                        if ochanged.any():
+                            loc_local[ochanged] = (t + j) - t0_local[ochanged]
+                        if unchanged.any():
+                            mk = masks[j]
+                            wit[unchanged] |= mk[rows[unchanged]]
+                            candidates = np.flatnonzero(unchanged)
+                            done = candidates[wit[candidates].all(axis=1)]
+                            if done.size:
+                                finished_any = True
+                                for ii in done.tolist():
+                                    fin.append(
+                                        (
+                                            int(slots[ii]),
+                                            int(rows[ii]),
+                                            j,
+                                            int(llc_local[ii]) + 1,
+                                            int(loc_local[ii]) + 1,
+                                        )
+                                    )
+                                open_[done] = False
+                witnessed[slots] = wit
+                llc[slots] = llc_local
+                loc[slots] = loc_local
+                if fin:
+                    finals = self._materialize_many(
+                        np.stack([frames[j + 1][row] for _, row, j, _, _ in fin]),
+                        np.stack([oframes[j + 1][row] for _, row, j, _, _ in fin]),
+                    )
+                    for (slot, _, j, label_rounds, output_rounds), final in zip(
+                        fin, finals
+                    ):
+                        results[slot] = (
+                            RunReport(
+                                outcome=RunOutcome.LABEL_STABLE,
+                                label_rounds=label_rounds,
+                                output_rounds=output_rounds,
+                                final=final,
+                                steps_executed=(t + j) - int(t0[slot]) + 1,
+                            ),
+                            fault_times[slot],
+                            int(t0[slot]),
+                        )
+                        dead.append(slot)
             per = in_analysis[live] & is_periodic[live]
             if per.any():
                 for row in np.flatnonzero(per):
                     slot = int(live[row])
                     state = analysis[slot]
-                    vb = new_sub[row].tobytes()
-                    ob = new_osub[row].tobytes()
-                    local_now = t - int(t0[slot]) + 1
-                    if local_now >= state.preperiod:
-                        key = (
-                            vb,
-                            ob,
-                            (local_now - state.preperiod) % state.period,
-                        )
-                        cycle_start = state.seen.get(key)
-                        if cycle_start is not None:
-                            outcome, label_rounds, output_rounds, final = (
-                                classify_cycle(
-                                    state.history, cycle_start, local_now
+                    t0_slot = int(t0[slot])
+                    for j in range(k):
+                        vb = frames[j + 1][row].tobytes()
+                        ob = oframes[j + 1][row].tobytes()
+                        local_now = (t + j) - t0_slot + 1
+                        if local_now >= state.preperiod:
+                            key = (
+                                vb,
+                                ob,
+                                (local_now - state.preperiod) % state.period,
+                            )
+                            cycle_start = state.seen.get(key)
+                            if cycle_start is not None:
+                                outcome, label_rounds, output_rounds, final = (
+                                    classify_cycle(
+                                        state.history, cycle_start, local_now
+                                    )
                                 )
-                            )
-                            final_values = np.frombuffer(
-                                final[0], dtype=np.int64
-                            )
-                            final_outputs = np.frombuffer(
-                                final[1], dtype=np.int64
-                            )
-                            results[slot] = (
-                                RunReport(
-                                    outcome=outcome,
-                                    label_rounds=label_rounds,
-                                    output_rounds=output_rounds,
-                                    final=self._materialize(
-                                        final_values, final_outputs
+                                final_values = np.frombuffer(
+                                    final[0], dtype=code_dt
+                                )
+                                final_outputs = np.frombuffer(
+                                    final[1], dtype=y_dt
+                                )
+                                results[slot] = (
+                                    RunReport(
+                                        outcome=outcome,
+                                        label_rounds=label_rounds,
+                                        output_rounds=output_rounds,
+                                        final=self._materialize(
+                                            final_values, final_outputs
+                                        ),
+                                        steps_executed=local_now,
+                                        cycle_start=cycle_start,
+                                        cycle_length=max(
+                                            local_now - cycle_start, 1
+                                        ),
                                     ),
-                                    steps_executed=local_now,
-                                    cycle_start=cycle_start,
-                                    cycle_length=max(
-                                        local_now - cycle_start, 1
-                                    ),
-                                ),
-                                fault_times[slot],
-                                int(t0[slot]),
-                            )
-                            dead.append(slot)
-                            continue
-                        state.seen[key] = local_now
-                    state.history.append((vb, ob))
+                                    fault_times[slot],
+                                    t0_slot,
+                                )
+                                dead.append(slot)
+                                finished_any = True
+                                break
+                            state.seen[key] = local_now
+                        state.history.append((vb, ob))
 
-            # 5. Commit and drop finished rows.
+            # 7. Commit the post-window state and drop finished rows.
             if full:
-                codes = new_sub
-                ocodes = new_osub
+                if k == 1:
+                    codes = frames[1]
+                    ocodes = oframes[1]
+                else:
+                    # Aliasing the reused stack buffer is safe: the next
+                    # window copies ``codes`` into slice 0 before the fill
+                    # touches slices 1..k, and any L/dtype change reallocates
+                    # the buffer (the alias keeps the old one alive).
+                    codes = frames[k]
+                    ocodes = oframes[k]
             else:
-                codes[live] = new_sub
-                ocodes[live] = new_osub
+                codes[live] = frames[k]
+                ocodes[live] = oframes[k]
             if dead:
                 for slot in dead:
                     alive[slot] = False
                 live = live[alive[live]]
+            t += k
+            if adaptive:
+                # Grow while the window is event-free, shrink to single
+                # steps the moment rows settle: conclusions cluster, and a
+                # short window wastes no speculative stepping near them.
+                window = (
+                    1 if finished_any else min(window * 2, MAX_FUSE_WINDOW)
+                )
 
-        for slot in live:
-            slot = int(slot)
-            conclude_timeout(slot, max_steps - int(t0[slot]))
+        if live.size:
+            finals = self._materialize_many(codes[live], ocodes[live])
+            for slot, final in zip(live.tolist(), finals):
+                results[slot] = (
+                    RunReport(
+                        outcome=RunOutcome.TIMEOUT,
+                        label_rounds=None,
+                        output_rounds=None,
+                        final=final,
+                        steps_executed=max_steps - int(t0[slot]),
+                    ),
+                    fault_times[slot],
+                    int(t0[slot]),
+                )
         return results

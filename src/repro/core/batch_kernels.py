@@ -1,0 +1,83 @@
+"""Optional numba kernels for the batch backend (``kernel="numba"``).
+
+The batch simulator's hot loop is pure table arithmetic over packed integer
+arrays (:mod:`repro.core.batch`): gather incoming codes, add the per-node
+table base, look up the packed transition table, blend by the activation
+mask.  numpy executes that as a handful of whole-array passes per step; the
+kernels here fuse a whole k-step window into one compiled loop nest that
+keeps every intermediate in registers — same tables, same packed arrays,
+bit-identical results.
+
+The module always imports; :data:`HAVE_NUMBA` reports whether the compiled
+route is actually available.  When numba is absent the kernel symbols are
+``None`` and the simulator silently keeps its numpy route, so installing the
+``numba`` extra is a pure performance switch (the shape of pia-mpc's one-flag
+CPU<->GPU processor selection).
+
+The kernels deliberately use explicit element loops only — numba does not
+support numpy fancy indexing, and element loops are also what lets the
+window stay fused (no per-step temporaries).
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised only when numba is installed
+    import numpy as _np
+    from numba import njit
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the numpy-only environment
+    njit = None
+    HAVE_NUMBA = False
+
+if HAVE_NUMBA:  # pragma: no cover - compiled path, covered by the CI numba leg
+
+    @njit(cache=True)
+    def mono_window(stack, ostack, masks, perm, base, table, ytable):
+        """Fused k-step window for the monolithic degree-1 layout.
+
+        ``stack``/``ostack`` are ``(k+1, L, m)`` / ``(k+1, L, n)`` state
+        stacks with slice 0 holding the current codes; ``masks`` is the
+        ``(k, n)`` per-step activation mask (shared by every row); ``perm``
+        maps each edge to the edge its owner reads; ``base`` is the per-edge
+        int64 table offset; ``table``/``ytable`` are the packed transition
+        and output tables.  Fills slices 1..k in place.
+        """
+        k = masks.shape[0]
+        rows = stack.shape[1]
+        m = stack.shape[2]
+        for j in range(k):
+            for r in range(rows):
+                for e in range(m):
+                    if masks[j, e]:
+                        key = base[e] + _np.int64(stack[j, r, perm[e]])
+                        stack[j + 1, r, e] = table[key]
+                        ostack[j + 1, r, e] = ytable[key]
+                    else:
+                        stack[j + 1, r, e] = stack[j, r, e]
+                        ostack[j + 1, r, e] = ostack[j, r, e]
+
+    @njit(cache=True)
+    def window_changes(stack):
+        """Per-(step, row) change flags over a filled window stack.
+
+        Returns a ``(k, L)`` uint8 array whose ``[j, r]`` entry is 1 exactly
+        when row ``r`` changed during step ``j`` — the compiled counterpart
+        of ``(stack[1:] != stack[:-1]).any(axis=2)``, with per-row
+        short-circuiting.
+        """
+        k = stack.shape[0] - 1
+        rows = stack.shape[1]
+        m = stack.shape[2]
+        out = _np.zeros((k, rows), dtype=_np.uint8)
+        for j in range(k):
+            for r in range(rows):
+                for e in range(m):
+                    if stack[j + 1, r, e] != stack[j, r, e]:
+                        out[j, r] = 1
+                        break
+        return out
+
+else:
+    mono_window = None
+    window_changes = None

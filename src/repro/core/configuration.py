@@ -29,7 +29,17 @@ class Labeling:
             )
         self._topology = topology
         self._values = tuple(values)
-        self._hash = hash(self._values)
+        self._hash = None
+
+    @classmethod
+    def _trusted(cls, topology: Topology, values: tuple) -> "Labeling":
+        """Construct without validation, for callers that built ``values``
+        themselves in canonical form (the batch backend's bulk decode)."""
+        labeling = cls.__new__(cls)
+        labeling._topology = topology
+        labeling._values = values
+        labeling._hash = None
+        return labeling
 
     # -- constructors ------------------------------------------------------
 
@@ -117,7 +127,13 @@ class Labeling:
         )
 
     def __hash__(self) -> int:
-        return self._hash
+        # Lazy: most labelings (batch sweep finals in particular) are never
+        # hashed, and the tuple hash over every edge is the constructor's
+        # dominant cost at scale.
+        h = self._hash
+        if h is None:
+            h = self._hash = hash(self._values)
+        return h
 
     def __repr__(self) -> str:
         return f"<Labeling {self._values!r}>"
@@ -133,7 +149,16 @@ class Configuration:
             raise ValidationError("outputs must have one entry per node")
         self.labeling = labeling
         self.outputs = tuple(outputs)
-        self._hash = hash((labeling, self.outputs))
+        self._hash = None
+
+    @classmethod
+    def _trusted(cls, labeling: Labeling, outputs: tuple) -> "Configuration":
+        """Construct without validation (see :meth:`Labeling._trusted`)."""
+        config = cls.__new__(cls)
+        config.labeling = labeling
+        config.outputs = outputs
+        config._hash = None
+        return config
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, Configuration):
@@ -141,7 +166,10 @@ class Configuration:
         return self.labeling == other.labeling and self.outputs == other.outputs
 
     def __hash__(self) -> int:
-        return self._hash
+        h = self._hash
+        if h is None:
+            h = self._hash = hash((self.labeling, self.outputs))
+        return h
 
     def __repr__(self) -> str:
         return (

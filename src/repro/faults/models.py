@@ -37,6 +37,22 @@ from repro.exceptions import ValidationError
 from repro.graphs.topology import Topology
 
 
+def _scatter_rows(codes, rows, positions, new_codes) -> None:
+    """Write ``new_codes`` into ``codes[rows x positions]`` in one scatter.
+
+    The vectorized counterpart of ``for row in rows: codes[row, positions] =
+    new_codes``.  numpy is imported lazily: this module stays importable
+    without it, and ``fire_batch`` is only ever reached from the batch
+    backend, which requires numpy anyway.
+    """
+    import numpy as np
+
+    grid = np.ix_(
+        np.asarray(rows, dtype=np.intp), np.asarray(positions, dtype=np.intp)
+    )
+    codes[grid] = new_codes
+
+
 def _derive_rng(seed: int, step: int) -> random.Random:
     """A fresh RNG for one (model seed, fire time) pair.
 
@@ -117,8 +133,7 @@ class RandomCorruption(FaultModel):
         if not positions:
             return
         new_codes = [interner.encode(label) for label in labels]
-        for row in rows:
-            codes[row, positions] = new_codes
+        _scatter_rows(codes, rows, positions, new_codes)
 
     def __repr__(self) -> str:
         return f"RandomCorruption(fraction={self.fraction}, seed={self.seed})"
@@ -185,8 +200,7 @@ class TargetedCorruption(FaultModel):
                 label = space.sample(rng)
             positions.append(position(edge))
             new_codes.append(interner.encode(label))
-        for row in rows:
-            codes[row, positions] = new_codes
+        _scatter_rows(codes, rows, positions, new_codes)
 
     def __repr__(self) -> str:
         return (
@@ -233,8 +247,7 @@ class StuckAtFault(FaultModel):
         position = topology.edge_position
         positions = [position(edge) for edge in self.edges]
         code = interner.encode(self.label)
-        for row in rows:
-            codes[row, positions] = code
+        _scatter_rows(codes, rows, positions, code)
 
     def __repr__(self) -> str:
         return f"StuckAtFault(edges={self.edges!r}, label={self.label!r})"

@@ -9,6 +9,7 @@ schedules, and fault plans, plus directed tests for each lift/fallback tier.
 
 from __future__ import annotations
 
+import contextlib
 import random
 from itertools import product
 
@@ -37,7 +38,8 @@ from repro.core import (
     binary,
     compile_protocol,
 )
-from repro.core.batch import LabelInterner
+from repro.core.batch import LabelInterner, dtype_capacity, packed_dtype
+from repro.core.batch_kernels import HAVE_NUMBA
 from repro.exceptions import ValidationError
 from repro.faults import (
     BurstFault,
@@ -54,6 +56,32 @@ from repro.faults import (
 from repro.graphs import clique, unidirectional_ring
 
 np = pytest.importorskip("numpy")
+
+#: Every compute kernel the backend offers; the numba leg skip-marks cleanly
+#: when numba is absent so the plain matrix stays green unchanged.
+KERNELS = [
+    "numpy",
+    pytest.param(
+        "numba",
+        marks=pytest.mark.skipif(
+            not HAVE_NUMBA, reason="numba is not installed"
+        ),
+    ),
+]
+
+
+@contextlib.contextmanager
+def fuse_cap(value: int):
+    """Temporarily cap the fused-window size (1 = one step per kernel call)."""
+    import repro.core.batch as batch_module
+
+    saved = batch_module.MAX_FUSE_WINDOW
+    batch_module.MAX_FUSE_WINDOW = value
+    try:
+        yield
+    finally:
+        batch_module.MAX_FUSE_WINDOW = saved
+
 
 RUN_FIELDS = (
     "outcome",
@@ -209,9 +237,10 @@ def random_rows(rng: random.Random, protocol, count: int):
 
 
 class TestRunEquivalence:
+    @pytest.mark.parametrize("kernel", KERNELS)
     @given(st.integers(min_value=0, max_value=10**9))
     @settings(max_examples=20, deadline=None)
-    def test_arbitrary_cases_match_serial(self, seed):
+    def test_arbitrary_cases_match_serial(self, kernel, seed):
         rng = random.Random(seed)
         protocol = random_tabular_protocol(rng)
         count = rng.randrange(2, 7)
@@ -223,15 +252,16 @@ class TestRunEquivalence:
             )
             for b in range(count)
         ]
-        batch = BatchSimulator(protocol, inputs).run_batch(
+        batch = BatchSimulator(protocol, inputs, kernel=kernel).run_batch(
             labelings, schedules, max_steps=max_steps
         )
         for s, r in zip(serial, batch):
             assert_reports_equal(s, r)
 
+    @pytest.mark.parametrize("kernel", KERNELS)
     @given(st.integers(min_value=0, max_value=10**9))
     @settings(max_examples=20, deadline=None)
-    def test_arbitrary_fault_plans_match_serial(self, seed):
+    def test_arbitrary_fault_plans_match_serial(self, kernel, seed):
         rng = random.Random(seed)
         protocol = random_tabular_protocol(rng)
         space = protocol.label_space
@@ -248,11 +278,32 @@ class TestRunEquivalence:
             )
             for b in range(count)
         ]
-        batch = BatchSimulator(protocol, inputs).run_batch_with_faults(
+        batch = BatchSimulator(protocol, inputs, kernel=kernel).run_batch_with_faults(
             labelings, schedules, plans, max_steps=max_steps
         )
         for s, r in zip(serial, batch):
             assert_reports_equal(s, r, FAULT_FIELDS)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_seed_stress(self, kernel):
+        """600-seed stress: light random cases, serial vs batch, per kernel."""
+        for seed in range(600):
+            rng = random.Random(seed)
+            protocol = random_tabular_protocol(rng)
+            count = 2
+            max_steps = rng.choice([6, 14])
+            labelings, inputs, schedules = random_rows(rng, protocol, count)
+            serial = [
+                Simulator(protocol, inputs[b]).run(
+                    labelings[b], schedules[b], max_steps=max_steps
+                )
+                for b in range(count)
+            ]
+            batch = BatchSimulator(protocol, inputs, kernel=kernel).run_batch(
+                labelings, schedules, max_steps=max_steps
+            )
+            for s, r in zip(serial, batch):
+                assert_reports_equal(s, r)
 
     def test_initial_outputs_and_shared_schedule(self):
         rng = random.Random(5)
@@ -312,8 +363,9 @@ class TestSweepEquivalence:
             for k in range(count)
         ]
 
+    @pytest.mark.parametrize("kernel", KERNELS)
     @pytest.mark.parametrize("seed", [0, 1, 2])
-    def test_run_sweep_batch_equals_serial(self, seed):
+    def test_run_sweep_batch_equals_serial(self, seed, kernel):
         protocol = _xor_ring_protocol(8)
         cases = self._cases(protocol, 16, seed)
 
@@ -322,7 +374,12 @@ class TestSweepEquivalence:
 
         serial = run_sweep(protocol, cases, factory, max_steps=120)
         batch = run_sweep(
-            protocol, cases, factory, max_steps=120, executor="batch"
+            protocol,
+            cases,
+            factory,
+            max_steps=120,
+            executor="batch",
+            kernel=kernel,
         )
         assert serial == batch
         assert serial.outcome_counts == batch.outcome_counts
@@ -330,8 +387,9 @@ class TestSweepEquivalence:
         assert [r.index for r in batch] == list(range(len(cases)))
         assert [r.tag for r in batch] == [case.tag for case in cases]
 
+    @pytest.mark.parametrize("kernel", KERNELS)
     @pytest.mark.parametrize("criterion", ["label", "orbit"])
-    def test_resilience_sweep_batch_equals_serial(self, criterion):
+    def test_resilience_sweep_batch_equals_serial(self, criterion, kernel):
         protocol = _xor_ring_protocol(7)
         cases = self._cases(protocol, 12, 3)
         edges = protocol.topology.edges
@@ -366,10 +424,45 @@ class TestSweepEquivalence:
             max_steps=100,
             recovered=criterion,
             executor="batch",
+            kernel=kernel,
         )
         assert serial == batch
         assert serial.recovery_rate == batch.recovery_rate
         assert serial.recovery_histogram() == batch.recovery_histogram()
+
+    def test_chunked_batch_sweep_equals_serial(self, monkeypatch):
+        # Force several sub-batches (chunk boundaries inside the case list)
+        # and check the stitched report is still equal, indexes included.
+        monkeypatch.setattr("repro.core.batch.SWEEP_CHUNK_ROWS", 5)
+        protocol = _xor_ring_protocol(6)
+        cases = self._cases(protocol, 17, 7)
+
+        def factory(index, case):
+            return RandomRFairSchedule(6, r=3, seed=index)
+
+        def fault_factory(index, case):
+            if index % 3 == 0:
+                return NoFaults()
+            return OneShotFault(4, RandomCorruption(0.5, seed=index))
+
+        serial = run_sweep(protocol, cases, factory, max_steps=90)
+        batch = run_sweep(
+            protocol, cases, factory, max_steps=90, executor="batch"
+        )
+        assert serial == batch
+        assert [r.index for r in batch] == list(range(len(cases)))
+        serial_res = run_resilience_sweep(
+            protocol, cases, factory, fault_factory, max_steps=90
+        )
+        batch_res = run_resilience_sweep(
+            protocol,
+            cases,
+            factory,
+            fault_factory,
+            max_steps=90,
+            executor="batch",
+        )
+        assert serial_res == batch_res
 
     def test_unknown_executor_rejected(self):
         protocol = _xor_ring_protocol(5)
@@ -389,6 +482,232 @@ class TestSweepEquivalence:
                 lambda i, c: NoFaults(),
                 executor="gpu",
             )
+
+
+# -- kernel selection ---------------------------------------------------------
+
+
+class TestKernelSelection:
+    def test_unknown_kernel_rejected(self):
+        protocol = _xor_ring_protocol(4)
+        with pytest.raises(ValidationError, match="unknown kernel"):
+            BatchSimulator(protocol, [(0,) * 4], kernel="gpu")
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="numba is installed")
+    def test_numba_kernel_without_numba_is_an_error(self):
+        protocol = _xor_ring_protocol(4)
+        with pytest.raises(ValidationError, match="requires numba"):
+            BatchSimulator(protocol, [(0,) * 4], kernel="numba")
+
+    def test_auto_resolves_to_an_available_kernel(self):
+        protocol = _xor_ring_protocol(4)
+        simulator = BatchSimulator(protocol, [(0,) * 4])
+        assert simulator.kernel == ("numba" if HAVE_NUMBA else "numpy")
+        forced = BatchSimulator(protocol, [(0,) * 4], kernel="numpy")
+        assert forced.kernel == "numpy"
+
+    def test_sweep_kernel_requires_batch_executor(self):
+        protocol = _xor_ring_protocol(4)
+        cases = [SweepCase((0,) * 4, Labeling.uniform(protocol.topology, 0))]
+
+        def factory(index, case):
+            return SynchronousSchedule(4)
+
+        with pytest.raises(ValidationError, match="executor='batch'"):
+            run_sweep(protocol, cases, factory, kernel="numpy")
+        with pytest.raises(ValidationError, match="executor='batch'"):
+            run_resilience_sweep(
+                protocol,
+                cases,
+                factory,
+                lambda i, c: NoFaults(),
+                kernel="numpy",
+            )
+
+
+# -- fused windows ------------------------------------------------------------
+
+
+class TestFusedWindows:
+    """Fused k-step windows must equal k single steps, case for case."""
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @given(st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=15, deadline=None)
+    def test_fused_equals_single_step_windows(self, kernel, seed):
+        rng = random.Random(seed)
+        protocol = random_tabular_protocol(rng)
+        count = rng.randrange(2, 6)
+        max_steps = rng.choice([30, 120])
+        labelings, inputs, schedules = random_rows(rng, protocol, count)
+        fused = BatchSimulator(protocol, inputs, kernel=kernel).run_batch(
+            labelings, schedules, max_steps=max_steps
+        )
+        with fuse_cap(1):
+            single = BatchSimulator(protocol, inputs, kernel=kernel).run_batch(
+                labelings, schedules, max_steps=max_steps
+            )
+        for f, s in zip(fused, single):
+            assert_reports_equal(s, f)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @given(st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=15, deadline=None)
+    def test_faults_split_fused_windows(self, kernel, seed):
+        # Fault plans fire at arbitrary steps, so plans landing inside a
+        # fused window force a split; the split must be invisible in the
+        # report.
+        rng = random.Random(seed)
+        protocol = random_tabular_protocol(rng)
+        space = protocol.label_space
+        count = rng.randrange(2, 5)
+        max_steps = 80
+        labelings, inputs, schedules = random_rows(rng, protocol, count)
+        plans = [
+            random_fault_plan(rng, protocol.topology, space, max_steps)
+            for _ in range(count)
+        ]
+        fused = BatchSimulator(protocol, inputs, kernel=kernel).run_batch_with_faults(
+            labelings, schedules, plans, max_steps=max_steps
+        )
+        with fuse_cap(1):
+            single = BatchSimulator(
+                protocol, inputs, kernel=kernel
+            ).run_batch_with_faults(
+                labelings, schedules, plans, max_steps=max_steps
+            )
+        for f, s in zip(fused, single):
+            assert_reports_equal(s, f, FAULT_FIELDS)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_finished_rows_leave_mid_window(self, kernel):
+        # A forwarding ring: the all-zeros labeling is stable immediately,
+        # a single token circulates forever, and intermediate labelings
+        # settle at different times — rows retire mid-window while others
+        # keep stepping.
+        n = 6
+        topology = unidirectional_ring(n)
+
+        def make(i):
+            def fn(incoming, x):
+                (value,) = incoming.values()
+                return value & x, value
+
+            return UniformReaction(topology.out_edges(i), fn)
+
+        protocol = StatelessProtocol(
+            topology, binary(), [make(i) for i in range(n)], name="and-ring"
+        )
+        rng = random.Random(13)
+        labelings = [
+            Labeling(topology, tuple(rng.randrange(2) for _ in range(n)))
+            for _ in range(8)
+        ]
+        inputs = [tuple(rng.randrange(2) for _ in range(n)) for _ in range(8)]
+        schedule = SynchronousSchedule(n)
+        simulator = BatchSimulator(protocol, inputs, kernel=kernel)
+        batch = simulator.run_batch(labelings, schedule, max_steps=100)
+        with fuse_cap(1):
+            single = BatchSimulator(
+                protocol, inputs, kernel=kernel
+            ).run_batch(labelings, schedule, max_steps=100)
+        settle_steps = set()
+        for b, (labeling, report) in enumerate(zip(labelings, batch)):
+            serial = Simulator(protocol, inputs[b]).run(
+                labeling, schedule, max_steps=100
+            )
+            assert_reports_equal(serial, report)
+            assert_reports_equal(serial, single[b])
+            settle_steps.add(report.steps_executed)
+        # The point of the test: rows genuinely finished at distinct times.
+        assert len(settle_steps) > 1
+
+
+# -- packed interner ----------------------------------------------------------
+
+
+class TestPackedInterner:
+    def test_packed_dtype_ladder(self):
+        assert packed_dtype(2) is np.uint8
+        assert packed_dtype(1 << 8) is np.uint8
+        assert packed_dtype((1 << 8) + 1) is np.uint16
+        assert packed_dtype(1 << 16) is np.uint16
+        assert packed_dtype((1 << 16) + 1) is np.uint32
+        assert packed_dtype((1 << 32) + 1) is np.int64
+        assert dtype_capacity(np.uint8) == 1 << 8
+        assert dtype_capacity(np.uint16) == 1 << 16
+
+    @pytest.mark.parametrize("dtype", [np.uint8, np.uint16, np.int64])
+    def test_bulk_encode_accepts_narrow_dtypes(self, dtype):
+        interner = LabelInterner(range(6))
+        rows = np.array([[0, 5, 2], [3, 1, 4]], dtype=dtype)
+        bulk = interner.bulk_encode(rows)
+        assert bulk is not None
+        # Emitted in the smallest dtype covering the interner, with no
+        # int64 round trip for already-narrow input.
+        assert bulk.dtype == np.uint8
+        for encoded, row in zip(bulk, rows):
+            assert interner.decode_values(encoded) == tuple(row.tolist())
+
+    def test_bulk_encode_explicit_dtype_and_u16_round_trip(self):
+        interner = LabelInterner(range(300))
+        rows = [[0, 299, 257], [256, 1, 2]]
+        bulk = interner.bulk_encode(rows)
+        assert bulk is not None
+        assert bulk.dtype == np.uint16
+        wide = interner.bulk_encode(rows, dtype=np.int64)
+        assert wide.dtype == np.int64
+        assert (bulk == wide).all()
+        assert interner.decode_values(bulk[0]) == (0, 299, 257)
+
+    def test_bulk_encode_never_interns_or_overflows(self):
+        interner = LabelInterner(range(4))
+        # Codes outside the interned population: refuse (never intern, never
+        # wrap into the packed dtype).
+        assert interner.bulk_encode([[0, 4]]) is None
+        assert interner.bulk_encode([[-1, 0]]) is None
+        assert interner.size == 4
+        # Non-identity interners take the per-element path.
+        assert LabelInterner(["a", "b"]).bulk_encode([[0, 1]]) is None
+        # Ragged or non-integer rows: ineligible, not an exception.
+        assert interner.bulk_encode([[0, 1], [2]]) is None
+        assert interner.bulk_encode([[0.5, 1.0]]) is None
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_mid_run_widening_never_overflows(self, kernel):
+        # A counter ring whose labels escape the declared 2-label space and
+        # keep growing: the interner crosses the u8 capacity mid-run, so the
+        # packed code arrays must widen (never wrap) to stay serial-equal.
+        n = 3
+        topology = unidirectional_ring(n)
+
+        def make(i):
+            def fn(incoming, x):
+                (value,) = incoming.values()
+                return value + 1, value
+
+            return UniformReaction(topology.out_edges(i), fn)
+
+        protocol = StatelessProtocol(
+            topology,
+            ExplicitLabelSpace((0, 1)),
+            [make(i) for i in range(n)],
+            name="counter-ring",
+        )
+        labelings = [
+            Labeling(topology, (0, 1, 0)),
+            Labeling(topology, (1, 1, 1)),
+        ]
+        schedule = SynchronousSchedule(n)
+        simulator = BatchSimulator(protocol, [(0,) * n] * 2, kernel=kernel)
+        batch = simulator.run_batch(labelings, schedule, max_steps=300)
+        for labeling, report in zip(labelings, batch):
+            serial = Simulator(protocol, (0,) * n).run(
+                labeling, schedule, max_steps=300
+            )
+            assert_reports_equal(serial, report)
+        # The run genuinely outgrew the u8 code range.
+        assert simulator._interner.size > dtype_capacity(np.uint8)
 
 
 # -- lift tiers and fallbacks ------------------------------------------------

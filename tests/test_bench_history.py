@@ -1,0 +1,105 @@
+"""The benchmark runner's record history (``benchmarks/_runner.py``).
+
+``BENCH_<name>.json`` keeps the latest run at the top level (what
+``check_regression.py`` gates on) and folds every superseded run into a
+``history`` list, newest last — re-recording a baseline must never discard
+the measurements it replaces.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def _load_runner():
+    spec = importlib.util.spec_from_file_location(
+        "bench_runner_under_test", BENCH_DIR / "_runner.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+_runner = _load_runner()
+
+
+def _record(value: float, recorded_at: str = "2026-01-01T00:00:00+0000"):
+    return {
+        "bench": "bench_x",
+        "recorded_at": recorded_at,
+        "entries": {"test_x": {"kernel_median_s": value}},
+    }
+
+
+class TestMergeHistory:
+    def test_first_record_has_empty_history(self, tmp_path):
+        out = tmp_path / "BENCH_bench_x.json"
+        merged = _runner.merge_history(out, _record(1.0))
+        assert merged["history"] == []
+
+    def test_previous_top_level_run_is_appended(self, tmp_path):
+        out = tmp_path / "BENCH_bench_x.json"
+        out.write_text(json.dumps(_record(1.0)))
+        merged = _runner.merge_history(out, _record(2.0))
+        assert len(merged["history"]) == 1
+        assert merged["history"][0]["entries"] == _record(1.0)["entries"]
+        assert merged["history"][0]["recorded_at"] == "2026-01-01T00:00:00+0000"
+        # The new run stays at the top level, untouched.
+        assert merged["entries"] == _record(2.0)["entries"]
+
+    def test_existing_history_is_carried_and_extended(self, tmp_path):
+        out = tmp_path / "BENCH_bench_x.json"
+        previous = _record(2.0, "2026-02-01T00:00:00+0000")
+        previous["history"] = [_record(1.0)]
+        out.write_text(json.dumps(previous))
+        merged = _runner.merge_history(out, _record(3.0))
+        values = [
+            item["entries"]["test_x"]["kernel_median_s"]
+            for item in merged["history"]
+        ]
+        assert values == [1.0, 2.0]
+
+    def test_migrated_seed_entry_is_not_duplicated(self, tmp_path):
+        # A migrated record already carries its own entries as the only
+        # history snapshot; folding it again must not duplicate the seed.
+        out = tmp_path / "BENCH_bench_x.json"
+        migrated = _record(1.0)
+        migrated["history"] = [{"entries": _record(1.0)["entries"]}]
+        out.write_text(json.dumps(migrated))
+        merged = _runner.merge_history(out, _record(2.0))
+        assert len(merged["history"]) == 1
+
+    def test_history_is_truncated_to_the_limit(self, tmp_path):
+        out = tmp_path / "BENCH_bench_x.json"
+        previous = _record(999.0)
+        previous["history"] = [
+            _record(float(i)) for i in range(_runner.HISTORY_LIMIT + 5)
+        ]
+        out.write_text(json.dumps(previous))
+        merged = _runner.merge_history(out, _record(1000.0))
+        assert len(merged["history"]) == _runner.HISTORY_LIMIT
+        # Newest kept: the previous top-level run is the last snapshot.
+        assert (
+            merged["history"][-1]["entries"]["test_x"]["kernel_median_s"]
+            == 999.0
+        )
+
+    def test_corrupt_previous_file_is_ignored(self, tmp_path):
+        out = tmp_path / "BENCH_bench_x.json"
+        out.write_text("{not json")
+        merged = _runner.merge_history(out, _record(1.0))
+        assert merged["history"] == []
+
+
+class TestCommittedRecords:
+    def test_every_committed_record_carries_history(self):
+        records = sorted(BENCH_DIR.glob("BENCH_*.json"))
+        assert records, "no committed benchmark records found"
+        for path in records:
+            data = json.loads(path.read_text())
+            assert data.get("entries"), path.name
+            assert isinstance(data.get("history"), list), path.name
