@@ -5,7 +5,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-stateless-computation",
-    version="0.4.0",
+    version="0.5.0",
     description=(
         "Reproduction of 'Stateless Computation'"
         " (Dolev, Erdmann, Lutz, Schapira, Zair; PODC 2017)"

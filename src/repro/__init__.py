@@ -45,7 +45,7 @@ from repro.core import (
 )
 from repro.graphs import Topology
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CompiledProtocol",

@@ -27,19 +27,15 @@ criterion is a parameter:
 
 from __future__ import annotations
 
-import functools
 from collections import Counter
 from collections.abc import Callable, Iterable
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.analysis.sweeps import (
     CaseResult,
     ScheduleFactory,
     SweepCase,
     SweepReport,
-    _coerce_case,
-    fan_out,
-    resolve_executor,
 )
 from repro.core.compiled import compile_protocol
 from repro.core.convergence import RunOutcome
@@ -60,6 +56,22 @@ RECOVERY_CRITERIA: dict[str, Callable[["FaultCaseResult"], bool]] = {
     "orbit": lambda result: result.outcome
     not in (RunOutcome.TIMEOUT, RunOutcome.SCHEDULE_EXHAUSTED),
 }
+
+
+def resolve_criterion(
+    recovered: str | Callable[["FaultCaseResult"], bool],
+) -> Callable[["FaultCaseResult"], bool]:
+    """Map a criterion name (or pass a predicate through) for recovery
+    judging; shared with the service executor."""
+    if callable(recovered):
+        return recovered
+    criterion = RECOVERY_CRITERIA.get(recovered)
+    if criterion is None:
+        raise ValidationError(
+            f"unknown recovery criterion {recovered!r};"
+            f" expected one of {sorted(RECOVERY_CRITERIA)} or a callable"
+        )
+    return criterion
 
 
 @dataclass(frozen=True)
@@ -260,48 +272,29 @@ def run_resilience_sweep(
     fault models fired via their batch hooks — reports equal to serial,
     case for case).  ``kernel`` (batch executor only) picks the batch
     compute kernel, as in :func:`run_sweep`.
+
+    Like :func:`run_sweep`, this is now a thin wrapper over the service
+    layer's planner/executor split
+    (:func:`repro.service.plan_resilience_sweep` +
+    :func:`repro.service.execute_plan`).
     """
-    runner = resolve_executor(executor, EXECUTORS)
-    if kernel is not None:
-        if executor != "batch":
-            raise ValidationError(
-                "kernel= selects a batch compute kernel;"
-                " it requires executor='batch'"
-            )
-        runner = functools.partial(runner, kernel=kernel)
-    if callable(recovered):
-        criterion = recovered
-    else:
-        criterion = RECOVERY_CRITERIA.get(recovered)
-        if criterion is None:
-            raise ValidationError(
-                f"unknown recovery criterion {recovered!r};"
-                f" expected one of {sorted(RECOVERY_CRITERIA)} or a callable"
-            )
+    # Lazy import — see run_sweep: only the compatibility wrapper reaches
+    # back up into the service layer.
+    from repro.service.executor import execute_plan, resolve_plan_runner
+    from repro.service.plan import plan_resilience_sweep
 
-    case_list = [_coerce_case(case) for case in cases]
-    if not case_list:
-        return ResilienceReport(results=())
-    per_case = [
-        (schedule_factory(i, case), fault_factory(i, case))
-        for i, case in enumerate(case_list)
-    ]
-
-    results = None
-    if processes is not None and processes > 1 and len(case_list) > 1:
-        results = fan_out(
-            runner,
-            protocol,
-            case_list,
-            per_case,
-            max_steps,
-            processes,
-            strict=strict,
-        )
-    if results is None:
-        results = runner(protocol, case_list, per_case, max_steps, 0)
-    return ResilienceReport(
-        results=tuple(
-            replace(result, recovered=criterion(result)) for result in results
-        )
+    # Validate executor/kernel/criterion before any factory runs, matching
+    # the one-shot runner's error order.
+    resolve_plan_runner("resilience", executor, kernel)
+    resolve_criterion(recovered)
+    plan = plan_resilience_sweep(
+        protocol, cases, schedule_factory, fault_factory, max_steps=max_steps
+    )
+    return execute_plan(
+        plan,
+        processes=processes,
+        strict=strict,
+        executor=executor,
+        kernel=kernel,
+        recovered=recovered,
     )

@@ -33,7 +33,6 @@ so callers never need to special-case the environment.
 
 from __future__ import annotations
 
-import functools
 import pickle
 import warnings
 from collections import Counter
@@ -99,6 +98,37 @@ class SweepReport:
 
     def __iter__(self):
         return iter(self.results)
+
+    def merge(self, other: "SweepReport") -> "SweepReport":
+        """This report plus another shard of the same sweep.
+
+        Results are keyed by case index and come back sorted, so merging is
+        associative and commutative: shard reports can be folded in any
+        order (the service layer's incremental aggregation merges shards as
+        they complete) and the result equals the one-shot report.  Both
+        operands must be the same report type over disjoint case indices.
+        """
+        if type(other) is not type(self):
+            raise ValidationError(
+                f"cannot merge {type(other).__name__} into"
+                f" {type(self).__name__}: shard reports must share a type"
+            )
+        if not other.results:
+            return self
+        if not self.results:
+            return other
+        overlap = {r.index for r in self.results} & {
+            r.index for r in other.results
+        }
+        if overlap:
+            raise ValidationError(
+                f"cannot merge overlapping shard reports: case indices"
+                f" {sorted(overlap)[:5]} appear in both"
+            )
+        merged = sorted(
+            self.results + other.results, key=lambda result: result.index
+        )
+        return type(self)(results=tuple(merged))
 
     @property
     def outcome_counts(self) -> dict[RunOutcome, int]:
@@ -301,34 +331,29 @@ def run_sweep(
     the batch compute kernel — ``"numpy"``, ``"numba"``, or ``"auto"``
     (:class:`repro.core.batch.BatchSimulator`); the reports are bit-identical
     either way.
-    """
-    runner = resolve_executor(executor)
-    if kernel is not None:
-        if executor != "batch":
-            raise ValidationError(
-                "kernel= selects a batch compute kernel;"
-                " it requires executor='batch'"
-            )
-        runner = functools.partial(runner, kernel=kernel)
-    case_list = [_coerce_case(case) for case in cases]
-    if not case_list:
-        return SweepReport(results=())
-    schedules = [schedule_factory(i, case) for i, case in enumerate(case_list)]
 
-    results = None
-    if processes is not None and processes > 1 and len(case_list) > 1:
-        results = fan_out(
-            runner,
-            protocol,
-            case_list,
-            schedules,
-            max_steps,
-            processes,
-            strict=strict,
-        )
-    if results is None:
-        results = runner(protocol, case_list, schedules, max_steps, 0)
-    return SweepReport(results=tuple(results))
+    Since the service layer landed, this is a thin wrapper over the
+    planner/executor split: :func:`repro.service.plan_sweep` materializes
+    the cases and schedules, :func:`repro.service.execute_plan` runs the
+    plan through the same runners as always.  Callers wanting caching,
+    sharded streaming, or job submission use those entry points directly.
+    """
+    # Imported lazily: the service layer sits above analysis in the stack,
+    # and only this compatibility wrapper reaches back down into it.
+    from repro.service.executor import execute_plan, resolve_plan_runner
+    from repro.service.plan import plan_sweep
+
+    # Validate executor/kernel before invoking any factory, as the one-shot
+    # runner always did.
+    resolve_plan_runner("sweep", executor, kernel)
+    plan = plan_sweep(protocol, cases, schedule_factory, max_steps=max_steps)
+    return execute_plan(
+        plan,
+        processes=processes,
+        strict=strict,
+        executor=executor,
+        kernel=kernel,
+    )
 
 
 def fan_out(runner, protocol, case_list, per_case, max_steps, processes, strict=False):

@@ -220,6 +220,10 @@ class RandomRFairSchedule(Schedule):
             raise ValidationError("activation probability must lie in [0, 1]")
         self.r = r
         self.p = p
+        #: Kept as plain data: the realized activation sets are a
+        #: deterministic function of (n, r, p, seed), which is what the
+        #: service layer's content-addressed cache fingerprints.
+        self.seed = seed
         self._rng = random.Random(seed)
         self._memo: list[frozenset[int]] = []
         self._countdown = [r] * n

@@ -19,3 +19,11 @@ class ConvergenceError(ReproError):
 
 class SearchBudgetExceeded(ReproError):
     """An exhaustive search exceeded its configured state budget."""
+
+
+class FingerprintError(ReproError):
+    """An object cannot be canonicalized into a stable cache fingerprint."""
+
+
+class JobError(ReproError):
+    """A sweep-service job failed, was cancelled, or does not exist."""

@@ -1,0 +1,78 @@
+"""repro.service — the sweep job service.
+
+The layer above :mod:`repro.analysis`: a planner/executor split with
+content-addressed result caching and a submit/stream/result job lifecycle.
+
+* :mod:`repro.service.plan` — :func:`plan_sweep` /
+  :func:`plan_resilience_sweep` build a :class:`SweepPlan` of picklable
+  :class:`CaseSpec`\\ s with deterministic fingerprints.
+* :mod:`repro.service.executor` — :func:`execute_plan` /
+  :func:`iter_shards` run plans (optionally sharded and cached), yielding
+  :class:`ShardProgress` aggregates that merge to exactly the one-shot
+  report.
+* :mod:`repro.service.cache` — :class:`InMemoryCache` /
+  :class:`SqliteCache` content-addressed stores with hit/miss counters.
+* :mod:`repro.service.fingerprint` — the canonicalization scheme behind
+  the cache keys (:func:`fingerprint`, :func:`canonical`,
+  :data:`ENGINE_VERSION`).
+* :mod:`repro.service.jobs` / :mod:`repro.service.client` —
+  :class:`SweepService` worker pool and the :class:`ServiceClient` /
+  :class:`JobHandle` front-end.  ``python -m repro.service`` is the CLI.
+
+The legacy one-shot entry points (:func:`repro.analysis.run_sweep`,
+:func:`repro.analysis.run_resilience_sweep`) are thin wrappers over this
+layer, so "plan then execute" and "run" are the same computation.
+"""
+
+from repro.service.cache import (
+    CacheStats,
+    InMemoryCache,
+    ResultCache,
+    SqliteCache,
+)
+from repro.service.client import JobHandle, ServiceClient
+from repro.service.executor import (
+    ShardProgress,
+    execute_plan,
+    iter_shards,
+    resolve_plan_runner,
+)
+from repro.service.fingerprint import (
+    ENGINE_VERSION,
+    canonical,
+    fingerprint,
+    register_fingerprint,
+)
+from repro.service.jobs import JobState, JobStatus, SweepService
+from repro.service.plan import (
+    PLAN_KINDS,
+    CaseSpec,
+    SweepPlan,
+    plan_resilience_sweep,
+    plan_sweep,
+)
+
+__all__ = [
+    "CacheStats",
+    "InMemoryCache",
+    "ResultCache",
+    "SqliteCache",
+    "JobHandle",
+    "ServiceClient",
+    "ShardProgress",
+    "execute_plan",
+    "iter_shards",
+    "resolve_plan_runner",
+    "ENGINE_VERSION",
+    "canonical",
+    "fingerprint",
+    "register_fingerprint",
+    "JobState",
+    "JobStatus",
+    "SweepService",
+    "PLAN_KINDS",
+    "CaseSpec",
+    "SweepPlan",
+    "plan_resilience_sweep",
+    "plan_sweep",
+]

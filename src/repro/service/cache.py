@@ -1,0 +1,185 @@
+"""Content-addressed result stores for the sweep service.
+
+A :class:`ResultCache` maps case fingerprints
+(:meth:`repro.service.plan.SweepPlan.case_fingerprint`) to condensed case
+results.  Because a fingerprint covers everything the result depends on —
+including the engine version salt — a hit can be served without looking at
+the case again, and re-submitting an identical sweep costs one lookup per
+case instead of one simulation.
+
+Values are stored in *normalized* form (``index=-1``, ``tag=None``; for
+resilience results additionally ``recovered=False``): the same physical
+case may appear at different positions, with different tags, or under
+different recovery criteria in different sweeps, and all of those variants
+share one entry.  The executor re-attaches position, tag, and criterion
+verdict on the way out.
+
+Two stores ship here:
+
+* :class:`InMemoryCache` — a dict behind a lock; the default for a
+  long-running service process.
+* :class:`SqliteCache` — one small sqlite database file, results pickled
+  into a blob column; survives restarts and is shared between processes on
+  one machine.  Pickle keeps label values exact (reports served from a warm
+  cache are equal to freshly computed ones, bit for bit), which a JSON
+  store could not guarantee for arbitrary label types.
+
+Both stores count hits and misses (:attr:`ResultCache.stats`); the service
+layer surfaces the counters in job records and shard progress.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sqlite3
+import threading
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters, plus the derived hit rate."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the store (0.0 when untouched)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def describe(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses},"
+            f" hit_rate={self.hit_rate:.2%})"
+        )
+
+
+class ResultCache(ABC):
+    """A content-addressed store of condensed case results."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    @abstractmethod
+    def _load(self, key: str):
+        """The stored value for ``key``, or ``None``."""
+
+    @abstractmethod
+    def _store(self, key: str, value) -> None:
+        """Persist ``value`` under ``key`` (overwriting is allowed)."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of stored entries."""
+
+    def get(self, key: str):
+        """The cached result for ``key`` (``None`` on miss), counting."""
+        with self._lock:
+            value = self._load(key)
+            if value is None:
+                self._misses += 1
+            else:
+                self._hits += 1
+            return value
+
+    def put(self, key: str, value) -> None:
+        with self._lock:
+            self._store(key, value)
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(hits=self._hits, misses=self._misses)
+
+    def close(self) -> None:
+        """Release any underlying resources (no-op by default)."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+
+class InMemoryCache(ResultCache):
+    """A plain in-process dict store."""
+
+    def __init__(self):
+        super().__init__()
+        self._entries: dict[str, object] = {}
+
+    def _load(self, key: str):
+        return self._entries.get(key)
+
+    def _store(self, key: str, value) -> None:
+        self._entries[key] = value
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"InMemoryCache(entries={len(self._entries)})"
+
+
+class SqliteCache(ResultCache):
+    """A one-file sqlite store with pickled result blobs.
+
+    ``path`` may be a filesystem path or ``":memory:"``.  The connection is
+    shared across threads behind the cache's lock (sqlite's own
+    same-thread check is disabled); writes commit immediately so a crashed
+    job loses at most the entry being written.
+    """
+
+    def __init__(self, path):
+        super().__init__()
+        self.path = str(path)
+        self._connection = sqlite3.connect(
+            self.path, check_same_thread=False
+        )
+        with self._connection:
+            self._connection.execute(
+                "CREATE TABLE IF NOT EXISTS results"
+                " (key TEXT PRIMARY KEY, value BLOB NOT NULL)"
+            )
+
+    def _load(self, key: str):
+        row = self._connection.execute(
+            "SELECT value FROM results WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            return None
+        return pickle.loads(row[0])
+
+    def _store(self, key: str, value) -> None:
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        with self._connection:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO results (key, value) VALUES (?, ?)",
+                (key, blob),
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            (count,) = self._connection.execute(
+                "SELECT COUNT(*) FROM results"
+            ).fetchone()
+            return count
+
+    def close(self) -> None:
+        with self._lock:
+            self._connection.close()
+
+    def __repr__(self) -> str:
+        return f"SqliteCache(path={self.path!r})"

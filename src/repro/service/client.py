@@ -1,0 +1,120 @@
+"""Programmatic front-end for the sweep service.
+
+:class:`ServiceClient` is the convenience layer over
+:class:`~repro.service.jobs.SweepService`: it plans and submits in one call
+and hands back a :class:`JobHandle` — a small object bound to one job id
+with ``status`` / ``stream`` / ``result`` / ``cancel`` methods, so call
+sites hold a handle instead of threading job ids through their code.
+
+A client can own its service (default: a fresh single-worker
+:class:`SweepService` with an in-memory cache, shut down when the client
+closes) or wrap one that is shared across clients (``ServiceClient(service)``
+— the caller keeps ownership).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.resilience import FaultFactory, ResilienceReport
+from repro.analysis.sweeps import ScheduleFactory, SweepCase, SweepReport
+from repro.core.engine import DEFAULT_MAX_STEPS
+from repro.core.protocol import Protocol
+from repro.service.executor import ShardProgress
+from repro.service.jobs import JobStatus, SweepService
+from repro.service.plan import SweepPlan, plan_resilience_sweep, plan_sweep
+
+
+class JobHandle:
+    """One submitted job, as seen by the caller."""
+
+    def __init__(self, service: SweepService, job_id: str):
+        self.service = service
+        self.job_id = job_id
+
+    def status(self) -> JobStatus:
+        return self.service.status(self.job_id)
+
+    def stream(self) -> Iterator[ShardProgress]:
+        """Live shard progress; see :meth:`SweepService.stream`."""
+        return self.service.stream(self.job_id)
+
+    def result(self, timeout: float | None = None) -> SweepReport:
+        """Block until done and return the aggregated report."""
+        return self.service.result(self.job_id, timeout=timeout)
+
+    def cancel(self) -> bool:
+        return self.service.cancel(self.job_id)
+
+    def __repr__(self) -> str:
+        return f"JobHandle({self.job_id!r})"
+
+
+class ServiceClient:
+    """Plan-and-submit convenience wrapper around a :class:`SweepService`."""
+
+    def __init__(self, service: SweepService | None = None, **service_options):
+        if service is not None and service_options:
+            raise TypeError(
+                "pass either an existing service or options for a new one"
+            )
+        self._owned = service is None
+        self.service = SweepService(**service_options) if self._owned else service
+
+    def submit_plan(self, plan: SweepPlan, **options) -> JobHandle:
+        """Submit an already-built plan; options as in
+        :meth:`SweepService.submit`."""
+        return JobHandle(self.service, self.service.submit(plan, **options))
+
+    def submit_sweep(
+        self,
+        protocol: Protocol,
+        cases: Iterable[SweepCase | tuple],
+        schedule_factory: ScheduleFactory,
+        *,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        **options,
+    ) -> JobHandle:
+        """Plan a sweep (factories run here, in the caller) and submit it."""
+        plan = plan_sweep(protocol, cases, schedule_factory, max_steps=max_steps)
+        return self.submit_plan(plan, **options)
+
+    def submit_resilience_sweep(
+        self,
+        protocol: Protocol,
+        cases: Iterable[SweepCase | tuple],
+        schedule_factory: ScheduleFactory,
+        fault_factory: FaultFactory,
+        *,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        **options,
+    ) -> JobHandle:
+        """Plan a resilience sweep and submit it."""
+        plan = plan_resilience_sweep(
+            protocol,
+            cases,
+            schedule_factory,
+            fault_factory,
+            max_steps=max_steps,
+        )
+        return self.submit_plan(plan, **options)
+
+    def run_sweep(self, *args, **kwargs) -> SweepReport:
+        """Submit a sweep and block for its report (cache-aware one-shot)."""
+        return self.submit_sweep(*args, **kwargs).result()
+
+    def run_resilience_sweep(self, *args, **kwargs) -> ResilienceReport:
+        """Submit a resilience sweep and block for its report."""
+        return self.submit_resilience_sweep(*args, **kwargs).result()
+
+    def close(self) -> None:
+        """Shut down the service if this client owns it."""
+        if self._owned:
+            self.service.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False

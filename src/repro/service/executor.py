@@ -1,0 +1,270 @@
+"""Plan execution: run a :class:`~repro.service.plan.SweepPlan`.
+
+The executor half of the planner/executor split.  It consumes plans and
+produces exactly the reports the one-shot runners produce — the legacy
+entry points (:func:`repro.analysis.sweeps.run_sweep`,
+:func:`repro.analysis.resilience.run_resilience_sweep`) are thin wrappers
+over :func:`plan_sweep` + :func:`execute_plan`, so "plan then execute" and
+"run" are the same computation by construction.
+
+On top of the one-shot behavior the executor adds the two service
+capabilities:
+
+* **Content-addressed caching.**  With a ``cache``
+  (:mod:`repro.service.cache`), every case is first looked up by its
+  fingerprint; only misses are simulated (through the ordinary serial or
+  batch runners, with the usual ``processes`` fan-out), and their results
+  are stored for next time.  Hits are re-attached to their position/tag (and
+  for resilience sweeps re-judged under the sweep's recovery criterion), so
+  a fully warm execution returns a report equal to a cold one, bit for bit.
+  Fingerprints are only computed when a cache is present — cacheless
+  execution pays nothing for the machinery.
+* **Incremental aggregation.**  :func:`iter_shards` splits the plan into
+  contiguous shards and yields a :class:`ShardProgress` as each completes:
+  the shard's own results, the running merged report
+  (:meth:`SweepReport.merge`), and cumulative cache counters.  Consumers
+  see aggregates grow instead of blocking on the full sweep; the final
+  aggregate equals the one-shot report exactly.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections.abc import Iterator
+from dataclasses import dataclass, replace
+
+from repro.analysis import resilience as _resilience
+from repro.analysis import sweeps as _sweeps
+from repro.analysis.resilience import ResilienceReport, resolve_criterion
+from repro.analysis.sweeps import SweepReport, fan_out, resolve_executor
+from repro.exceptions import ValidationError
+from repro.service.cache import ResultCache
+from repro.service.plan import CaseSpec, SweepPlan
+
+
+def resolve_plan_runner(kind: str, executor: str, kernel: str | None):
+    """The case-runner callable for a plan kind / executor / kernel triple.
+
+    Validation (and the error messages) match the legacy one-shot entry
+    points, which call this before touching cases or factories.
+    """
+    if kind == "sweep":
+        table = _sweeps.EXECUTORS
+    elif kind == "resilience":
+        table = _resilience.EXECUTORS
+    else:
+        raise ValidationError(
+            f"unknown plan kind {kind!r}; expected 'sweep' or 'resilience'"
+        )
+    runner = resolve_executor(executor, table)
+    if kernel is not None:
+        if executor != "batch":
+            raise ValidationError(
+                "kernel= selects a batch compute kernel;"
+                " it requires executor='batch'"
+            )
+        runner = functools.partial(runner, kernel=kernel)
+    return runner
+
+
+@dataclass(frozen=True)
+class ShardProgress:
+    """One completed shard of a plan execution.
+
+    ``results`` holds just this shard's condensed case results (in case
+    order); ``aggregate`` is the merge of every shard completed so far, so
+    the last progress item's aggregate is the full report.  The cache
+    counters are cumulative over this execution (zero when no cache was
+    given).
+    """
+
+    shard: int
+    total_shards: int
+    results: tuple
+    aggregate: SweepReport | ResilienceReport
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def done(self) -> bool:
+        return self.shard + 1 == self.total_shards
+
+    def describe(self) -> str:
+        return (
+            f"shard {self.shard + 1}/{self.total_shards}:"
+            f" +{len(self.results)} cases"
+            f" -> {len(self.aggregate)} aggregated"
+            f" (cache {self.cache_hits} hits / {self.cache_misses} misses)"
+        )
+
+
+def _normalize_for_cache(result):
+    """Strip position, tag, and criterion verdict before storing.
+
+    The same physical case may appear at another index, with another tag,
+    or under another recovery criterion in a later sweep; the stored entry
+    must serve all of them.
+    """
+    updates = {"index": -1, "tag": None}
+    if isinstance(result, _resilience.FaultCaseResult):
+        updates["recovered"] = False
+    return replace(result, **updates)
+
+
+def _run_specs(plan, specs, runner, processes, strict):
+    """Simulate a list of specs through the plan's runner.
+
+    Results come back in spec order with each result's ``index`` taken from
+    its spec (the runner numbers a slice contiguously from a start index,
+    which only matches when the specs are contiguous — cache-miss lists are
+    not, so indices are always re-attached here).
+    """
+    if not specs:
+        return []
+    cases = [spec.case for spec in specs]
+    per_case = [spec.work_item() for spec in specs]
+    results = None
+    if processes is not None and processes > 1 and len(specs) > 1:
+        results = fan_out(
+            runner,
+            plan.protocol,
+            cases,
+            per_case,
+            plan.max_steps,
+            processes,
+            strict=strict,
+        )
+    if results is None:
+        results = runner(plan.protocol, cases, per_case, plan.max_steps, 0)
+    return [
+        result if result.index == spec.index else replace(result, index=spec.index)
+        for spec, result in zip(specs, results)
+    ]
+
+
+def _execute_specs(plan, specs, runner, cache, processes, strict):
+    """One shard: cache lookups, simulate the misses, fill the store.
+
+    Returns ``(results, hits, misses)`` with results in spec order.
+    """
+    if cache is None:
+        return _run_specs(plan, specs, runner, processes, strict), 0, 0
+
+    by_index: dict[int, object] = {}
+    missing: list[tuple[CaseSpec, str]] = []
+    hits = 0
+    for spec in specs:
+        key = plan.case_fingerprint(spec)
+        value = cache.get(key)
+        if value is None:
+            missing.append((spec, key))
+        else:
+            hits += 1
+            by_index[spec.index] = replace(
+                value, index=spec.index, tag=spec.case.tag
+            )
+    if missing:
+        computed = _run_specs(
+            plan, [spec for spec, _ in missing], runner, processes, strict
+        )
+        for (spec, key), result in zip(missing, computed):
+            cache.put(key, _normalize_for_cache(result))
+            by_index[spec.index] = result
+    return [by_index[spec.index] for spec in specs], hits, len(missing)
+
+
+def _shard_bounds(total: int, shard_size: int | None) -> list[tuple[int, int]]:
+    if shard_size is None or shard_size >= total:
+        return [(0, total)] if total else []
+    if shard_size < 1:
+        raise ValidationError("shard_size must be >= 1")
+    return [
+        (lo, min(lo + shard_size, total)) for lo in range(0, total, shard_size)
+    ]
+
+
+def iter_shards(
+    plan: SweepPlan,
+    *,
+    cache: ResultCache | None = None,
+    shard_size: int | None = None,
+    processes: int | None = None,
+    strict: bool = False,
+    executor: str = "serial",
+    kernel: str | None = None,
+    recovered=None,
+) -> Iterator[ShardProgress]:
+    """Execute a plan shard by shard, yielding progress as each completes.
+
+    ``recovered`` names (or is) the recovery criterion for resilience plans
+    (default ``"label"``, as in the one-shot runner); it is rejected for
+    plain sweep plans.  Empty plans yield nothing — callers wanting a
+    report either way use :func:`execute_plan`.
+    """
+    runner = resolve_plan_runner(plan.kind, executor, kernel)
+    if plan.kind == "resilience":
+        criterion = resolve_criterion("label" if recovered is None else recovered)
+    else:
+        if recovered is not None:
+            raise ValidationError(
+                "recovered= is a resilience criterion; this is a plain"
+                " sweep plan"
+            )
+        criterion = None
+
+    bounds = _shard_bounds(len(plan.specs), shard_size)
+    aggregate = plan.empty_report()
+    hits = misses = 0
+    for shard, (lo, hi) in enumerate(bounds):
+        results, shard_hits, shard_misses = _execute_specs(
+            plan, plan.specs[lo:hi], runner, cache, processes, strict
+        )
+        hits += shard_hits
+        misses += shard_misses
+        if criterion is not None:
+            results = [
+                replace(result, recovered=criterion(result))
+                for result in results
+            ]
+        shard_report = type(aggregate)(results=tuple(results))
+        aggregate = aggregate.merge(shard_report)
+        yield ShardProgress(
+            shard=shard,
+            total_shards=len(bounds),
+            results=tuple(results),
+            aggregate=aggregate,
+            cache_hits=hits,
+            cache_misses=misses,
+        )
+
+
+def execute_plan(
+    plan: SweepPlan,
+    *,
+    cache: ResultCache | None = None,
+    shard_size: int | None = None,
+    processes: int | None = None,
+    strict: bool = False,
+    executor: str = "serial",
+    kernel: str | None = None,
+    recovered=None,
+) -> SweepReport | ResilienceReport:
+    """Execute a plan to completion and return the aggregated report.
+
+    With the defaults (no cache, one shard) this is exactly the legacy
+    one-shot runner on the plan's cases — same runners, same fan-out, same
+    warnings, same report.
+    """
+    report = plan.empty_report()
+    for progress in iter_shards(
+        plan,
+        cache=cache,
+        shard_size=shard_size,
+        processes=processes,
+        strict=strict,
+        executor=executor,
+        kernel=kernel,
+        recovered=recovered,
+    ):
+        report = progress.aggregate
+    return report

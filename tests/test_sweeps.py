@@ -3,6 +3,8 @@
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.analysis import SweepCase, SweepReport, run_sweep
 from repro.core import (
@@ -284,3 +286,76 @@ class TestFanOutDiagnostics:
                 processes=2,
                 strict=True,
             )
+
+
+class TestSweepReportMerge:
+    """The merge satellite: shard reports fold back to the one-shot report."""
+
+    def _report(self, count=12):
+        protocol = or_clique_protocol(clique(4))
+        cases = [
+            SweepCase((0,) * 4, random_bit_labeling(protocol.topology, seed=s))
+            for s in range(count)
+        ]
+        return run_sweep(protocol, cases, _sync_factory)
+
+    def test_merge_two_halves_equals_one_shot(self):
+        report = self._report()
+        lo = SweepReport(results=report.results[:5])
+        hi = SweepReport(results=report.results[5:])
+        assert lo.merge(hi) == report
+        assert hi.merge(lo) == report  # commutative
+
+    def test_empty_shards_are_identity(self):
+        report = self._report(4)
+        empty = SweepReport(results=())
+        assert empty.merge(report) == report
+        assert report.merge(empty) == report
+        assert empty.merge(empty) == empty
+
+    def test_overlapping_shards_are_rejected(self):
+        report = self._report(4)
+        lo = SweepReport(results=report.results[:3])
+        hi = SweepReport(results=report.results[2:])
+        with pytest.raises(ValidationError, match="overlapping shard"):
+            lo.merge(hi)
+
+    def test_type_mismatch_is_rejected(self):
+        from repro.analysis import ResilienceReport
+
+        report = self._report(2)
+        with pytest.raises(ValidationError, match="share a type"):
+            report.merge(ResilienceReport(results=()))
+        # And the other way round: a plain shard cannot join a resilience
+        # aggregate (a FaultCaseResult-less report would break its stats).
+        with pytest.raises(ValidationError, match="share a type"):
+            ResilienceReport(results=()).merge(report)
+
+    @given(
+        partition=st.lists(
+            st.integers(min_value=0, max_value=3), min_size=12, max_size=12
+        ),
+        order=st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_any_partition_any_order_merges_to_one_shot(self, partition, order):
+        """Property: split the sweep into up to 4 shards by an arbitrary
+        assignment, fold them in an arbitrary order — always the one-shot
+        report.  (Associativity + commutativity + identity in one shape.)"""
+        report = self._report()
+        shards = [
+            SweepReport(
+                results=tuple(
+                    result
+                    for result, bucket in zip(report.results, partition)
+                    if bucket == which
+                )
+            )
+            for which in range(4)
+        ]
+        order.shuffle(shards)
+        merged = shards[0]
+        for shard in shards[1:]:
+            merged = merged.merge(shard)
+        assert merged == report
+        assert [r.index for r in merged.results] == list(range(12))
