@@ -13,7 +13,12 @@ run is appended to a ``history`` list, newest last, so re-recording a
 baseline never discards the measurements it replaces.
 
 A module may set ``BENCH_STEPS`` (engine steps executed per kernel call) to
-get a derived ``steps_per_s`` figure in its JSON.
+get a derived ``steps_per_s`` figure in its JSON.  A bench may attach
+arbitrary numeric facts to its record via ``benchmark.extra["field"] = v``
+(merged into the entry), and declare hard acceptance gates via a module
+level ``BENCH_GATES = {entry_name: {"max_kernel_median_s": ..., "min":
+{field: floor}}}`` — gates are copied into the record so
+``check_regression.py`` enforces them on every run, not just this one.
 
 Usage:
     python benchmarks/_runner.py                  # run every bench
@@ -67,6 +72,9 @@ class TimingBenchmark:
     def __init__(self, repeats: int = 5):
         self.repeats = repeats
         self.times: list[float] = []
+        #: Extra numeric facts the bench wants in its JSON entry
+        #: (e.g. ``quotient_reduction_factor``); merged by the runner.
+        self.extra: dict = {}
 
     def __call__(self, fn, *args, **kwargs):
         result = None
@@ -110,6 +118,7 @@ def bench_entry_points(module):
 def run_bench_file(path: Path, repeats: int) -> dict:
     module = load_bench_module(path)
     steps_per_call = getattr(module, "BENCH_STEPS", None)
+    gates = getattr(module, "BENCH_GATES", None)
     entries = {}
     for name, fn in bench_entry_points(module):
         fixture = TimingBenchmark(repeats=repeats)
@@ -123,12 +132,16 @@ def run_bench_file(path: Path, repeats: int) -> dict:
         }
         if steps_per_call and fixture.median:
             entry["steps_per_s"] = steps_per_call / fixture.median
+        entry.update(fixture.extra)
         entries[name] = entry
-    return {
+    record = {
         "bench": path.stem,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "entries": entries,
     }
+    if gates:
+        record["gates"] = gates
+    return record
 
 
 #: Oldest history snapshots are dropped past this many (newest kept).

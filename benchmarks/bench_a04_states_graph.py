@@ -157,6 +157,12 @@ def test_a04_states_graph_construction(benchmark):
         f"exploration core only {speedup:.2f}x the seed states-graph "
         f"({core_rate:,.0f} vs {seed_rate:,.0f} states/s)"
     )
+    stats = core_graph.stats()
+    benchmark.extra["states"] = stats.states
+    benchmark.extra["edges"] = stats.edges
+    benchmark.extra["transition_cache_hits"] = stats.transition_cache_hits
+    benchmark.extra["transition_cache_misses"] = stats.transition_cache_misses
+    benchmark.extra["peak_frontier"] = stats.peak_frontier
     benchmark(core_kernel)
 
 
@@ -188,4 +194,10 @@ def test_a04_capacity_headroom(benchmark):
             ]
         ],
     )
+    stats = graph.stats()
+    benchmark.extra["states"] = stats.states
+    benchmark.extra["edges"] = stats.edges
+    benchmark.extra["transition_cache_hits"] = stats.transition_cache_hits
+    benchmark.extra["transition_cache_misses"] = stats.transition_cache_misses
+    benchmark.extra["peak_frontier"] = stats.peak_frontier
     benchmark(capacity_kernel)

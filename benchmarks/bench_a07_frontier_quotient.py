@@ -1,0 +1,134 @@
+"""A7 — frontier-parallel exploration with symmetry quotient: K_7 capacity.
+
+Acceptance gate for the quotiented exploration core
+(:mod:`repro.stabilization.exploration` with ``symmetry="auto"`` plus the
+level-synchronous batch frontier): the Example-1 **K_7 / r=4** states-graph
+— 132,701 concrete (labeling, countdown) states, ~13s of concrete BFS on
+the gating hardware class — must materialize as a symmetry quotient in
+**under 10 seconds**, with the quotient covering at least **10x** more
+concrete states than it stores (measured: ~475 stored states covering all
+132,701, a ~280x reduction, in ~2.3s).
+
+Both bounds ship as hard gates in the JSON record (``gates``), so
+``check_regression.py`` re-enforces them on every subsequent run rather
+than only on the PR that introduced them.  The second entry pins the
+correctness anchor this speed rests on: on K_4, where the concrete graph is
+still enumerable, the quotient's claimed coverage equals the concrete state
+count exactly.
+"""
+
+from _runner import median_time
+
+from repro.analysis import print_table
+from repro.core import default_inputs
+from repro.stabilization import (
+    StatesGraph,
+    broadcast_labelings,
+    example1_protocol,
+)
+
+GATE_N, GATE_R = 7, 4
+GATE_SECONDS = 10.0
+GATE_REDUCTION = 10.0
+ANCHOR_N, ANCHOR_R = 4, 3
+REPEATS = 3
+
+BENCH_GATES = {
+    "test_a07_k7_quotient_construction": {
+        "max_kernel_median_s": GATE_SECONDS,
+        "min": {"quotient_reduction_factor": GATE_REDUCTION},
+    },
+}
+
+
+def test_a07_k7_quotient_construction(benchmark):
+    protocol = example1_protocol(GATE_N)
+    inputs = default_inputs(protocol)
+    initials = list(broadcast_labelings(protocol.topology, protocol.label_space))
+
+    def quotient_kernel():
+        return StatesGraph(
+            protocol, inputs, GATE_R, initials, symmetry="auto"
+        )
+
+    median, graph = median_time(quotient_kernel, REPEATS)
+    stats = graph.stats()
+    assert stats.symmetry_order == 5040  # S_7 verified equivariant
+
+    print_table(
+        f"A7: quotient states-graph — Example-1 K_{GATE_N}, r={GATE_R} "
+        f"(median of {REPEATS})",
+        [
+            "stored states",
+            "covered states",
+            "reduction",
+            "edges",
+            "s / construction",
+            "covered states/s",
+        ],
+        [
+            [
+                f"{stats.states:,}",
+                f"{stats.covered_states:,}",
+                f"{stats.reduction_factor:,.1f}x",
+                f"{stats.edges:,}",
+                f"{median:.2f}",
+                f"{stats.covered_states / median:,.0f}",
+            ]
+        ],
+    )
+
+    assert median < GATE_SECONDS, (
+        f"K_{GATE_N}/r={GATE_R} quotient took {median:.2f}s"
+        f" (gate: {GATE_SECONDS}s)"
+    )
+    assert stats.reduction_factor >= GATE_REDUCTION, (
+        f"quotient only {stats.reduction_factor:.1f}x smaller than its"
+        f" concrete coverage (gate: {GATE_REDUCTION}x)"
+    )
+
+    benchmark.extra["states"] = stats.states
+    benchmark.extra["covered_states"] = stats.covered_states
+    benchmark.extra["quotient_reduction_factor"] = stats.reduction_factor
+    benchmark.extra["symmetry_order"] = stats.symmetry_order
+    benchmark.extra["edges"] = stats.edges
+    benchmark(quotient_kernel)
+
+
+def test_a07_quotient_coverage_anchor(benchmark):
+    """K_4: quotient coverage must equal the enumerable concrete count."""
+    protocol = example1_protocol(ANCHOR_N)
+    inputs = default_inputs(protocol)
+    initials = list(broadcast_labelings(protocol.topology, protocol.label_space))
+
+    concrete = StatesGraph(protocol, inputs, ANCHOR_R, initials)
+
+    def anchor_kernel():
+        return StatesGraph(
+            protocol, inputs, ANCHOR_R, initials, symmetry="auto"
+        )
+
+    graph = anchor_kernel()
+    stats = graph.stats()
+    assert stats.covered_states == len(concrete), (
+        f"quotient claims {stats.covered_states} covered states,"
+        f" concrete graph has {len(concrete)}"
+    )
+
+    print_table(
+        f"A7: coverage anchor — Example-1 K_{ANCHOR_N}, r={ANCHOR_R}",
+        ["concrete states", "quotient states", "covered", "reduction"],
+        [
+            [
+                f"{len(concrete):,}",
+                f"{stats.states:,}",
+                f"{stats.covered_states:,}",
+                f"{stats.reduction_factor:,.1f}x",
+            ]
+        ],
+    )
+
+    benchmark.extra["states"] = stats.states
+    benchmark.extra["covered_states"] = stats.covered_states
+    benchmark.extra["quotient_reduction_factor"] = stats.reduction_factor
+    benchmark(anchor_kernel)

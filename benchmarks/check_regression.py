@@ -10,6 +10,13 @@ run after a partial benchmark smoke.
 The throughput metric is ``steps_per_s`` when both versions carry it,
 otherwise ``1 / kernel_median_s``.
 
+Records may also carry hard acceptance ``gates`` (declared by the bench
+module via ``BENCH_GATES`` and copied into the JSON by the runner):
+absolute ceilings on ``kernel_median_s`` and floors on arbitrary entry
+fields.  Unlike the relative regression check, gates fail regardless of
+what the committed baseline says — they encode the acceptance criteria a
+feature shipped under.
+
 Absolute throughput is machine-dependent, so the committed baselines must
 come from the hardware class that runs the gate.  If the gate reds out on
 every push with no performance-relevant diff, re-record the baselines on the
@@ -97,6 +104,31 @@ def compare(fresh: dict, committed: dict, threshold: float) -> list[tuple]:
     return rows
 
 
+def gate_failures(record: dict) -> list[str]:
+    """Hard-gate violations in a fresh record (empty when all gates hold)."""
+    failures = []
+    for name, gate in (record.get("gates") or {}).items():
+        entry = record.get("entries", {}).get(name)
+        if entry is None:
+            failures.append(f"{name}: gated entry missing from record")
+            continue
+        ceiling = gate.get("max_kernel_median_s")
+        if ceiling is not None:
+            value = entry.get("kernel_median_s")
+            if value is None or float(value) > float(ceiling):
+                failures.append(
+                    f"{name}: kernel_median_s {value} exceeds gate"
+                    f" ceiling {ceiling}s"
+                )
+        for field, floor in (gate.get("min") or {}).items():
+            value = entry.get(field)
+            if value is None or float(value) < float(floor):
+                failures.append(
+                    f"{name}: {field} {value} below gate floor {floor}"
+                )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -131,6 +163,10 @@ def main(argv: list[str] | None = None) -> int:
     failures = []
     for path in records:
         fresh = json.loads(path.read_text())
+        for violation in gate_failures(fresh):
+            line = f"{path.name} :: {violation} GATE FAILED"
+            print(line)
+            failures.append(line)
         committed = committed_record(path, args.baseline)
         if committed is None:
             print(f"{path.name}: no committed baseline (new record) — ok")
@@ -153,14 +189,14 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"\n{len(failures)} benchmark entr"
             f"{'y' if len(failures) == 1 else 'ies'} regressed more than"
-            f" {args.threshold:.0%}:"
+            f" {args.threshold:.0%} or failed a hard gate:"
         )
         for line in failures:
             print(f"  {line}")
         return 1
     print(
         f"\nall benchmark records within {args.threshold:.0%}"
-        f" of {args.baseline}"
+        f" of {args.baseline} and within their hard gates"
     )
     return 0
 

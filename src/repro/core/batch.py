@@ -849,6 +849,40 @@ class BatchSimulator:
             )
         return new_sub, new_osub
 
+    def step_codes(self, codes, ocodes, active):
+        """One shared-activation-set transition over arbitrary code rows.
+
+        The frontier-expansion entry point for the exploration core: every
+        row of ``codes`` (shape ``(L, m)``, any row count — independent of
+        the simulator's ``batch_size``) is stepped once with the *same*
+        activation set ``active``, against the batch's (uniform) input
+        vector.  ``ocodes`` is the matching ``(L, n)`` output-code array
+        (pass zeros when outputs are untracked; code 0 of a fresh
+        per-node output interner decodes to whatever that node emitted
+        first, which the caller then ignores).
+
+        Returns the post-step ``(codes, outputs)`` arrays; dtypes may be
+        wider than the inputs' when a fallback reaction interned labels
+        past the packed range (packed codes never wrap).
+        """
+        if not self._uniform_inputs:
+            raise ValidationError(
+                "step_codes requires a batch built over one shared"
+                " input vector"
+            )
+        n = self._batch.n
+        codes = np.ascontiguousarray(codes)
+        ocodes = np.ascontiguousarray(ocodes)
+        if codes.ndim != 2 or codes.shape[1] != self._batch.m:
+            raise ValidationError(
+                f"step_codes expects (rows, {self._batch.m}) label codes"
+            )
+        mask_row = np.zeros(n, dtype=bool)
+        mask_row[list(active)] = True
+        mask = np.broadcast_to(mask_row, codes.shape[:1] + (n,))
+        live_slots = np.zeros(codes.shape[0], dtype=np.intp)
+        return self._step_rows(codes, ocodes, mask, live_slots)
+
     def _apply_fallback(self, sub, new_sub, new_osub, mask, live_slots):
         """Per-row Python apply for the non-lifted nodes.
 

@@ -46,6 +46,7 @@ from repro.exceptions import ValidationError
 from repro.stabilization.exploration import (
     DEFAULT_STATE_BUDGET,
     ExplorationGraph,
+    ExplorationStats,
     valid_activation_sets,
 )
 
@@ -176,6 +177,7 @@ class WorstCaseDelay:
     loop: tuple[frozenset[int], ...]
     states_explored: int
     n: int
+    stats: ExplorationStats | None = None
 
     @property
     def bounded(self) -> bool:
@@ -197,6 +199,9 @@ def exhaustive_worst_case_delay(
     initial_labeling: Labeling,
     r: int,
     budget: int = DEFAULT_STATE_BUDGET,
+    symmetry="none",
+    frontier: str = "auto",
+    spill_dir=None,
 ) -> WorstCaseDelay:
     """Exact worst-case delay via the Theorem 3.1 states-graph.
 
@@ -206,15 +211,33 @@ def exhaustive_worst_case_delay(
     than the best successor's; a reachable cycle of non-stable states makes
     the delay unbounded.  Exact, but exponential — paper-sized systems only
     (``budget`` guards the graph size).
+
+    With ``symmetry="auto"`` the search runs on the symmetry quotient:
+    stability is orbit-invariant and every concrete path corresponds to a
+    quotient path of the same length (and vice versa), so the delay is
+    unchanged while the graph is up to ``|G|`` times smaller.  Witness
+    schedules are lifted back to concrete activation sets before return.
     """
     inputs = tuple(inputs)
     graph = ExplorationGraph(
-        protocol, inputs, r, [initial_labeling], budget=budget, name="states-graph"
+        protocol,
+        inputs,
+        r,
+        [initial_labeling],
+        budget=budget,
+        name="states-graph",
+        symmetry=symmetry,
+        frontier=frontier,
+        spill_dir=spill_dir,
     )
     compiled = graph.compiled
+    edge_offsets = graph.edge_offsets
+    edge_dst = graph.edge_dst
+    edge_sid = graph.edge_sid
+    edge_gid = graph.edge_gid if graph.quotient else None
 
-    # Stability is a property of the labeling alone, so cache it per
-    # interned labeling id rather than per state.
+    # Stability is a property of the labeling alone (and orbit-invariant on
+    # quotient graphs), so cache it per interned labeling id, not per state.
     stable_cache: dict[int, bool] = {}
 
     def stable(k: int) -> bool:
@@ -235,15 +258,19 @@ def exhaustive_worst_case_delay(
 
     (root,) = graph.initial_indices
     if color[root] != BLACK:
-        # Iterative DFS with per-frame running max; an edge into a GRAY
-        # state is a reachable non-stable cycle => unbounded (infinity).
-        frames = [(root, iter(graph.successors[root]))]
+        # Iterative DFS with per-frame running max over the packed edge
+        # arrays; an edge into a GRAY state is a reachable non-stable
+        # cycle => unbounded (infinity).
+        frames = [(root, edge_offsets[root])]
         color[root] = GRAY
         running = {root: 0.0}
         while frames:
-            k, successors = frames[-1]
+            k, pointer = frames[-1]
             advanced = False
-            for (j, _action) in successors:
+            end = edge_offsets[k + 1]
+            while pointer < end:
+                j = edge_dst[pointer]
+                pointer += 1
                 if color[j] == GRAY:
                     running[k] = math.inf
                 elif color[j] == BLACK:
@@ -251,21 +278,27 @@ def exhaustive_worst_case_delay(
                 else:
                     color[j] = GRAY
                     running[j] = 0.0
-                    frames.append((j, iter(graph.successors[j])))
+                    frames[-1] = (k, pointer)
+                    frames.append((j, edge_offsets[j]))
                     advanced = True
                     break
-            if not advanced:
-                best[k] = 1.0 + running.pop(k)
-                color[k] = BLACK
-                frames.pop()
-                if frames:
-                    # Fold the finished child into its DFS parent: the
-                    # parent's iterator already consumed this successor
-                    # before pushing it.
-                    parent = frames[-1][0]
-                    running[parent] = max(running[parent], best[k])
+            if advanced:
+                continue
+            best[k] = 1.0 + running.pop(k)
+            color[k] = BLACK
+            frames.pop()
+            if frames:
+                # Fold the finished child into its DFS parent: the
+                # parent's pointer already consumed this successor
+                # before pushing it.
+                parent = frames[-1][0]
+                running[parent] = max(running[parent], best[k])
 
-    # Walk a witness by following argmax successors from the root.
+    # Walk a witness by following argmax successors from the root,
+    # collecting edge indices so quotient walks can be lifted afterwards.
+    def edge_pair(e: int) -> tuple[int, int]:
+        return (edge_sid[e], edge_gid[e] if edge_gid is not None else 0)
+
     prefix: list[frozenset[int]] = []
     loop: list[frozenset[int]] = []
     if stable(root):
@@ -273,28 +306,41 @@ def exhaustive_worst_case_delay(
     elif best[root] == math.inf:
         delay = None
         seen: dict[int, int] = {}
-        actions: list[frozenset[int]] = []
+        walk: list[int] = []
         k = root
         while k not in seen:
-            seen[k] = len(actions)
+            seen[k] = len(walk)
             # An unbounded state always has an unbounded non-stable successor.
-            k, action = next(
-                (j, a)
-                for (j, a) in graph.successors[k]
-                if not stable(j) and best[j] == math.inf
-            )
-            actions.append(action)
+            for e in range(edge_offsets[k], edge_offsets[k + 1]):
+                j = edge_dst[e]
+                if not stable(j) and best[j] == math.inf:
+                    walk.append(e)
+                    k = j
+                    break
+            else:  # pragma: no cover - DFS invariant
+                raise AssertionError("unbounded state has no unbounded successor")
         cut = seen[k]
-        prefix, loop = actions[:cut], actions[cut:]
+        prefix, h = graph.lift_pairs(
+            [edge_pair(e) for e in walk[:cut]], graph.root_accumulator(root)
+        )
+        loop = graph.lift_loop_pairs([edge_pair(e) for e in walk[cut:]], h)
     else:
         delay = int(best[root])
+        walk = []
         k = root
         while not stable(k):
-            k, action = max(
-                graph.successors[k],
-                key=lambda item: 0.0 if stable(item[0]) else best[item[0]],
-            )
-            prefix.append(action)
+            chosen = None
+            chosen_score = -1.0
+            for e in range(edge_offsets[k], edge_offsets[k + 1]):
+                j = edge_dst[e]
+                score = 0.0 if stable(j) else best[j]
+                if score > chosen_score:
+                    chosen, chosen_score = e, score
+            walk.append(chosen)
+            k = edge_dst[chosen]
+        prefix, _h = graph.lift_pairs(
+            [edge_pair(e) for e in walk], graph.root_accumulator(root)
+        )
 
     return WorstCaseDelay(
         delay=delay,
@@ -302,6 +348,7 @@ def exhaustive_worst_case_delay(
         loop=tuple(loop),
         states_explored=total,
         n=protocol.n,
+        stats=graph.stats(),
     )
 
 
@@ -320,10 +367,18 @@ class MinimaxAdversarySchedule(Schedule):
         initial_labeling: Labeling,
         r: int,
         budget: int = DEFAULT_STATE_BUDGET,
+        symmetry="none",
+        frontier: str = "auto",
     ):
         super().__init__(protocol.n)
         self.worst_case = exhaustive_worst_case_delay(
-            protocol, inputs, initial_labeling, r, budget=budget
+            protocol,
+            inputs,
+            initial_labeling,
+            r,
+            budget=budget,
+            symmetry=symmetry,
+            frontier=frontier,
         )
         self.r = r
         self._realized = self.worst_case.schedule()

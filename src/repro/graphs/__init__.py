@@ -1,5 +1,14 @@
-"""Graph substrate: topologies, standard families, spanning trees, properties."""
+"""Graph substrate: topologies, standard families, spanning trees, properties,
+automorphism groups."""
 
+from repro.graphs.automorphisms import (
+    SymmetryGroup,
+    automorphism_generators,
+    close_generators,
+    edge_permutation,
+    protocol_symmetry_group,
+    symmetry_group_from_generators,
+)
 from repro.graphs.properties import (
     all_pairs_distances,
     diameter,
@@ -26,23 +35,29 @@ from repro.graphs.topology import Topology
 __all__ = [
     "InTree",
     "OutTree",
+    "SymmetryGroup",
     "Topology",
     "all_pairs_distances",
+    "automorphism_generators",
     "bidirectional_ring",
     "binary_tree",
     "broadcast_tree",
     "clique",
+    "close_generators",
     "convergecast_tree",
     "diameter",
     "distances_from",
     "eccentricity",
+    "edge_permutation",
     "hypercube",
     "is_strongly_connected",
     "max_degree",
     "path",
+    "protocol_symmetry_group",
     "radius",
     "random_strongly_connected",
     "star",
+    "symmetry_group_from_generators",
     "torus",
     "unidirectional_ring",
 ]

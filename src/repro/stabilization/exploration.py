@@ -20,24 +20,51 @@ r-fair schedule.  There is an edge for every *valid* activation set ``T``
 * **Interned components.**  Labeling value-tuples, output tuples, countdown
   vectors, and activation sets are each interned to small integer ids on
   first sight, so a state is a triple of ints and every visited-set lookup
-  hashes three machine words instead of re-hashing ``O(m + n)`` tuples
-  (three times per edge, in the pre-core implementations).
-* **A shared activation-set cache.**  The valid activation sets of a
-  countdown vector are enumerated once per distinct countdown and cached
-  module-wide (:func:`valid_activation_sets`), instead of re-running
-  ``combinations(...)`` for every state as the seed ``StatesGraph`` did.
+  hashes three machine words instead of re-hashing ``O(m + n)`` tuples.
+* **Packed edge and parent arrays.**  Successor lists and BFS-tree parent
+  links live in flat append-only arrays (``array.array`` in RAM, numpy
+  memmaps under ``spill_dir``) instead of one Python list-of-tuples per
+  state; :attr:`successors` and :attr:`parent` are lazy views with the
+  historical shape.  Graphs outgrow RAM by spilling, not by crashing.
+* **A shared activation-set cache** with second-chance eviction
+  (:func:`valid_activation_sets`): the valid activation sets of a countdown
+  vector are enumerated once per distinct countdown and cached module-wide;
+  when the cache hits its cap, only entries not referenced since the last
+  sweep are evicted, so a greedy-adversary sweep feeding near-unique
+  countdowns can no longer dump an exhaustive search's working set.
 * **A transition cache.**  The successor labeling (and outputs) of a state
   depend only on ``(labeling, [outputs,] T)`` — not on the countdown — so
-  states that share a labeling but differ in countdown (the vast majority:
-  up to ``r^n`` countdowns per labeling) reuse one compiled
-  ``step_values`` evaluation per activation set.
+  states that share a labeling reuse one evaluation per activation set.
+* **Frontier-parallel expansion** (``frontier="auto"``).  The BFS runs
+  level-synchronously; before expanding a level it collects every uncached
+  ``(labeling, outputs, T)`` transition the level needs, groups them by
+  activation set, and evaluates each group as one ``(B, m)`` packed-code
+  kernel call through the batch backend
+  (:meth:`repro.core.batch.BatchSimulator.step_codes`).  Results are
+  staged and *interned in the serial scan order*, so state indices, parent
+  links, successor arrays — and everything built on them — stay
+  bit-identical to the serial expansion.
+* **Symmetry quotient** (``symmetry="auto"``).  When a verified symmetry
+  group is available (:func:`repro.graphs.automorphisms
+  .protocol_symmetry_group`), every discovered state is canonicalized to
+  the least element of its orbit before interning, so the graph holds one
+  state per orbit.  Edges carry the group element mapping the raw
+  successor to its canonical form plus a pre-canonicalization
+  changed-labeling/changed-output flag; parent links carry the element
+  chain that lets :meth:`path_to` / :meth:`lift_pairs` /
+  :meth:`lift_loop_pairs` replay concrete witnesses through the group
+  action.  Verdicts, delays, and attractor membership are invariant (the
+  projection onto the quotient is a graph homomorphism and stability is
+  orbit-invariant under verified symmetries), so consumers get unchanged
+  answers from a graph that is smaller by up to the group order.
 * **Parent links** for witness replay (:meth:`path_to` / :meth:`root_of`),
   and **pluggable payloads**: ``track_outputs=True`` enriches states with
   the per-node output vector for output-stabilization checking.
 
-Exploration order is plain BFS with activation sets enumerated in canonical
-order (forced set plus optional subsets by size, lexicographic), which is
-exactly the order the pre-core implementations used — so state indices,
+Exploration order is level-synchronous BFS with activation sets enumerated
+in canonical order (forced set plus optional subsets by size,
+lexicographic), which is exactly the order the pre-core implementations
+used — so in the default ``symmetry="none"`` mode, state indices,
 successor lists, parent links, and everything built on them (verdicts,
 oscillation witnesses, attractor regions, worst-case delays) are
 bit-identical to the historical results.
@@ -51,29 +78,63 @@ top), and ``repro.faults.adversary.exhaustive_worst_case_delay`` /
 
 from __future__ import annotations
 
-from collections import deque
+import os
+from array import array
 from collections.abc import Iterable, Sequence
+from dataclasses import asdict, dataclass
 from itertools import combinations
 from typing import Any
+
+try:  # pragma: no cover - numpy is present in CI
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
 
 from repro.core.compiled import CompiledProtocol, compile_protocol
 from repro.core.configuration import Labeling
 from repro.core.protocol import Protocol
 from repro.exceptions import SearchBudgetExceeded, ValidationError
+from repro.graphs.automorphisms import SymmetryGroup, protocol_symmetry_group
 
 DEFAULT_STATE_BUDGET = 400_000
 
+#: Below this many rows a staged activation-set group is not worth a kernel
+#: call; the expansion computes those transitions serially.
+DEFAULT_BATCH_MIN_ROWS = 32
+
 #: Module-wide activation-set cache, shared by every consumer (states-graph
 #: construction, model checking, adversary search, greedy candidate
-#: generation).  Keyed by ``(countdown, n)``; paper-sized exhaustive
-#: searches only ever touch a few thousand distinct countdowns, but
-#: long-running greedy-adversary sweeps can feed a near-unique countdown
-#: per simulated step, so the cache is bounded: when it reaches
-#: ``_ACTIVATION_SETS_CAP`` entries it is cleared and refills from the
-#: current workload (an exhaustive search re-touches its countdowns
-#: immediately, so the amortized benefit survives eviction).
-_ACTIVATION_SETS: dict[tuple[tuple[int, ...], int], tuple[frozenset[int], ...]] = {}
+#: generation).  Keyed by ``(countdown, n)``; each value is a mutable
+#: ``[sets, referenced]`` pair for the second-chance sweep below.
+_ACTIVATION_SETS: dict[tuple[tuple[int, ...], int], list] = {}
 _ACTIVATION_SETS_CAP = 1 << 16
+
+
+def _evict_activation_sets(cap: int) -> None:
+    """Second-chance partial eviction at the cap.
+
+    Entries not referenced since the previous sweep are dropped first;
+    survivors get their reference bit cleared (one more round of grace).
+    Paper-sized exhaustive searches re-touch their few thousand countdowns
+    constantly, so their working set survives even when a long
+    greedy-adversary sweep floods the cache with near-unique countdowns —
+    the failure mode of the previous wholesale ``clear()``.  The cache is
+    still hard-bounded: if the unreferenced victims alone do not bring it
+    under the cap, the oldest survivors go too.
+    """
+    victims = []
+    survivors = []
+    for key, entry in _ACTIVATION_SETS.items():
+        if entry[1]:
+            entry[1] = False
+            survivors.append(key)
+        else:
+            victims.append(key)
+    shortfall = len(_ACTIVATION_SETS) - len(victims) - (cap - 1)
+    if shortfall > 0:
+        victims.extend(survivors[:shortfall])
+    for key in victims:
+        del _ACTIVATION_SETS[key]
 
 
 def _cached_activation_sets(
@@ -81,20 +142,22 @@ def _cached_activation_sets(
 ) -> tuple[frozenset[int], ...]:
     """All nonempty T containing every node whose countdown is 1 (cached)."""
     key = (countdown, n)
-    cached = _ACTIVATION_SETS.get(key)
-    if cached is None:
-        forced = frozenset(i for i in range(n) if countdown[i] == 1)
-        optional = [i for i in range(n) if i not in forced]
-        sets = []
-        for size in range(len(optional) + 1):
-            for extra in combinations(optional, size):
-                t = forced | frozenset(extra)
-                if t:
-                    sets.append(t)
-        cached = tuple(sets)
-        if len(_ACTIVATION_SETS) >= _ACTIVATION_SETS_CAP:
-            _ACTIVATION_SETS.clear()
-        _ACTIVATION_SETS[key] = cached
+    entry = _ACTIVATION_SETS.get(key)
+    if entry is not None:
+        entry[1] = True
+        return entry[0]
+    forced = frozenset(i for i in range(n) if countdown[i] == 1)
+    optional = [i for i in range(n) if i not in forced]
+    sets = []
+    for size in range(len(optional) + 1):
+        for extra in combinations(optional, size):
+            t = forced | frozenset(extra)
+            if t:
+                sets.append(t)
+    cached = tuple(sets)
+    if len(_ACTIVATION_SETS) >= _ACTIVATION_SETS_CAP:
+        _evict_activation_sets(_ACTIVATION_SETS_CAP)
+    _ACTIVATION_SETS[key] = [cached, True]
     return cached
 
 
@@ -109,6 +172,176 @@ def valid_activation_sets(countdown: Sequence[int], n: int) -> list[frozenset[in
     return list(_cached_activation_sets(tuple(countdown), n))
 
 
+@dataclass(frozen=True)
+class ExplorationStats:
+    """Construction-time observability for one :class:`ExplorationGraph`.
+
+    ``covered_states`` sums the orbit sizes of the stored states: equal to
+    ``states`` without a quotient, and the number of concrete states the
+    quotient stands for otherwise (exact when the initial labelings are
+    closed under the group, e.g. broadcast or exhaustive initial sets).
+    """
+
+    states: int
+    edges: int
+    initial_states: int
+    labeling_pool: int
+    output_pool: int
+    countdown_pool: int
+    activation_set_pool: int
+    transition_cache_hits: int
+    transition_cache_misses: int
+    activation_cache_hits: int
+    activation_cache_misses: int
+    peak_frontier: int
+    frontier_mode: str
+    batch_calls: int
+    batch_rows: int
+    symmetry_order: int
+    covered_states: int
+    canonicalizations: int
+    canonical_cache_hits: int
+    spilled: bool
+
+    @property
+    def reduction_factor(self) -> float:
+        """Concrete states represented per stored state (>= 1.0)."""
+        return self.covered_states / self.states if self.states else 1.0
+
+    def as_dict(self) -> dict:
+        record = asdict(self)
+        record["reduction_factor"] = self.reduction_factor
+        return record
+
+
+class _Vec:
+    """Append-only packed int vector.
+
+    ``array.array`` in RAM; a capacity-doubling numpy memmap when a spill
+    directory is given, so edge/parent stores can outgrow RAM.
+    """
+
+    __slots__ = ("_data", "_len", "_path")
+
+    _DTYPES = {"q": "int64", "i": "int32", "B": "uint8"}
+
+    def __init__(self, typecode: str, spill_dir: str | None = None, name: str = "vec"):
+        self._len = 0
+        if spill_dir is None:
+            self._path = None
+            self._data = array(typecode)
+        else:
+            self._path = os.path.join(spill_dir, f"{name}.dat")
+            self._data = np.memmap(
+                self._path, dtype=np.dtype(self._DTYPES[typecode]),
+                mode="w+", shape=(1024,),
+            )
+
+    def append(self, value: int) -> None:
+        if self._path is None:
+            self._data.append(value)
+        else:
+            if self._len >= self._data.shape[0]:
+                self._grow()
+            self._data[self._len] = value
+        self._len += 1
+
+    def _grow(self) -> None:
+        capacity = self._data.shape[0] * 2
+        dtype = self._data.dtype
+        self._data.flush()
+        del self._data
+        with open(self._path, "r+b") as handle:
+            handle.truncate(capacity * dtype.itemsize)
+        self._data = np.memmap(self._path, dtype=dtype, mode="r+", shape=(capacity,))
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __getitem__(self, k: int) -> int:
+        if k < 0:
+            k += self._len
+        if not 0 <= k < self._len:
+            raise IndexError(k)
+        return int(self._data[k])
+
+
+class _SuccessorsView(Sequence):
+    """``successors[k]`` as a list of ``(successor index, activation set)``.
+
+    A lazy, read-only view over the packed edge arrays with the historical
+    list-of-lists shape (and list equality), so existing consumers and
+    golden tests keep working unchanged.
+    """
+
+    __slots__ = ("_graph",)
+
+    def __init__(self, graph: "ExplorationGraph"):
+        self._graph = graph
+
+    def __len__(self) -> int:
+        return len(self._graph.state_keys)
+
+    def __getitem__(self, k):
+        if isinstance(k, slice):
+            return [self[i] for i in range(*k.indices(len(self)))]
+        if k < 0:
+            k += len(self)
+        graph = self._graph
+        pool = graph._sets
+        dst = graph.edge_dst
+        sid = graph.edge_sid
+        return [
+            (dst[e], pool[sid[e]])
+            for e in range(graph.edge_offsets[k], graph.edge_offsets[k + 1])
+        ]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (_SuccessorsView, list, tuple)):
+            return len(self) == len(other) and all(
+                self[k] == other[k] for k in range(len(self))
+            )
+        return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+
+class _ParentView(Sequence):
+    """``parent[k]`` as ``(predecessor index, activation set)`` or ``None``."""
+
+    __slots__ = ("_graph",)
+
+    def __init__(self, graph: "ExplorationGraph"):
+        self._graph = graph
+
+    def __len__(self) -> int:
+        return len(self._graph.state_keys)
+
+    def __getitem__(self, k):
+        if isinstance(k, slice):
+            return [self[i] for i in range(*k.indices(len(self)))]
+        if k < 0:
+            k += len(self)
+        graph = self._graph
+        pred = graph.parent_idx[k]
+        if pred < 0:
+            return None
+        return (pred, graph._sets[graph.parent_sid[k]])
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (_ParentView, list, tuple)):
+            return len(self) == len(other) and all(
+                self[k] == other[k] for k in range(len(self))
+            )
+        return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+
 class ExplorationGraph:
     """The reachable fragment of the Theorem 3.1 states-graph, interned.
 
@@ -118,6 +351,28 @@ class ExplorationGraph:
     order).  ``successors[k]`` lists ``(successor index, activation set)``
     edges; ``parent[k]`` is the ``(predecessor index, activation set)``
     BFS-tree link used for witness replay (``None`` for initial states).
+    Both are views over flat packed arrays (:attr:`edge_offsets` /
+    :attr:`edge_dst` / :attr:`edge_sid` and :attr:`parent_idx` /
+    :attr:`parent_sid`), which consumers may scan directly.
+
+    ``frontier`` selects the expansion engine: ``"serial"`` steps one edge
+    at a time through the compiled protocol; ``"batch"`` evaluates each
+    level's uncached transitions as packed-code kernel calls grouped by
+    activation set (requires numpy); ``"auto"`` (default) uses the batch
+    route when it is available and the protocol's reactions lift to lookup
+    tables.  All routes produce bit-identical graphs.
+
+    ``symmetry`` opts into the automorphism quotient: ``"none"`` (default)
+    explores concrete states; ``"auto"`` discovers and *verifies* the
+    protocol's symmetry group and falls back to ``"none"`` when there is
+    none; an explicit :class:`~repro.graphs.automorphisms.SymmetryGroup`
+    asserts reaction equivariance on the caller's authority.  Quotient
+    graphs store one canonical state per orbit; witnesses are lifted back
+    to concrete runs via the per-edge group elements.
+
+    ``spill_dir`` moves the packed edge/parent arrays onto disk-backed
+    memmaps in that directory (created if missing; files are left behind
+    for post-mortem inspection).
 
     ``budget`` bounds the number of states; exceeding it raises
     :class:`SearchBudgetExceeded` with ``name`` in the message so callers
@@ -133,9 +388,18 @@ class ExplorationGraph:
         budget: int = DEFAULT_STATE_BUDGET,
         track_outputs: bool = False,
         name: str = "exploration",
+        symmetry: str | SymmetryGroup | None = "none",
+        frontier: str = "auto",
+        spill_dir: str | os.PathLike | None = None,
+        batch_min_rows: int = DEFAULT_BATCH_MIN_ROWS,
     ):
         if r < 1:
             raise ValidationError("fairness parameter r must be >= 1")
+        if frontier not in ("auto", "batch", "serial"):
+            raise ValidationError(
+                f"unknown frontier mode {frontier!r};"
+                " expected 'auto', 'batch', or 'serial'"
+            )
         self.protocol = protocol
         self.inputs = tuple(inputs)
         self.r = r
@@ -145,135 +409,500 @@ class ExplorationGraph:
         n = protocol.n
         self.n = n
 
+        group = self._resolve_symmetry(symmetry)
+        self._group = group
+        self._canonicalizer = (
+            group.canonicalizer(track_outputs) if group is not None else None
+        )
+
+        spill = None
+        if spill_dir is not None:
+            if np is None:
+                raise ValidationError("spill_dir requires numpy (memmap backing)")
+            spill = os.fspath(spill_dir)
+            os.makedirs(spill, exist_ok=True)
+        self.spill_dir = spill
+
+        self._frontier_requested = frontier
+        if frontier == "batch" and np is None:
+            raise ValidationError(
+                "frontier='batch' requires numpy; use 'serial' or 'auto'"
+            )
+        self._engine = None
+        self._engine_enabled = frontier != "serial" and np is not None
+        self._batch_min_rows = max(1, batch_min_rows)
+
         # Interning pools: id -> value, value -> id.
         none_outputs = (None,) * n
+        self._none_outputs = none_outputs
         self._labels: list[tuple] = []
         self._label_ids: dict[tuple, int] = {}
         self._outs: list[tuple] = [none_outputs]
         self._out_ids: dict[tuple, int] = {none_outputs: 0}
         self._countdowns: list[tuple[int, ...]] = []
         self._countdown_ids: dict[tuple[int, ...], int] = {}
+        self._sets: list[frozenset[int]] = []
+        self._set_ids: dict[frozenset[int], int] = {}
 
         #: state index -> (labeling id, output id, countdown id).
         self.state_keys: list[tuple[int, int, int]] = []
         self._index: dict[tuple[int, int, int], int] = {}
-        #: successors[k] = list of (successor index, activation set).
-        self.successors: list[list[tuple[int, frozenset[int]]]] = []
-        #: (predecessor index, activation set) for witness paths; None for roots.
-        self.parent: list[tuple[int, frozenset[int]] | None] = []
+        #: Packed edge store: edges of state k occupy the contiguous range
+        #: ``edge_offsets[k]:edge_offsets[k+1]`` of edge_dst (successor
+        #: index) and edge_sid (activation-set id); quotient graphs add
+        #: edge_gid (group element mapping the raw successor to its
+        #: canonical form) and edge_flags (bit 0: labeling changed, bit 1:
+        #: outputs changed — computed before canonicalization).
+        self.edge_offsets = _Vec("q", spill, "edge_offsets")
+        self.edge_dst = _Vec("q", spill, "edge_dst")
+        self.edge_sid = _Vec("i", spill, "edge_sid")
+        self.edge_gid = _Vec("i", spill, "edge_gid") if group else None
+        self.edge_flags = _Vec("B", spill, "edge_flags") if group else None
+        #: Packed parent store: BFS-tree link of state k (or -1 for roots).
+        #: Quotient graphs use parent_gid for the edge's group element —
+        #: and, on roots, for the element mapping the concrete initial
+        #: state to its canonical form.
+        self.parent_idx = _Vec("q", spill, "parent_idx")
+        self.parent_sid = _Vec("i", spill, "parent_sid")
+        self.parent_gid = _Vec("i", spill, "parent_gid") if group else None
+        self._orbit_sizes = _Vec("q", spill, "orbit_sizes") if group else None
+        self.edge_offsets.append(0)
+
         self.initial_indices: list[int] = []
         self._initial_labeling_at: dict[int, Labeling] = {}
 
-        labels = self._labels
-        label_ids = self._label_ids
-        outs = self._outs
-        out_ids = self._out_ids
-        countdowns = self._countdowns
-        countdown_ids = self._countdown_ids
-        state_keys = self.state_keys
-        index = self._index
-        successors = self.successors
-        parent = self.parent
+        # Per-countdown moves and counters.
+        self._moves_by_cid: dict[
+            int, tuple[tuple[frozenset[int], int, int], ...]
+        ] = {}
+        self._stats_counters = {
+            "transition_hits": 0,
+            "transition_misses": 0,
+            "activation_hits": 0,
+            "activation_misses": 0,
+            "peak_frontier": 0,
+            "batch_calls": 0,
+            "batch_rows": 0,
+            "canonicalizations": 0,
+            "canonical_hits": 0,
+        }
+        self._covered = 0
+        self._frontier_mode = "serial"
 
-        def intern_countdown(countdown: tuple[int, ...]) -> int:
-            cid = countdown_ids.get(countdown)
-            if cid is None:
-                cid = len(countdowns)
-                countdown_ids[countdown] = cid
-                countdowns.append(countdown)
-            return cid
+        # (labeling id, output id, activation-set id) -> successor.
+        # Countdown-independent, so all states sharing a labeling reuse one
+        # evaluation per set.  Plain mode stores (labeling id, output id);
+        # quotient mode stores (raw labeling id, raw output id, labeling
+        # changed, outputs changed) over separate raw pools.
+        self._transitions: dict[tuple[int, int, int], tuple] = {}
+        if group is not None:
+            self._raw_labels: list[tuple] = []
+            self._raw_label_ids: dict[tuple, int] = {}
+            self._raw_outs: list[tuple] = [none_outputs]
+            self._raw_out_ids: dict[tuple, int] = {none_outputs: 0}
+            # (raw labeling id, raw output id, raw countdown id) ->
+            # (canonical lid, oid, cid, group element, orbit size).
+            self._canon_cache: dict[tuple[int, int, int], tuple] = {}
 
-        # Per-countdown moves: (activation set, set id, successor countdown
-        # id).  The activation-set enumeration comes from the shared
-        # module-wide cache; the countdown arithmetic is r-specific, so it
-        # lives here.
-        set_ids: dict[frozenset[int], int] = {}
-        moves_by_cid: dict[int, tuple[tuple[frozenset[int], int, int], ...]] = {}
+        self._explore(initial_labelings, budget, name)
 
-        def moves(cid: int):
-            cached = moves_by_cid.get(cid)
-            if cached is None:
-                countdown = countdowns[cid]
-                entries = []
-                for t in _cached_activation_sets(countdown, n):
-                    tid = set_ids.setdefault(t, len(set_ids))
-                    next_countdown = tuple(
-                        r if i in t else countdown[i] - 1 for i in range(n)
-                    )
-                    entries.append((t, tid, intern_countdown(next_countdown)))
-                cached = tuple(entries)
-                moves_by_cid[cid] = cached
+        self.successors = _SuccessorsView(self)
+        self.parent = _ParentView(self)
+
+    # -- construction --------------------------------------------------------
+
+    def _resolve_symmetry(self, symmetry) -> SymmetryGroup | None:
+        if symmetry is None or symmetry == "none":
+            return None
+        if symmetry == "auto":
+            return protocol_symmetry_group(self.protocol, self.inputs)
+        if isinstance(symmetry, SymmetryGroup):
+            if symmetry.topology != self.topology:
+                raise ValidationError(
+                    "symmetry group was built over a different topology"
+                )
+            return symmetry if symmetry.order > 1 else None
+        raise ValidationError(
+            f"unknown symmetry {symmetry!r}; expected 'none', 'auto',"
+            " or a SymmetryGroup"
+        )
+
+    def _intern_countdown(self, countdown: tuple[int, ...]) -> int:
+        cid = self._countdown_ids.get(countdown)
+        if cid is None:
+            cid = len(self._countdowns)
+            self._countdown_ids[countdown] = cid
+            self._countdowns.append(countdown)
+        return cid
+
+    def _intern_label(self, values: tuple) -> int:
+        lid = self._label_ids.get(values)
+        if lid is None:
+            lid = len(self._labels)
+            self._label_ids[values] = lid
+            self._labels.append(values)
+        return lid
+
+    def _intern_out(self, outputs: tuple) -> int:
+        oid = self._out_ids.get(outputs)
+        if oid is None:
+            oid = len(self._outs)
+            self._out_ids[outputs] = oid
+            self._outs.append(outputs)
+        return oid
+
+    def _moves(self, cid: int):
+        """(activation set, set id, successor countdown id) for a countdown.
+
+        The activation-set enumeration comes from the shared module-wide
+        cache; the countdown arithmetic is r-specific, so it lives here.
+        """
+        cached = self._moves_by_cid.get(cid)
+        if cached is not None:
+            self._stats_counters["activation_hits"] += 1
             return cached
+        self._stats_counters["activation_misses"] += 1
+        countdown = self._countdowns[cid]
+        n = self.n
+        r = self.r
+        set_ids = self._set_ids
+        sets = self._sets
+        entries = []
+        for t in _cached_activation_sets(countdown, n):
+            tid = set_ids.get(t)
+            if tid is None:
+                tid = len(sets)
+                set_ids[t] = tid
+                sets.append(t)
+            next_countdown = tuple(
+                r if i in t else countdown[i] - 1 for i in range(n)
+            )
+            entries.append((t, tid, self._intern_countdown(next_countdown)))
+        cached = tuple(entries)
+        self._moves_by_cid[cid] = cached
+        return cached
 
-        def add_state(key, parent_link) -> int:
-            k = len(state_keys)
-            index[key] = k
-            state_keys.append(key)
-            successors.append([])
-            parent.append(parent_link)
-            return k
+    def _add_state(self, key, pred: int, sid: int, gid: int, orbit: int) -> int:
+        k = len(self.state_keys)
+        self._index[key] = k
+        self.state_keys.append(key)
+        self.parent_idx.append(pred)
+        self.parent_sid.append(sid)
+        if self._group is not None:
+            self.parent_gid.append(gid)
+            self._orbit_sizes.append(orbit)
+            self._covered += orbit
+        else:
+            self._covered += 1
+        return k
 
-        start_cid = intern_countdown((r,) * n)
-        queue: deque[int] = deque()
+    def _canonical_root(self, values: tuple, start_cid: int):
+        """Canonicalize one initial state; countdowns start uniform, so
+        only the labeling (and the all-None outputs) matter."""
+        group = self._group
+        self._check_universe(values)
+        gid, ties = self._canonicalizer.canonical(
+            values,
+            self._none_outputs if self.track_outputs else None,
+            self._countdowns[start_cid],
+        )
+        canon_values = group.apply_labeling(gid, values)
+        return canon_values, gid, group.order // ties
+
+    def _check_universe(self, values: tuple) -> None:
+        universe = self._group.label_universe
+        if universe is None:
+            return
+        for value in values:
+            if value not in universe:
+                raise ValidationError(
+                    "symmetry quotient saw a label outside the declared"
+                    f" label space ({value!r}); equivariance was only"
+                    " verified over the declared space, so quotient"
+                    " exploration refuses to continue"
+                )
+
+    def _explore(self, initial_labelings, budget: int, name: str) -> None:
+        group = self._group
+        counters = self._stats_counters
+        index = self._index
+
+        start_cid = self._intern_countdown((self.r,) * self.n)
+        frontier: list[int] = []
         for labeling in initial_labelings:
             values = labeling.values
-            lid = label_ids.get(values)
-            if lid is None:
-                lid = len(labels)
-                label_ids[values] = lid
-                labels.append(values)
+            if group is not None:
+                values, gid, orbit = self._canonical_root(values, start_cid)
+            else:
+                gid, orbit = 0, 1
+            lid = self._intern_label(values)
             key = (lid, 0, start_cid)
             if key in index:
                 continue
-            k = add_state(key, None)
+            k = self._add_state(key, -1, -1, gid, orbit)
             self.initial_indices.append(k)
             self._initial_labeling_at[k] = labeling
-            queue.append(k)
+            frontier.append(k)
 
-        # (labeling id, output id, activation-set id) -> successor
-        # (labeling id, output id).  Countdown-independent, so all states
-        # sharing a labeling reuse one compiled evaluation per set.
-        transitions: dict[tuple[int, int, int], tuple[int, int]] = {}
+        expand = self._expand_quotient if group is not None else self._expand
+        while frontier:
+            counters["peak_frontier"] = max(
+                counters["peak_frontier"], len(frontier)
+            )
+            pending = self._stage_level(frontier)
+            next_frontier: list[int] = []
+            for k in frontier:
+                expand(k, pending, next_frontier, budget, name)
+            frontier = next_frontier
+
+    def _expand(self, k, pending, next_frontier, budget, name) -> None:
+        """Expand one concrete state: the historical serial scan, with
+        staged batch results consumed at the same scan positions."""
+        counters = self._stats_counters
+        state_keys = self.state_keys
+        index = self._index
+        transitions = self._transitions
+        track_outputs = self.track_outputs
+        step = self._compiled.step_values
+        inputs_t = self.inputs
+        edge_dst = self.edge_dst
+        edge_sid = self.edge_sid
+
+        lid, oid, cid = state_keys[k]
+        for (t, tid, next_cid) in self._moves(cid):
+            tkey = (lid, oid, tid)
+            nxt = transitions.get(tkey)
+            if nxt is None:
+                counters["transition_misses"] += 1
+                staged = pending.pop((lid, oid, t), None) if pending else None
+                if staged is not None:
+                    new_values, new_outputs = staged
+                elif track_outputs:
+                    new_values, new_outputs = step(
+                        self._labels[lid], self._outs[oid], t, inputs_t
+                    )
+                else:
+                    new_values, _ = step(self._labels[lid], None, t, inputs_t)
+                    new_outputs = None
+                noid = self._intern_out(new_outputs) if track_outputs else 0
+                nlid = self._intern_label(new_values)
+                nxt = (nlid, noid)
+                transitions[tkey] = nxt
+            else:
+                counters["transition_hits"] += 1
+            nkey = (nxt[0], nxt[1], next_cid)
+            j = index.get(nkey)
+            if j is None:
+                if len(state_keys) >= budget:
+                    raise SearchBudgetExceeded(
+                        f"{name} exceeded budget of {budget} states"
+                    )
+                j = self._add_state(nkey, k, tid, 0, 1)
+                next_frontier.append(j)
+            edge_dst.append(j)
+            edge_sid.append(tid)
+        self.edge_offsets.append(len(edge_dst))
+
+    def _expand_quotient(self, k, pending, next_frontier, budget, name) -> None:
+        """Expand one canonical state, canonicalizing every raw successor.
+
+        The changed-labeling/changed-output flags compare the raw successor
+        against the (canonical) source state *before* canonicalization —
+        ``canon(u) == s`` does not imply ``u == s``, and the flags are what
+        the model checker's changing-edge scan relies on.
+        """
+        counters = self._stats_counters
+        group = self._group
+        state_keys = self.state_keys
+        index = self._index
+        transitions = self._transitions
+        track_outputs = self.track_outputs
         step = self._compiled.step_values
         inputs_t = self.inputs
 
-        while queue:
-            k = queue.popleft()
-            lid, oid, cid = state_keys[k]
-            succ_k = successors[k]
-            for (t, tid, next_cid) in moves(cid):
-                tkey = (lid, oid, tid)
-                nxt = transitions.get(tkey)
-                if nxt is None:
-                    if track_outputs:
-                        new_values, new_outputs = step(
-                            labels[lid], outs[oid], t, inputs_t
-                        )
-                        noid = out_ids.get(new_outputs)
-                        if noid is None:
-                            noid = len(outs)
-                            out_ids[new_outputs] = noid
-                            outs.append(new_outputs)
-                    else:
-                        new_values, _ = step(labels[lid], None, t, inputs_t)
-                        noid = 0
-                    nlid = label_ids.get(new_values)
-                    if nlid is None:
-                        nlid = len(labels)
-                        label_ids[new_values] = nlid
-                        labels.append(new_values)
-                    nxt = (nlid, noid)
-                    transitions[tkey] = nxt
-                nkey = (nxt[0], nxt[1], next_cid)
-                j = index.get(nkey)
-                if j is None:
-                    if len(state_keys) >= budget:
-                        raise SearchBudgetExceeded(
-                            f"{name} exceeded budget of {budget} states"
-                        )
-                    j = add_state(nkey, (k, t))
-                    queue.append(j)
-                succ_k.append((j, t))
+        lid, oid, cid = state_keys[k]
+        for (t, tid, next_cid) in self._moves(cid):
+            tkey = (lid, oid, tid)
+            entry = transitions.get(tkey)
+            if entry is None:
+                counters["transition_misses"] += 1
+                staged = pending.pop((lid, oid, t), None) if pending else None
+                if staged is not None:
+                    new_values, new_outputs = staged
+                elif track_outputs:
+                    new_values, new_outputs = step(
+                        self._labels[lid], self._outs[oid], t, inputs_t
+                    )
+                else:
+                    new_values, _ = step(self._labels[lid], None, t, inputs_t)
+                    new_outputs = None
+                self._check_universe(new_values)
+                label_changed = new_values != self._labels[lid]
+                output_changed = bool(
+                    track_outputs and new_outputs != self._outs[oid]
+                )
+                rid = self._raw_label_ids.get(new_values)
+                if rid is None:
+                    rid = len(self._raw_labels)
+                    self._raw_label_ids[new_values] = rid
+                    self._raw_labels.append(new_values)
+                if track_outputs:
+                    roid = self._raw_out_ids.get(new_outputs)
+                    if roid is None:
+                        roid = len(self._raw_outs)
+                        self._raw_out_ids[new_outputs] = roid
+                        self._raw_outs.append(new_outputs)
+                else:
+                    roid = 0
+                entry = (rid, roid, label_changed, output_changed)
+                transitions[tkey] = entry
+            else:
+                counters["transition_hits"] += 1
+            rid, roid, label_changed, output_changed = entry
+
+            ckey = (rid, roid, next_cid)
+            canon = self._canon_cache.get(ckey)
+            if canon is None:
+                counters["canonicalizations"] += 1
+                raw_values = self._raw_labels[rid]
+                raw_outs = self._raw_outs[roid]
+                gid, ties = self._canonicalizer.canonical(
+                    raw_values,
+                    raw_outs if track_outputs else None,
+                    self._countdowns[next_cid],
+                )
+                nlid = self._intern_label(group.apply_labeling(gid, raw_values))
+                noid = (
+                    self._intern_out(group.apply_per_node(gid, raw_outs))
+                    if track_outputs
+                    else 0
+                )
+                nccid = self._intern_countdown(
+                    group.apply_per_node(gid, self._countdowns[next_cid])
+                )
+                canon = (nlid, noid, nccid, gid, group.order // ties)
+                self._canon_cache[ckey] = canon
+            else:
+                counters["canonical_hits"] += 1
+            nlid, noid, nccid, gid, orbit = canon
+
+            nkey = (nlid, noid, nccid)
+            j = index.get(nkey)
+            if j is None:
+                if len(state_keys) >= budget:
+                    raise SearchBudgetExceeded(
+                        f"{name} exceeded budget of {budget} states"
+                    )
+                j = self._add_state(nkey, k, tid, gid, orbit)
+                next_frontier.append(j)
+            self.edge_dst.append(j)
+            self.edge_sid.append(tid)
+            self.edge_gid.append(gid)
+            self.edge_flags.append(int(label_changed) | (int(output_changed) << 1))
+        self.edge_offsets.append(len(self.edge_dst))
+
+    # -- frontier batching ---------------------------------------------------
+
+    def _ensure_engine(self):
+        """The lazily built batch engine, or ``None`` when batching is off."""
+        if not self._engine_enabled:
+            return None
+        if self._engine is None:
+            from repro.core.batch import BatchSimulator
+
+            try:
+                engine = BatchSimulator(self.protocol, [self.inputs])
+            except ValidationError:
+                if self._frontier_requested == "batch":
+                    raise
+                self._engine_enabled = False
+                return None
+            if self._frontier_requested == "auto" and not engine.lifted_nodes:
+                # Nothing lifts to tables: the kernel would run the same
+                # per-row Python fallback as the serial scan, minus the
+                # staging overhead.  Not worth it.
+                self._engine_enabled = False
+                return None
+            self._engine = engine
+            self._frontier_mode = "batch"
+        return self._engine
+
+    def _stage_level(self, frontier: list[int]):
+        """Pass 1 of a level: batch-evaluate the level's uncached transitions.
+
+        Collects every ``(labeling, outputs, T)`` key the level will need,
+        groups the missing ones by activation set, and runs one
+        ``step_codes`` kernel call per group that clears
+        ``batch_min_rows``.  Results are staged in a dict keyed by the raw
+        activation set; pass 2 (``_expand*``) pops them at the exact serial
+        scan position.  Staging interns *nothing* (it reads the module
+        activation-set cache and only looks pools up), so the interning
+        order — and with it every id and index in the graph — is
+        bit-identical no matter which route evaluated a transition.
+        """
+        engine = self._ensure_engine()
+        if engine is None:
+            return None
+        counters = self._stats_counters
+        transitions = self._transitions
+        set_ids = self._set_ids
+        n = self.n
+        staged: set = set()
+        buckets: dict[frozenset[int], list[tuple[int, int]]] = {}
+        for k in frontier:
+            lid, oid, cid = self.state_keys[k]
+            countdown = self._countdowns[cid]
+            for t in _cached_activation_sets(countdown, n):
+                tid = set_ids.get(t)
+                if tid is not None and (lid, oid, tid) in transitions:
+                    continue
+                pkey = (lid, oid, t)
+                if pkey in staged:
+                    continue
+                staged.add(pkey)
+                buckets.setdefault(t, []).append((lid, oid))
+
+        pending: dict[tuple[int, int, frozenset[int]], tuple] = {}
+        track_outputs = self.track_outputs
+        interner = engine.batch_compiled.interner
+        y_interners = engine.batch_compiled.y_interners
+        for t, rows in buckets.items():
+            if len(rows) < self._batch_min_rows:
+                continue
+            label_rows = [self._labels[lid] for (lid, _oid) in rows]
+            codes = interner.bulk_encode(label_rows)
+            if codes is None:
+                codes = np.asarray(
+                    [interner.encode_values(row) for row in label_rows],
+                    dtype=np.int64,
+                )
+            if track_outputs:
+                ocodes = np.asarray(
+                    [
+                        [
+                            y_interners[i].encode(value)
+                            for i, value in enumerate(self._outs[oid])
+                        ]
+                        for (_lid, oid) in rows
+                    ],
+                    dtype=np.int64,
+                )
+            else:
+                ocodes = np.zeros((len(rows), n), dtype=np.int64)
+            new_codes, new_ocodes = engine.step_codes(codes, ocodes, t)
+            counters["batch_calls"] += 1
+            counters["batch_rows"] += len(rows)
+            for row, (lid, oid) in enumerate(rows):
+                new_values = interner.decode_values(new_codes[row])
+                if track_outputs:
+                    new_outputs = tuple(
+                        y_interners[i].decode(int(new_ocodes[row, i]))
+                        for i in range(n)
+                    )
+                else:
+                    new_outputs = None
+                pending[(lid, oid, t)] = (new_values, new_outputs)
+        return pending or None
 
     # -- component access ----------------------------------------------------
 
@@ -282,8 +911,22 @@ class ExplorationGraph:
         """The shared compiled form of the protocol."""
         return self._compiled
 
+    @property
+    def quotient(self) -> bool:
+        """Whether states are canonical orbit representatives."""
+        return self._group is not None
+
+    @property
+    def symmetry_group(self) -> SymmetryGroup | None:
+        """The verified symmetry group quotienting the graph, if any."""
+        return self._group
+
     def __len__(self) -> int:
         return len(self.state_keys)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edge_dst)
 
     @property
     def num_labelings(self) -> int:
@@ -324,24 +967,135 @@ class ExplorationGraph:
         """The :class:`Labeling` object a root state was initialized from."""
         return self._initial_labeling_at[k]
 
+    def activation_set(self, sid: int) -> frozenset[int]:
+        """The interned activation set behind ``edge_sid``/``parent_sid``."""
+        return self._sets[sid]
+
+    def stats(self) -> ExplorationStats:
+        """Construction statistics (pool sizes, cache hit rates, batching)."""
+        counters = self._stats_counters
+        return ExplorationStats(
+            states=len(self.state_keys),
+            edges=len(self.edge_dst),
+            initial_states=len(self.initial_indices),
+            labeling_pool=len(self._labels),
+            output_pool=len(self._outs),
+            countdown_pool=len(self._countdowns),
+            activation_set_pool=len(self._sets),
+            transition_cache_hits=counters["transition_hits"],
+            transition_cache_misses=counters["transition_misses"],
+            activation_cache_hits=counters["activation_hits"],
+            activation_cache_misses=counters["activation_misses"],
+            peak_frontier=counters["peak_frontier"],
+            frontier_mode=self._frontier_mode,
+            batch_calls=counters["batch_calls"],
+            batch_rows=counters["batch_rows"],
+            symmetry_order=self._group.order if self._group else 1,
+            covered_states=self._covered,
+            canonicalizations=counters["canonicalizations"],
+            canonical_cache_hits=counters["canonical_hits"],
+            spilled=self.spill_dir is not None,
+        )
+
     # -- witness replay ------------------------------------------------------
 
-    def path_to(self, k: int) -> list[frozenset[int]]:
-        """Activation sets leading from this state's root to state ``k``."""
-        actions: list[frozenset[int]] = []
+    def _parent_chain(self, k: int) -> tuple[int, list[tuple[int, int]]]:
+        """The BFS-tree edge chain root -> k as (set id, group element)."""
+        pairs: list[tuple[int, int]] = []
         current = k
-        while self.parent[current] is not None:
-            pred, action = self.parent[current]
-            actions.append(action)
+        while True:
+            pred = self.parent_idx[current]
+            if pred < 0:
+                break
+            gid = self.parent_gid[current] if self._group is not None else 0
+            pairs.append((self.parent_sid[current], gid))
             current = pred
-        actions.reverse()
+        pairs.reverse()
+        return current, pairs
+
+    def lift_pairs(
+        self, pairs: Iterable[tuple[int, int]], h: int
+    ) -> tuple[list[frozenset[int]], int]:
+        """Concrete actions for quotient edges entered with accumulator ``h``.
+
+        The exploration maintains the invariant ``concrete state = h^-1 .
+        canonical state``; an edge with activation set ``T`` and element
+        ``g`` concretely activates ``h^-1(T)`` and advances the accumulator
+        to ``g . h``.  Plain graphs (``h`` ignored as 0) return the edge
+        sets unchanged.
+        """
+        group = self._group
+        sets = self._sets
+        if group is None:
+            return [sets[sid] for (sid, _gid) in pairs], 0
+        actions = []
+        for sid, gid in pairs:
+            actions.append(group.apply_nodes(group.inverse(h), sets[sid]))
+            h = group.compose(gid, h)
+        return actions, h
+
+    def lift_loop_pairs(
+        self, pairs: Sequence[tuple[int, int]], h: int
+    ) -> list[frozenset[int]]:
+        """Concrete actions closing a concrete cycle for a quotient cycle.
+
+        A canonical-graph cycle returns to the same canonical state, but
+        concretely it lands on ``(c . h)^-1 . s`` where ``c`` is the
+        product of the cycle's group elements — a (possibly) different
+        orbit member.  Unrolling the cycle ``ord(c)`` times makes the
+        concrete walk close exactly, which is what lets lasso witnesses
+        replay on the engine.
+        """
+        group = self._group
+        if group is None:
+            return [self._sets[sid] for (sid, _gid) in pairs]
+        c = 0
+        for _sid, gid in pairs:
+            c = group.compose(gid, c)
+        actions: list[frozenset[int]] = []
+        for _ in range(group.element_order(c)):
+            step_actions, h = self.lift_pairs(pairs, h)
+            actions.extend(step_actions)
+        return actions
+
+    def accumulated_element(self, k: int) -> int:
+        """The group accumulator ``h`` of state ``k`` along its BFS tree
+        path (``concrete state = h^-1 . canonical state``); 0 when
+        unquotiented."""
+        if self._group is None:
+            return 0
+        root, pairs = self._parent_chain(k)
+        h = self.parent_gid[root]
+        for _sid, gid in pairs:
+            h = self._group.compose(gid, h)
+        return h
+
+    def root_accumulator(self, k: int) -> int:
+        """The accumulator of a root state (its canonicalizing element)."""
+        if self._group is None:
+            return 0
+        return self.parent_gid[k]
+
+    def path_to(self, k: int) -> list[frozenset[int]]:
+        """Activation sets leading from this state's root to state ``k``.
+
+        On quotient graphs the actions are already lifted: replaying them
+        on the engine from the root's *concrete* initial labeling visits
+        the concrete counterparts of the tree path.
+        """
+        root, pairs = self._parent_chain(k)
+        if self._group is None:
+            return [self._sets[sid] for (sid, _gid) in pairs]
+        actions, _h = self.lift_pairs(pairs, self.parent_gid[root])
         return actions
 
     def root_of(self, k: int) -> int:
         current = k
-        while self.parent[current] is not None:
-            current = self.parent[current][0]
-        return current
+        while True:
+            pred = self.parent_idx[current]
+            if pred < 0:
+                return current
+            current = pred
 
     # -- attractor regions ---------------------------------------------------
 
@@ -357,26 +1111,43 @@ class ExplorationGraph:
         region.  Passing the set of *all* stable labelings characterizes label
         r-stabilization: the protocol stabilizes iff every initialization
         vertex lies in that attractor region.
+
+        On quotient graphs the targets are closed under the symmetry group
+        first (a state matches when its labeling is any orbit member of a
+        target), so concrete targets keep working.
         """
         target_ids = set()
         for values in target_labelings:
-            lid = self._label_ids.get(tuple(values))
-            if lid is not None:
-                target_ids.add(lid)
+            values = tuple(values)
+            if self._group is not None:
+                for g in range(self._group.order):
+                    lid = self._label_ids.get(
+                        self._group.apply_labeling(g, values)
+                    )
+                    if lid is not None:
+                        target_ids.add(lid)
+            else:
+                lid = self._label_ids.get(values)
+                if lid is not None:
+                    target_ids.add(lid)
         total = len(self.state_keys)
+        offsets = self.edge_offsets
+        dst = self.edge_dst
         in_region = [False] * total
-        remaining = [len(succ) for succ in self.successors]
+        remaining = [offsets[k + 1] - offsets[k] for k in range(total)]
         predecessors: list[list[int]] = [[] for _ in range(total)]
-        for k, succ in enumerate(self.successors):
-            for (j, _) in succ:
-                predecessors[j].append(k)
-        work: deque[int] = deque()
+        for k in range(total):
+            for e in range(offsets[k], offsets[k + 1]):
+                predecessors[dst[e]].append(k)
+        work: list[int] = []
         for k in range(total):
             if self.state_keys[k][0] in target_ids:
                 in_region[k] = True
                 work.append(k)
-        while work:
-            j = work.popleft()
+        cursor = 0
+        while cursor < len(work):
+            j = work[cursor]
+            cursor += 1
             for k in predecessors[j]:
                 if in_region[k]:
                     continue

@@ -19,6 +19,13 @@ is found the checker emits a concrete :class:`OscillationWitness` — an
 initial labeling plus an eventually periodic r-fair schedule under which the
 engine provably oscillates, replayed from the core's parent links.
 
+With ``symmetry="auto"`` the check runs on the symmetry quotient of the
+states-graph instead: states are canonical orbit representatives under the
+protocol's verified automorphism group, SCCs and the changing-edge scan run
+on the (often orders-of-magnitude smaller) quotient, and witnesses are
+lifted back to concrete schedules before they are returned — the verdict
+and the replayed witness are indistinguishable from the unquotiented check.
+
 State spaces are exponential, so callers can restrict the initial labelings
 (e.g. to broadcast labelings for clique protocols whose reactions send the
 same label to all neighbors — see ``broadcast_labelings``; reachable cycles
@@ -37,7 +44,11 @@ from repro.core.configuration import Labeling
 from repro.core.protocol import Protocol
 from repro.core.schedule import LassoSchedule
 from repro.exceptions import ValidationError
-from repro.stabilization.exploration import DEFAULT_STATE_BUDGET, ExplorationGraph
+from repro.stabilization.exploration import (
+    DEFAULT_STATE_BUDGET,
+    ExplorationGraph,
+    ExplorationStats,
+)
 from repro.stabilization.fixed_points import all_labelings
 
 
@@ -68,6 +79,7 @@ class StabilizationVerdict:
     r: int
     states_explored: int
     witness: OscillationWitness | None = None
+    stats: ExplorationStats | None = None
 
     def __bool__(self) -> bool:
         return self.stabilizing
@@ -79,9 +91,22 @@ def decide_label_r_stabilizing(
     r: int,
     initial_labelings: Iterable[Labeling] | None = None,
     budget: int = DEFAULT_STATE_BUDGET,
+    symmetry="none",
+    frontier: str = "auto",
+    spill_dir=None,
 ) -> StabilizationVerdict:
     """Exactly decide label r-stabilization by exhausting the states-graph."""
-    return _decide(protocol, inputs, r, initial_labelings, budget, track_outputs=False)
+    return _decide(
+        protocol,
+        inputs,
+        r,
+        initial_labelings,
+        budget,
+        track_outputs=False,
+        symmetry=symmetry,
+        frontier=frontier,
+        spill_dir=spill_dir,
+    )
 
 
 def decide_output_r_stabilizing(
@@ -90,15 +115,38 @@ def decide_output_r_stabilizing(
     r: int,
     initial_labelings: Iterable[Labeling] | None = None,
     budget: int = DEFAULT_STATE_BUDGET,
+    symmetry="none",
+    frontier: str = "auto",
+    spill_dir=None,
 ) -> StabilizationVerdict:
     """Exactly decide output r-stabilization (states also carry outputs)."""
-    return _decide(protocol, inputs, r, initial_labelings, budget, track_outputs=True)
+    return _decide(
+        protocol,
+        inputs,
+        r,
+        initial_labelings,
+        budget,
+        track_outputs=True,
+        symmetry=symmetry,
+        frontier=frontier,
+        spill_dir=spill_dir,
+    )
 
 
 # ---------------------------------------------------------------------------
 
 
-def _decide(protocol, inputs, r, initial_labelings, budget, track_outputs):
+def _decide(
+    protocol,
+    inputs,
+    r,
+    initial_labelings,
+    budget,
+    track_outputs,
+    symmetry="none",
+    frontier="auto",
+    spill_dir=None,
+):
     if r < 1:
         raise ValidationError("fairness parameter r must be >= 1")
     if initial_labelings is None:
@@ -114,28 +162,49 @@ def _decide(protocol, inputs, r, initial_labelings, budget, track_outputs):
         budget=budget,
         track_outputs=track_outputs,
         name="model checker",
+        symmetry=symmetry,
+        frontier=frontier,
+        spill_dir=spill_dir,
     )
 
     # -- SCCs (iterative Tarjan) --------------------------------------------
-    scc_id = _tarjan(graph.successors)
+    scc_id = _tarjan(graph)
 
     # -- hunt for a changing edge inside an SCC ------------------------------
     # A transition changes the monitored quantity exactly when the interned
     # labeling id differs (or, with outputs tracked, the output id — the id
-    # is constant 0 otherwise, so one combined check covers both modes).
+    # is constant 0 otherwise, so one combined check covers both modes).  On
+    # quotient graphs id comparison is unsound (``canon(u) == s`` does not
+    # imply ``u == s``), so the core records per-edge changed flags against
+    # the *raw* successor; label and output changes are orbit-invariant, so
+    # a flagged quotient cycle lifts to a concrete oscillation and vice
+    # versa.
+    edge_offsets = graph.edge_offsets
+    edge_dst = graph.edge_dst
     state_keys = graph.state_keys
     bad_edge = None
-    for k, succ in enumerate(graph.successors):
-        lid, oid, _ = state_keys[k]
-        for (j, t) in succ:
-            if scc_id[k] != scc_id[j]:
-                continue
-            jlid, joid, _ = state_keys[j]
-            if lid != jlid or oid != joid:
-                bad_edge = (k, j, t)
+    if graph.quotient:
+        edge_flags = graph.edge_flags
+        for k in range(len(graph)):
+            for e in range(edge_offsets[k], edge_offsets[k + 1]):
+                if scc_id[k] == scc_id[edge_dst[e]] and edge_flags[e]:
+                    bad_edge = (k, e)
+                    break
+            if bad_edge:
                 break
-        if bad_edge:
-            break
+    else:
+        for k in range(len(graph)):
+            lid, oid, _ = state_keys[k]
+            for e in range(edge_offsets[k], edge_offsets[k + 1]):
+                j = edge_dst[e]
+                if scc_id[k] != scc_id[j]:
+                    continue
+                jlid, joid, _ = state_keys[j]
+                if lid != jlid or oid != joid:
+                    bad_edge = (k, e)
+                    break
+            if bad_edge:
+                break
 
     if bad_edge is None:
         return StabilizationVerdict(
@@ -143,6 +212,7 @@ def _decide(protocol, inputs, r, initial_labelings, budget, track_outputs):
             kind="output" if track_outputs else "label",
             r=r,
             states_explored=len(graph),
+            stats=graph.stats(),
         )
 
     witness = _build_witness(bad_edge, scc_id, graph, r)
@@ -152,12 +222,20 @@ def _decide(protocol, inputs, r, initial_labelings, budget, track_outputs):
         r=r,
         states_explored=len(graph),
         witness=witness,
+        stats=graph.stats(),
     )
 
 
-def _tarjan(successors: list[list[tuple[int, frozenset[int]]]]) -> list[int]:
-    """Iterative Tarjan SCC; returns the component id of every vertex."""
-    size = len(successors)
+def _tarjan(graph: ExplorationGraph) -> list[int]:
+    """Iterative Tarjan SCC over the core's packed edge arrays.
+
+    Returns the component id of every vertex.  Reads ``edge_offsets`` /
+    ``edge_dst`` directly so no per-state successor lists are materialized
+    — on spilled graphs this streams straight off the memmaps.
+    """
+    edge_offsets = graph.edge_offsets
+    edge_dst = graph.edge_dst
+    size = len(graph)
     ids = [-1] * size
     low = [0] * size
     order = [0] * size
@@ -169,23 +247,23 @@ def _tarjan(successors: list[list[tuple[int, frozenset[int]]]]) -> list[int]:
     for root in range(size):
         if order[root] != 0:
             continue
-        work = [(root, 0)]
+        work = [(root, edge_offsets[root])]
         while work:
             v, pointer = work[-1]
-            if pointer == 0:
+            if pointer == edge_offsets[v]:
                 counter += 1
                 order[v] = counter
                 low[v] = counter
                 stack.append(v)
                 on_stack[v] = True
             advanced = False
-            succ = successors[v]
-            while pointer < len(succ):
-                w = succ[pointer][0]
+            end = edge_offsets[v + 1]
+            while pointer < end:
+                w = edge_dst[pointer]
                 pointer += 1
                 if order[w] == 0:
                     work[-1] = (v, pointer)
-                    work.append((w, 0))
+                    work.append((w, edge_offsets[w]))
                     advanced = True
                     break
                 if on_stack[w]:
@@ -208,35 +286,52 @@ def _tarjan(successors: list[list[tuple[int, frozenset[int]]]]) -> list[int]:
 
 
 def _build_witness(bad_edge, scc_id, graph: ExplorationGraph, r):
-    k, j, t = bad_edge
+    k, bad = bad_edge
+    j = graph.edge_dst[bad]
     # Path from the exploration root of k back to k (roots are initial
-    # states), via the core's parent links.
+    # states), via the core's parent links.  On quotient graphs the actions
+    # come back already lifted against the root's concrete initial labeling.
     prefix_actions = graph.path_to(k)
     initial_labeling = graph.initial_labeling(graph.root_of(k))
 
-    # Cycle: the bad edge k -> j, then a path j -> k inside the SCC.
+    # Cycle: the bad edge k -> j, then a path j -> k inside the SCC,
+    # found by BFS over the packed edge arrays.
     component = scc_id[k]
-    successors = graph.successors
-    back_parent: dict[int, tuple[int, frozenset[int]]] = {}
+    edge_offsets = graph.edge_offsets
+    edge_dst = graph.edge_dst
+    back_parent: dict[int, tuple[int, int]] = {}
     queue = deque((j,))
     seen = {j}
     while queue:
         v = queue.popleft()
         if v == k:
             break
-        for (w, action) in successors[v]:
+        for e in range(edge_offsets[v], edge_offsets[v + 1]):
+            w = edge_dst[e]
             if scc_id[w] == component and w not in seen:
                 seen.add(w)
-                back_parent[w] = (v, action)
+                back_parent[w] = (v, e)
                 queue.append(w)
-    loop_actions: list[frozenset[int]] = []
+    back_edges: list[int] = []
     current = k
     while current != j:
-        pred, action = back_parent[current]
-        loop_actions.append(action)
+        pred, e = back_parent[current]
+        back_edges.append(e)
         current = pred
-    loop_actions.reverse()
-    loop = (t, *loop_actions)
+    back_edges.reverse()
+    cycle_edges = [bad, *back_edges]
+
+    if graph.quotient:
+        # The quotient cycle returns to the same canonical state but not
+        # necessarily the same concrete one; lift_loop_pairs unrolls it
+        # until the concrete walk closes.
+        edge_sid = graph.edge_sid
+        edge_gid = graph.edge_gid
+        pairs = [(edge_sid[e], edge_gid[e]) for e in cycle_edges]
+        loop = tuple(graph.lift_loop_pairs(pairs, graph.accumulated_element(k)))
+    else:
+        edge_sid = graph.edge_sid
+        loop = tuple(graph.activation_set(edge_sid[e]) for e in cycle_edges)
     return OscillationWitness(
         initial_labeling=initial_labeling,
         prefix=tuple(prefix_actions),

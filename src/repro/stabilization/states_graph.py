@@ -60,6 +60,9 @@ class StatesGraph(ExplorationGraph):
         r: int,
         initial_labelings: Iterable[Labeling],
         budget: int = DEFAULT_STATE_BUDGET,
+        symmetry="none",
+        frontier: str = "auto",
+        spill_dir=None,
     ):
         super().__init__(
             protocol,
@@ -69,6 +72,9 @@ class StatesGraph(ExplorationGraph):
             budget=budget,
             track_outputs=False,
             name="states-graph",
+            symmetry=symmetry,
+            frontier=frontier,
+            spill_dir=spill_dir,
         )
         self._states_view: list[State] | None = None
         self._index_view: dict[State, int] | None = None

@@ -103,3 +103,63 @@ class TestCommittedRecords:
             data = json.loads(path.read_text())
             assert data.get("entries"), path.name
             assert isinstance(data.get("history"), list), path.name
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "bench_checker_under_test", BENCH_DIR / "check_regression.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestHardGates:
+    def _gated(self, median, reduction):
+        return {
+            "entries": {
+                "test_x": {
+                    "kernel_median_s": median,
+                    "quotient_reduction_factor": reduction,
+                }
+            },
+            "gates": {
+                "test_x": {
+                    "max_kernel_median_s": 10.0,
+                    "min": {"quotient_reduction_factor": 10.0},
+                }
+            },
+        }
+
+    def test_passing_gates_report_nothing(self):
+        checker = _load_checker()
+        assert checker.gate_failures(self._gated(1.5, 279.0)) == []
+
+    def test_ceiling_violation_fails(self):
+        checker = _load_checker()
+        failures = checker.gate_failures(self._gated(11.0, 279.0))
+        assert len(failures) == 1 and "kernel_median_s" in failures[0]
+
+    def test_floor_violation_fails(self):
+        checker = _load_checker()
+        failures = checker.gate_failures(self._gated(1.5, 3.0))
+        assert len(failures) == 1 and "quotient_reduction_factor" in failures[0]
+
+    def test_missing_gated_entry_fails(self):
+        checker = _load_checker()
+        record = self._gated(1.5, 279.0)
+        record["entries"] = {}
+        assert checker.gate_failures(record)
+
+    def test_record_without_gates_passes(self):
+        checker = _load_checker()
+        assert checker.gate_failures(_record(1.0)) == []
+
+    def test_committed_a07_record_carries_its_gates(self):
+        path = BENCH_DIR / "BENCH_bench_a07_frontier_quotient.json"
+        data = json.loads(path.read_text())
+        gate = data["gates"]["test_a07_k7_quotient_construction"]
+        assert gate["max_kernel_median_s"] == 10.0
+        assert gate["min"]["quotient_reduction_factor"] == 10.0
+        checker = _load_checker()
+        assert checker.gate_failures(data) == []

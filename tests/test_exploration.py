@@ -388,3 +388,109 @@ class TestActivationSetCache:
             assert len(exploration._ACTIVATION_SETS) <= 8
         # correctness survives eviction
         assert valid_activation_sets((2, 3), 2) == _seed_activation_sets((2, 3), 2)
+
+    def test_second_chance_keeps_hot_entries(self, monkeypatch):
+        # Regression: eviction used to clear the whole cache, so an
+        # exhaustive search whose working set fits the cap still lost every
+        # hot countdown each time a burst of cold ones arrived.  The
+        # second-chance sweep must keep recently referenced entries.
+        from repro.stabilization import exploration
+
+        monkeypatch.setattr(exploration, "_ACTIVATION_SETS_CAP", 8)
+        exploration._ACTIVATION_SETS.clear()
+        hot = (3, 4)
+        valid_activation_sets(hot, 2)
+        hot_key = (hot, 2)
+        for k in range(200):
+            valid_activation_sets((5 + k, 6 + k), 2)  # cold, near-unique
+            valid_activation_sets(hot, 2)  # re-reference the hot entry
+            assert hot_key in exploration._ACTIVATION_SETS
+            assert len(exploration._ACTIVATION_SETS) <= 8
+
+    def test_eviction_bounds_after_sweep(self, monkeypatch):
+        # Even when every entry was recently referenced, a sweep must leave
+        # room for the incoming entry (hard bound, not best-effort).
+        from repro.stabilization import exploration
+
+        monkeypatch.setattr(exploration, "_ACTIVATION_SETS_CAP", 4)
+        exploration._ACTIVATION_SETS.clear()
+        for k in range(50):
+            valid_activation_sets((2 + k, 3 + k), 2)
+            valid_activation_sets((2 + k, 3 + k), 2)  # sets the ref bit
+            assert len(exploration._ACTIVATION_SETS) <= 4
+
+
+# -- frontier modes -----------------------------------------------------------
+
+
+class TestFrontierModes:
+    """The batch frontier route must be bit-identical to the serial scan."""
+
+    @pytest.mark.parametrize("case", _gadgets())
+    def test_forced_batch_matches_serial(self, case):
+        protocol, r, inits = case
+        inputs = default_inputs(protocol)
+        serial = ExplorationGraph(
+            protocol, inputs, r, inits, frontier="serial"
+        )
+        batch = ExplorationGraph(
+            protocol, inputs, r, inits, frontier="batch", batch_min_rows=1
+        )
+        assert serial.state_keys == batch.state_keys
+        assert serial.successors == batch.successors
+        assert list(serial.parent_idx) == list(batch.parent_idx)
+        assert list(serial.parent_sid) == list(batch.parent_sid)
+        assert batch.stats().batch_calls > 0
+
+    def test_forced_batch_matches_serial_with_outputs(self):
+        protocol = copy_ring_protocol(4)
+        inputs = default_inputs(protocol)
+        inits = [Labeling(protocol.topology, (1, 0, 0, 1))]
+        serial = ExplorationGraph(
+            protocol, inputs, 2, inits, track_outputs=True, frontier="serial"
+        )
+        batch = ExplorationGraph(
+            protocol,
+            inputs,
+            2,
+            inits,
+            track_outputs=True,
+            frontier="batch",
+            batch_min_rows=1,
+        )
+        assert serial.state_keys == batch.state_keys
+        assert serial.successors == batch.successors
+        assert [serial.outputs_of(k) for k in range(len(serial))] == [
+            batch.outputs_of(k) for k in range(len(batch))
+        ]
+
+    def test_spilled_graph_matches_in_memory(self, tmp_path):
+        pytest.importorskip("numpy")
+        protocol = or_clique_protocol(clique(4))
+        inputs = default_inputs(protocol)
+        inits = list(broadcast_labelings(protocol.topology, protocol.label_space))
+        ram = ExplorationGraph(protocol, inputs, 3, inits)
+        spilled = ExplorationGraph(
+            protocol, inputs, 3, inits, spill_dir=str(tmp_path)
+        )
+        assert ram.state_keys == spilled.state_keys
+        assert ram.successors == spilled.successors
+        assert spilled.stats().spilled
+        assert any(tmp_path.iterdir())  # arrays actually live on disk
+
+    def test_stats_shape(self):
+        protocol = example1_protocol(3)
+        inputs = default_inputs(protocol)
+        inits = list(broadcast_labelings(protocol.topology, protocol.label_space))
+        graph = ExplorationGraph(protocol, inputs, 2, inits)
+        stats = graph.stats()
+        assert stats.states == len(graph)
+        assert stats.edges == graph.num_edges
+        assert stats.peak_frontier >= 1
+        assert stats.transition_cache_hits + stats.transition_cache_misses > 0
+        assert stats.symmetry_order == 1
+        assert stats.covered_states == len(graph)
+        assert stats.reduction_factor == pytest.approx(1.0)
+        record = stats.as_dict()
+        assert record["states"] == len(graph)
+        assert record["frontier_mode"] in {"serial", "batch", "auto"}
