@@ -2,7 +2,8 @@
 
 Acceptance gate for ``repro.core.batch`` (tightened by the packed-code fused
 kernels): on a 64-node unidirectional ring with a population of 10^5 random
-initial labelings, ``run_sweep`` with ``executor="batch"`` must deliver
+initial labelings, ``run_sweep`` under ``ExecutionPolicy(executor="batch")``
+must deliver
 
 * at least **10x** the configurations/s of the serial compiled sweep
   (measured on a 2048-case subset — the serial engine would need tens of
@@ -25,6 +26,7 @@ so serial and batch runs see byte-identical activation sequences.
 
 from _runner import median_time
 
+from repro import ExecutionPolicy
 from repro.analysis import SweepCase, run_sweep
 from repro.analysis.tables import print_table
 from repro.core import (
@@ -45,6 +47,8 @@ CONFIGURATIONS = 100_000
 SERIAL_CONFIGURATIONS = 2_048
 STEPS = 100
 REPEATS = 3
+BATCH = ExecutionPolicy(executor="batch")
+NUMBA = ExecutionPolicy(executor="batch", kernel="numba")
 MIN_SPEEDUP = 10.0
 #: The committed PR-4 numpy lockstep record on this exact case
 #: (BENCH history: 708,952.4 steps/s at 100 steps/configuration).
@@ -104,12 +108,12 @@ def test_a05_batch_sweep_speedup(benchmark):
 
     def batch_subset_kernel():
         return run_sweep(
-            protocol, subset, factory, max_steps=STEPS, executor="batch"
+            protocol, subset, factory, max_steps=STEPS, policy=BATCH
         )
 
     def batch_kernel():
         return run_sweep(
-            protocol, cases, factory, max_steps=STEPS, executor="batch"
+            protocol, cases, factory, max_steps=STEPS, policy=BATCH
         )
 
     # Equivalence and workload sanity on the serial-sized subset: equal
@@ -123,21 +127,11 @@ def test_a05_batch_sweep_speedup(benchmark):
 
         def numba_kernel():
             return run_sweep(
-                protocol,
-                cases,
-                factory,
-                max_steps=STEPS,
-                executor="batch",
-                kernel="numba",
+                protocol, cases, factory, max_steps=STEPS, policy=NUMBA
             )
 
         numba_subset = run_sweep(
-            protocol,
-            subset,
-            factory,
-            max_steps=STEPS,
-            executor="batch",
-            kernel="numba",
+            protocol, subset, factory, max_steps=STEPS, policy=NUMBA
         )
         assert numba_subset == serial_report
 

@@ -19,6 +19,7 @@ count exactly.
 
 from _runner import median_time
 
+from repro import ExecutionPolicy
 from repro.analysis import print_table
 from repro.core import default_inputs
 from repro.stabilization import (
@@ -27,6 +28,7 @@ from repro.stabilization import (
     example1_protocol,
 )
 
+QUOTIENT = ExecutionPolicy(symmetry="auto")
 GATE_N, GATE_R = 7, 4
 GATE_SECONDS = 10.0
 GATE_REDUCTION = 10.0
@@ -48,7 +50,7 @@ def test_a07_k7_quotient_construction(benchmark):
 
     def quotient_kernel():
         return StatesGraph(
-            protocol, inputs, GATE_R, initials, symmetry="auto"
+            protocol, inputs, GATE_R, initials, policy=QUOTIENT
         )
 
     median, graph = median_time(quotient_kernel, REPEATS)
@@ -105,7 +107,7 @@ def test_a07_quotient_coverage_anchor(benchmark):
 
     def anchor_kernel():
         return StatesGraph(
-            protocol, inputs, ANCHOR_R, initials, symmetry="auto"
+            protocol, inputs, ANCHOR_R, initials, policy=QUOTIENT
         )
 
     graph = anchor_kernel()

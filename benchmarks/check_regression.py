@@ -17,6 +17,19 @@ fields.  Unlike the relative regression check, gates fail regardless of
 what the committed baseline says — they encode the acceptance criteria a
 feature shipped under.
 
+Two further passes ride along:
+
+* **Coverage** (unfiltered runs only): every ``bench_*.py`` module must
+  have a committed ``BENCH_*.json`` record or an entry in
+  :data:`UNRECORDED_EXEMPT` — an unrecorded bench is invisible to every
+  other pass, so going unrecorded must be an explicit, reviewed decision.
+* **Complexity** (when sympy is importable): records carrying measured
+  ``sizes`` / ``times_s`` scaling ladders are re-fitted against the
+  symbolic cost model's candidate classes
+  (:mod:`repro.analysis.costmodel`), and a fitted class growing faster
+  than the class the entry shipped under fails — including in ``history``
+  snapshots, so a slow drift cannot hide behind a fresh baseline.
+
 Absolute throughput is machine-dependent, so the committed baselines must
 come from the hardware class that runs the gate.  If the gate reds out on
 every push with no performance-relevant diff, re-record the baselines on the
@@ -46,6 +59,45 @@ from pathlib import Path
 
 BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
+
+# Make `repro` importable for the complexity pass without PYTHONPATH=src.
+SRC = str(REPO_ROOT / "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+try:
+    from repro.analysis.costmodel import failures_for_record
+except ImportError:  # pragma: no cover - sympy is present in CI
+    failures_for_record = None
+
+#: Bench modules allowed to have no committed ``BENCH_*.json`` record.
+#: Every other ``bench_*.py`` must be recorded — an unrecorded bench is
+#: invisible to this gate, which is exactly how the a01 blind spot
+#: happened.  The e-series modules are *evidence* benches: they print the
+#: paper-claim tables for humans and assert correctness inline, but their
+#: timings gate nothing, so recording them would only add churn.  Adding a
+#: module here is a reviewed statement that its performance is
+#: deliberately ungated.
+UNRECORDED_EXEMPT = frozenset(
+    f"bench_e{index:02d}_" for index in range(1, 16)
+)
+
+
+def record_coverage_failures() -> list[str]:
+    """Bench modules that are neither recorded nor explicitly exempted."""
+    failures = []
+    for path in sorted(BENCH_DIR.glob("bench_*.py")):
+        if (BENCH_DIR / f"BENCH_{path.stem}.json").exists():
+            continue
+        if any(path.stem.startswith(prefix) for prefix in UNRECORDED_EXEMPT):
+            continue
+        failures.append(
+            f"{path.name}: no committed BENCH_{path.stem}.json and not in"
+            f" UNRECORDED_EXEMPT — run `python benchmarks/_runner.py"
+            f" {path.stem.removeprefix('bench_')[:3]}` and commit the"
+            f" record, or exempt the module with a justification"
+        )
+    return failures
 
 
 def committed_record(path: Path, baseline: str = "HEAD") -> dict | None:
@@ -161,12 +213,24 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     failures = []
+    if not args.patterns:
+        # Coverage: every bench module must be recorded or exempted (only
+        # meaningful unfiltered — a substring run sees a partial universe).
+        for violation in record_coverage_failures():
+            line = f"{violation} COVERAGE FAILED"
+            print(line)
+            failures.append(line)
     for path in records:
         fresh = json.loads(path.read_text())
         for violation in gate_failures(fresh):
             line = f"{path.name} :: {violation} GATE FAILED"
             print(line)
             failures.append(line)
+        if failures_for_record is not None:
+            for violation in failures_for_record(fresh):
+                line = f"{path.name} :: {violation} COMPLEXITY FAILED"
+                print(line)
+                failures.append(line)
         committed = committed_record(path, args.baseline)
         if committed is None:
             print(f"{path.name}: no committed baseline (new record) — ok")
@@ -189,14 +253,16 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"\n{len(failures)} benchmark entr"
             f"{'y' if len(failures) == 1 else 'ies'} regressed more than"
-            f" {args.threshold:.0%} or failed a hard gate:"
+            f" {args.threshold:.0%}, failed a hard/complexity gate, or"
+            f" lack a committed record:"
         )
         for line in failures:
             print(f"  {line}")
         return 1
     print(
         f"\nall benchmark records within {args.threshold:.0%}"
-        f" of {args.baseline} and within their hard gates"
+        f" of {args.baseline}, within their hard and complexity gates,"
+        f" and every bench module recorded or exempted"
     )
     return 0
 

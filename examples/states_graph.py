@@ -28,6 +28,7 @@ Run:  python examples/states_graph.py
 
 import time
 
+from repro import ExecutionPolicy
 from repro.core import default_inputs
 from repro.faults import exhaustive_worst_case_delay
 from repro.stabilization import (
@@ -117,7 +118,10 @@ def main() -> None:
     inputs = default_inputs(protocol)
     initials = list(broadcast_labelings(protocol.topology, protocol.label_space))
     start = time.perf_counter()
-    graph = StatesGraph(protocol, inputs, huge_r, initials, symmetry="auto")
+    graph = StatesGraph(
+        protocol, inputs, huge_r, initials,
+        policy=ExecutionPolicy(symmetry="auto"),
+    )
     elapsed = time.perf_counter() - start
     stats = graph.stats()
     print(

@@ -5,7 +5,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-stateless-computation",
-    version="0.5.0",
+    version="0.6.0",
     description=(
         "Reproduction of 'Stateless Computation'"
         " (Dolev, Erdmann, Lutz, Schapira, Zair; PODC 2017)"
@@ -19,7 +19,16 @@ setup(
         # Compiled fused-window kernels (repro.core.batch_kernels);
         # kernel="auto" picks them up whenever numba imports.
         "numba": ["numba>=0.57", "numpy>=1.22"],
+        # Symbolic cost model, trajectory fitting, complexity gates,
+        # and cost-model-backed service admission control.
+        "costmodel": ["sympy>=1.11"],
         # Everything the test suite and benchmarks need.
-        "test": ["pytest", "pytest-benchmark", "hypothesis", "numpy>=1.22"],
+        "test": [
+            "pytest",
+            "pytest-benchmark",
+            "hypothesis",
+            "numpy>=1.22",
+            "sympy>=1.11",
+        ],
     },
 )

@@ -22,9 +22,20 @@ distributed computation and every construction in it:
 * ``repro.faults`` — adversarial fault injection: fault models on flat label
   tuples, fault schedules, certified recovery runs, and convergence-delaying
   adversarial schedules (the operational reading of Section 1.2).
-* ``repro.analysis`` — round/label complexity measurement, reporting, and
-  the sweep runners (``run_sweep``, ``run_resilience_sweep``: many cases
-  through one compiled protocol).
+* ``repro.analysis`` — round/label complexity measurement, reporting, the
+  sweep runners (``run_sweep``, ``run_resilience_sweep``: many cases
+  through one compiled protocol), and the symbolic cost model
+  (``repro.analysis.costmodel``, requires the ``costmodel`` extra).
+* ``repro.service`` — the sweep job service: planner/executor split,
+  content-addressed result caching, and cost-model-backed admission
+  control.
+
+How any of these *run* — executor, kernel, fan-out, frontier engine,
+symmetry quotient — is described by one frozen value object,
+:class:`repro.ExecutionPolicy`, accepted uniformly by the sweep runners,
+the service layer, and the exploration core.  Policies are cosmetic:
+they change how fast answers arrive, never which answers (or which cache
+keys).
 
 See ``ARCHITECTURE.md`` for the layer stack, including the compiled
 fast-path engine core (``repro.core.compiled``).
@@ -44,12 +55,15 @@ from repro.core import (
     synchronous_run,
 )
 from repro.graphs import Topology
+from repro.policy import DEFAULT_POLICY, ExecutionPolicy
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CompiledProtocol",
     "Configuration",
+    "DEFAULT_POLICY",
+    "ExecutionPolicy",
     "Labeling",
     "RunOutcome",
     "RunReport",

@@ -44,6 +44,7 @@ from repro.core.protocol import Protocol
 from repro.exceptions import ValidationError
 from repro.faults.injection import run_with_faults
 from repro.faults.schedules import FaultSchedule
+from repro.policy import UNSET, ExecutionPolicy, resolve_policy
 
 #: Builds the fault plan for one case: ``(case_index, case) -> FaultSchedule``.
 FaultFactory = Callable[[int, SweepCase], FaultSchedule]
@@ -197,19 +198,21 @@ def _run_fault_cases(protocol, cases, per_case, max_steps, start_index):
 
 
 def _run_fault_cases_batch(
-    protocol, cases, per_case, max_steps, start_index, kernel=None
+    protocol, cases, per_case, max_steps, start_index, kernel=None, chunk_rows=None
 ):
     """Batch worker: injected cases in vectorized lockstep runs.
 
-    Large case lists run as sub-batches of ``SWEEP_CHUNK_ROWS`` for cache
-    residency, mirroring :func:`repro.analysis.sweeps._run_cases_batch`.
+    Large case lists run as sub-batches of ``chunk_rows`` (default
+    ``SWEEP_CHUNK_ROWS``) for cache residency, mirroring
+    :func:`repro.analysis.sweeps._run_cases_batch`.
     """
     from repro.core.batch import SWEEP_CHUNK_ROWS, BatchSimulator
 
+    rows = chunk_rows if chunk_rows is not None else SWEEP_CHUNK_ROWS
     results = []
-    for lo in range(0, len(cases), SWEEP_CHUNK_ROWS):
-        chunk = cases[lo : lo + SWEEP_CHUNK_ROWS]
-        chunk_per_case = per_case[lo : lo + SWEEP_CHUNK_ROWS]
+    for lo in range(0, len(cases), rows):
+        chunk = cases[lo : lo + rows]
+        chunk_per_case = per_case[lo : lo + rows]
         simulator = BatchSimulator(
             protocol,
             [case.inputs for case in chunk],
@@ -253,11 +256,12 @@ def run_resilience_sweep(
     fault_factory: FaultFactory,
     *,
     max_steps: int = DEFAULT_MAX_STEPS,
-    processes: int | None = None,
+    policy: ExecutionPolicy | None = None,
     recovered: str | Callable[[FaultCaseResult], bool] = "label",
     strict: bool = False,
-    executor: str = "serial",
-    kernel: str | None = None,
+    processes: int | None = UNSET,
+    executor: str = UNSET,
+    kernel: str | None = UNSET,
 ) -> ResilienceReport:
     """Inject faults into every case and measure certified recovery.
 
@@ -265,13 +269,15 @@ def run_resilience_sweep(
     (return :class:`repro.faults.NoFaults` for fault-free controls);
     ``recovered`` names a criterion from :data:`RECOVERY_CRITERIA` or is a
     predicate applied in the parent process.  Everything else matches
-    :func:`repro.analysis.sweeps.run_sweep`, including the serial fallback
-    (with a :class:`RuntimeWarning`, or re-raised under ``strict=True``)
-    when the sweep does not pickle and the ``executor="batch"`` option
-    (vectorized lockstep injection through :mod:`repro.core.batch`, with
-    fault models fired via their batch hooks — reports equal to serial,
-    case for case).  ``kernel`` (batch executor only) picks the batch
-    compute kernel, as in :func:`run_sweep`.
+    :func:`repro.analysis.sweeps.run_sweep`: ``policy``
+    (:class:`repro.ExecutionPolicy`) selects the case backend
+    (``executor="batch"`` injects in vectorized lockstep through
+    :mod:`repro.core.batch`, with fault models fired via their batch hooks
+    — reports equal to serial, case for case), the batch ``kernel``, and
+    the fan-out width, with the same serial fallback (a
+    :class:`RuntimeWarning`, or re-raised under ``strict=True``) when the
+    sweep does not pickle.  The scattered ``processes=`` / ``executor=`` /
+    ``kernel=`` keywords are deprecated shims for the policy fields.
 
     Like :func:`run_sweep`, this is now a thin wrapper over the service
     layer's planner/executor split
@@ -283,18 +289,16 @@ def run_resilience_sweep(
     from repro.service.executor import execute_plan, resolve_plan_runner
     from repro.service.plan import plan_resilience_sweep
 
+    policy = resolve_policy(
+        policy,
+        {"processes": processes, "executor": executor, "kernel": kernel},
+        api="run_resilience_sweep",
+    )
     # Validate executor/kernel/criterion before any factory runs, matching
     # the one-shot runner's error order.
-    resolve_plan_runner("resilience", executor, kernel)
+    resolve_plan_runner("resilience", policy.executor, policy.kernel)
     resolve_criterion(recovered)
     plan = plan_resilience_sweep(
         protocol, cases, schedule_factory, fault_factory, max_steps=max_steps
     )
-    return execute_plan(
-        plan,
-        processes=processes,
-        strict=strict,
-        executor=executor,
-        kernel=kernel,
-        recovered=recovered,
-    )
+    return execute_plan(plan, policy=policy, strict=strict, recovered=recovered)

@@ -47,6 +47,7 @@ from repro.core.engine import DEFAULT_MAX_STEPS, Simulator
 from repro.core.protocol import Protocol
 from repro.core.schedule import Schedule
 from repro.exceptions import ValidationError
+from repro.policy import UNSET, ExecutionPolicy, resolve_policy
 
 #: Builds the schedule for one case: ``(case_index, case) -> Schedule``.
 ScheduleFactory = Callable[[int, "SweepCase"], Schedule]
@@ -230,20 +231,22 @@ def _run_cases_batch(
     max_steps: int,
     start_index: int,
     kernel: str | None = None,
+    chunk_rows: int | None = None,
 ) -> list[CaseResult]:
     """Run a slice of cases in lockstep through the vectorized batch backend.
 
     Same contract as :func:`_run_cases` (the reports are equal case for
     case); the import is deferred so the serial sweep path never requires
-    numpy.  Large case lists run as several sub-batches of
-    ``SWEEP_CHUNK_ROWS`` — cases are independent, so slicing changes nothing
-    but cache residency.
+    numpy.  Large case lists run as several sub-batches of ``chunk_rows``
+    (default ``SWEEP_CHUNK_ROWS``) — cases are independent, so slicing
+    changes nothing but cache residency.
     """
     from repro.core.batch import SWEEP_CHUNK_ROWS, BatchSimulator
 
+    rows = chunk_rows if chunk_rows is not None else SWEEP_CHUNK_ROWS
     results = []
-    for lo in range(0, len(cases), SWEEP_CHUNK_ROWS):
-        chunk = cases[lo : lo + SWEEP_CHUNK_ROWS]
+    for lo in range(0, len(cases), rows):
+        chunk = cases[lo : lo + rows]
         simulator = BatchSimulator(
             protocol,
             [case.inputs for case in chunk],
@@ -251,7 +254,7 @@ def _run_cases_batch(
         )
         reports = simulator.run_batch(
             [case.labeling for case in chunk],
-            schedules[lo : lo + SWEEP_CHUNK_ROWS],
+            schedules[lo : lo + rows],
             max_steps=max_steps,
             initial_outputs=[case.initial_outputs for case in chunk],
         )
@@ -305,10 +308,11 @@ def run_sweep(
     schedule_factory: ScheduleFactory,
     *,
     max_steps: int = DEFAULT_MAX_STEPS,
-    processes: int | None = None,
+    policy: ExecutionPolicy | None = None,
     strict: bool = False,
-    executor: str = "serial",
-    kernel: str | None = None,
+    processes: int | None = UNSET,
+    executor: str = UNSET,
+    kernel: str | None = UNSET,
 ) -> SweepReport:
     """Run every case through one compiled form of ``protocol``.
 
@@ -317,20 +321,20 @@ def run_sweep(
     tag]])``).  ``schedule_factory(index, case)`` must return a *fresh*
     schedule per case; it is invoked in the parent process in case order
     regardless of fan-out, so stateful (seeded) factories produce
-    bit-identical sweeps serial and parallel.  ``processes > 1`` fans the
-    case list out over a ``multiprocessing`` pool when everything involved
-    pickles; otherwise the sweep runs in-process, emitting a
-    :class:`RuntimeWarning` naming the reason — or, with ``strict=True``,
-    re-raising the underlying error instead of falling back.
+    bit-identical sweeps serial and parallel.
 
-    ``executor="batch"`` steps all cases in lockstep through the numpy
-    backend (:mod:`repro.core.batch`) instead of one run loop per case; the
-    resulting :class:`SweepReport` is equal to the serial one, case for
-    case.  Batch execution composes with ``processes``: each worker runs its
-    chunk as one vectorized batch.  ``kernel`` (batch executor only) picks
-    the batch compute kernel — ``"numpy"``, ``"numba"``, or ``"auto"``
-    (:class:`repro.core.batch.BatchSimulator`); the reports are bit-identical
-    either way.
+    ``policy`` (:class:`repro.ExecutionPolicy`) holds every performance
+    knob — the case backend (``executor="batch"`` steps all cases in
+    lockstep through the numpy backend; the resulting :class:`SweepReport`
+    is equal to the serial one, case for case), the batch compute
+    ``kernel``, the ``multiprocessing`` fan-out width ``processes`` (when
+    everything involved pickles; otherwise the sweep runs in-process,
+    emitting a :class:`RuntimeWarning` naming the reason — or, with
+    ``strict=True``, re-raising the underlying error instead of falling
+    back), and the batch ``chunk_rows``.  The policy changes how fast the
+    report is produced, never its contents.  The scattered ``processes=`` /
+    ``executor=`` / ``kernel=`` keywords are deprecated shims for the same
+    fields.
 
     Since the service layer landed, this is a thin wrapper over the
     planner/executor split: :func:`repro.service.plan_sweep` materializes
@@ -343,17 +347,16 @@ def run_sweep(
     from repro.service.executor import execute_plan, resolve_plan_runner
     from repro.service.plan import plan_sweep
 
+    policy = resolve_policy(
+        policy,
+        {"processes": processes, "executor": executor, "kernel": kernel},
+        api="run_sweep",
+    )
     # Validate executor/kernel before invoking any factory, as the one-shot
     # runner always did.
-    resolve_plan_runner("sweep", executor, kernel)
+    resolve_plan_runner("sweep", policy.executor, policy.kernel)
     plan = plan_sweep(protocol, cases, schedule_factory, max_steps=max_steps)
-    return execute_plan(
-        plan,
-        processes=processes,
-        strict=strict,
-        executor=executor,
-        kernel=kernel,
-    )
+    return execute_plan(plan, policy=policy, strict=strict)
 
 
 def fan_out(runner, protocol, case_list, per_case, max_steps, processes, strict=False):

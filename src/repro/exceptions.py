@@ -27,3 +27,7 @@ class FingerprintError(ReproError):
 
 class JobError(ReproError):
     """A sweep-service job failed, was cancelled, or does not exist."""
+
+
+class AdmissionError(JobError):
+    """A sweep-service job was refused by the admission policy."""

@@ -43,6 +43,7 @@ from repro.core.configuration import Labeling
 from repro.core.protocol import Protocol
 from repro.core.schedule import LassoSchedule, Schedule
 from repro.exceptions import ValidationError
+from repro.policy import UNSET, ExecutionPolicy, resolve_policy
 from repro.stabilization.exploration import (
     DEFAULT_STATE_BUDGET,
     ExplorationGraph,
@@ -199,9 +200,10 @@ def exhaustive_worst_case_delay(
     initial_labeling: Labeling,
     r: int,
     budget: int = DEFAULT_STATE_BUDGET,
-    symmetry="none",
-    frontier: str = "auto",
-    spill_dir=None,
+    policy: ExecutionPolicy | None = None,
+    symmetry=UNSET,
+    frontier: str = UNSET,
+    spill_dir=UNSET,
 ) -> WorstCaseDelay:
     """Exact worst-case delay via the Theorem 3.1 states-graph.
 
@@ -218,6 +220,11 @@ def exhaustive_worst_case_delay(
     unchanged while the graph is up to ``|G|`` times smaller.  Witness
     schedules are lifted back to concrete activation sets before return.
     """
+    policy = resolve_policy(
+        policy,
+        {"symmetry": symmetry, "frontier": frontier, "spill_dir": spill_dir},
+        api="exhaustive_worst_case_delay",
+    )
     inputs = tuple(inputs)
     graph = ExplorationGraph(
         protocol,
@@ -226,9 +233,7 @@ def exhaustive_worst_case_delay(
         [initial_labeling],
         budget=budget,
         name="states-graph",
-        symmetry=symmetry,
-        frontier=frontier,
-        spill_dir=spill_dir,
+        policy=policy,
     )
     compiled = graph.compiled
     edge_offsets = graph.edge_offsets
@@ -367,18 +372,23 @@ class MinimaxAdversarySchedule(Schedule):
         initial_labeling: Labeling,
         r: int,
         budget: int = DEFAULT_STATE_BUDGET,
-        symmetry="none",
-        frontier: str = "auto",
+        policy: ExecutionPolicy | None = None,
+        symmetry=UNSET,
+        frontier: str = UNSET,
     ):
         super().__init__(protocol.n)
+        policy = resolve_policy(
+            policy,
+            {"symmetry": symmetry, "frontier": frontier},
+            api="MinimaxAdversarySchedule",
+        )
         self.worst_case = exhaustive_worst_case_delay(
             protocol,
             inputs,
             initial_labeling,
             r,
             budget=budget,
-            symmetry=symmetry,
-            frontier=frontier,
+            policy=policy,
         )
         self.r = r
         self._realized = self.worst_case.schedule()

@@ -18,12 +18,20 @@ content-addressed result caching and a submit/stream/result job lifecycle.
 * :mod:`repro.service.jobs` / :mod:`repro.service.client` —
   :class:`SweepService` worker pool and the :class:`ServiceClient` /
   :class:`JobHandle` front-end.  ``python -m repro.service`` is the CLI.
+* :mod:`repro.service.admission` — cost-model-backed admission control:
+  :func:`predict_plan_cost` prices a plan (cache-hit-aware) and an
+  :class:`AdmissionPolicy` accepts, rejects, or queues each submission.
 
 The legacy one-shot entry points (:func:`repro.analysis.run_sweep`,
 :func:`repro.analysis.run_resilience_sweep`) are thin wrappers over this
 layer, so "plan then execute" and "run" are the same computation.
 """
 
+from repro.service.admission import (
+    AdmissionDecision,
+    AdmissionPolicy,
+    predict_plan_cost,
+)
 from repro.service.cache import (
     CacheStats,
     InMemoryCache,
@@ -53,6 +61,9 @@ from repro.service.plan import (
 )
 
 __all__ = [
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "predict_plan_cost",
     "CacheStats",
     "InMemoryCache",
     "ResultCache",

@@ -30,6 +30,7 @@ import sys
 
 from repro.core import Labeling
 from repro.core.schedule import SynchronousSchedule
+from repro.policy import ExecutionPolicy
 from repro.service.cache import InMemoryCache, SqliteCache
 from repro.service.client import ServiceClient
 from repro.service.jobs import SweepService
@@ -85,7 +86,7 @@ def cmd_demo(args, out=sys.stdout) -> int:
     with _open_cache(args.cache) as cache:
         with ServiceClient(cache=cache, records_dir=args.records_dir) as client:
             options = {
-                "executor": args.executor,
+                "policy": ExecutionPolicy(executor=args.executor),
                 "shard_size": args.shard_size,
             }
             print("cold submission:", file=out)
@@ -109,7 +110,7 @@ def cmd_run(args, out=sys.stdout) -> int:
         with service:
             handle = ServiceClient(service).submit_plan(
                 plan,
-                executor=args.executor,
+                policy=ExecutionPolicy(executor=args.executor),
                 shard_size=args.shard_size,
                 recovered=args.recovered,
             )

@@ -1,0 +1,201 @@
+"""Admission control for the sweep service: predict, then decide.
+
+The service's cost loop closes here.  The symbolic cost model
+(:mod:`repro.analysis.costmodel`) prices a sweep before it runs;
+:func:`predict_plan_cost` grounds that price in a concrete
+:class:`~repro.service.plan.SweepPlan` — node count and degree from the
+plan's protocol, the step budget as the per-case work bound, and the
+service's result cache probed fingerprint by fingerprint so already-stored
+cases are discounted to a lookup.  An :class:`AdmissionPolicy` then turns
+the :class:`~repro.analysis.costmodel.CostEstimate` into an
+:class:`AdmissionDecision`:
+
+* within budget → ``"accept"``: the job queues normally;
+* over budget, ``over_budget="reject"`` → ``"reject"``: the job lands in
+  the terminal REJECTED state (still queryable, still recorded);
+* over budget, ``over_budget="queue"`` → ``"queue"``: the job is held
+  PENDING and re-evaluated whenever another job completes — the cache only
+  grows, so a held plan's predicted cost is monotonically non-increasing
+  and the hold resolves as soon as enough of its cases are warm.
+
+Decisions are pure functions of the estimate and the policy — no clocks,
+no load sampling — so an admission outcome is reproducible from the
+recorded numbers alone.
+
+Budgets can be set in *work units* (the model's elementary-operation
+counts; robust across machines) or *seconds* (via the model's coarse
+per-layer calibration constants; convenient but machine-dependent — leave
+headroom).  This module imports without sympy; only
+:func:`predict_plan_cost` reaches into :mod:`repro.analysis.costmodel`,
+so a service without an admission policy never needs the ``costmodel``
+extra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+from repro.policy import ExecutionPolicy
+from repro.service.plan import SweepPlan
+
+#: What an :class:`AdmissionPolicy` may do with an over-budget plan.
+OVER_BUDGET_ACTIONS = ("reject", "queue")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One admission verdict, with the numbers that produced it.
+
+    ``action`` is ``"accept"``, ``"reject"``, or ``"queue"``; ``reason``
+    is the human-readable justification that job errors and records carry.
+    The estimate's headline figures are denormalized in so the decision
+    serializes into job records without dragging the estimate along.
+    """
+
+    action: str
+    reason: str
+    predicted_work: float
+    predicted_seconds: float
+    cases: int
+    cached_cases: int
+
+    def record(self) -> dict:
+        """The JSON-able form stored under a job record's ``admission``."""
+        return {
+            "action": self.action,
+            "reason": self.reason,
+            "predicted_work": self.predicted_work,
+            "predicted_seconds": self.predicted_seconds,
+            "cases": self.cases,
+            "cached_cases": self.cached_cases,
+        }
+
+    def describe(self) -> str:
+        return f"AdmissionDecision({self.action}: {self.reason})"
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """A deterministic work/time budget for submitted plans.
+
+    ``max_work`` bounds the predicted work units, ``max_seconds`` the
+    predicted wall time; either may be ``None`` (unbounded), but not both —
+    a policy that cannot refuse anything is a configuration error.
+    ``over_budget`` picks what happens to a plan that exceeds any set
+    bound: ``"reject"`` refuses it outright, ``"queue"`` holds it until
+    cache warming brings its prediction within budget.
+    """
+
+    max_work: float | None = None
+    max_seconds: float | None = None
+    over_budget: str = "reject"
+
+    def __post_init__(self):
+        if self.max_work is None and self.max_seconds is None:
+            raise ValidationError(
+                "AdmissionPolicy needs max_work and/or max_seconds;"
+                " omit the admission policy entirely to admit everything"
+            )
+        for name, value in (
+            ("max_work", self.max_work),
+            ("max_seconds", self.max_seconds),
+        ):
+            if value is not None and value <= 0:
+                raise ValidationError(f"{name} must be positive; got {value}")
+        if self.over_budget not in OVER_BUDGET_ACTIONS:
+            raise ValidationError(
+                f"unknown over_budget action {self.over_budget!r};"
+                f" expected one of {OVER_BUDGET_ACTIONS}"
+            )
+
+    def decide(self, estimate) -> AdmissionDecision:
+        """Judge one :class:`~repro.analysis.costmodel.CostEstimate`."""
+        overruns = []
+        if self.max_work is not None and estimate.predicted_work > self.max_work:
+            overruns.append(
+                f"predicted work {estimate.predicted_work:,.0f}"
+                f" > budget {self.max_work:,.0f}"
+            )
+        if (
+            self.max_seconds is not None
+            and estimate.predicted_seconds > self.max_seconds
+        ):
+            overruns.append(
+                f"predicted time {estimate.predicted_seconds:.3g}s"
+                f" > budget {self.max_seconds:.3g}s"
+            )
+        if overruns:
+            action = self.over_budget
+            reason = "; ".join(overruns)
+            if estimate.cached_cases:
+                reason += (
+                    f" (after discounting {estimate.cached_cases}"
+                    f"/{estimate.cases} warm cases)"
+                )
+        else:
+            action = "accept"
+            reason = (
+                f"predicted work {estimate.predicted_work:,.0f}"
+                f" (~{estimate.predicted_seconds:.3g}s,"
+                f" {estimate.cached_cases}/{estimate.cases} warm)"
+                f" within budget"
+            )
+        return AdmissionDecision(
+            action=action,
+            reason=reason,
+            predicted_work=estimate.predicted_work,
+            predicted_seconds=estimate.predicted_seconds,
+            cases=estimate.cases,
+            cached_cases=estimate.cached_cases,
+        )
+
+    def describe(self) -> str:
+        bounds = []
+        if self.max_work is not None:
+            bounds.append(f"max_work={self.max_work:,.0f}")
+        if self.max_seconds is not None:
+            bounds.append(f"max_seconds={self.max_seconds:g}")
+        return (
+            f"AdmissionPolicy({', '.join(bounds)},"
+            f" over_budget={self.over_budget!r})"
+        )
+
+
+def predict_plan_cost(
+    plan: SweepPlan,
+    policy: ExecutionPolicy | None = None,
+    *,
+    cache=None,
+):
+    """Price a concrete plan under a policy, cache-hit-aware.
+
+    Grounds :func:`repro.analysis.costmodel.estimate_sweep_cost` in the
+    plan: node count and maximum in-degree from the plan's protocol, the
+    plan's step budget as the per-case work bound, and — when a
+    ``cache`` (:class:`~repro.service.cache.ResultCache`) is given — each
+    case fingerprint probed with :meth:`~ResultCache.contains` (stat-free)
+    so stored cases are discounted to a cache-hit lookup.  ``policy``
+    defaults to the plan's own attached policy, then the library default.
+    Returns a :class:`~repro.analysis.costmodel.CostEstimate`.
+    """
+    from repro.analysis.costmodel import estimate_sweep_cost
+
+    cached = 0
+    if cache is not None and len(plan):
+        cached = sum(
+            1 for key in plan.case_fingerprints() if cache.contains(key)
+        )
+    protocol = plan.protocol
+    degree = max(
+        (protocol.topology.in_degree(i) for i in range(protocol.n)),
+        default=0,
+    )
+    return estimate_sweep_cost(
+        cases=len(plan),
+        nodes=protocol.n,
+        degree=degree,
+        max_steps=plan.max_steps,
+        policy=policy if policy is not None else plan.policy,
+        cached_cases=cached,
+    )

@@ -92,6 +92,16 @@ class ResultCache(ABC):
                 self._hits += 1
             return value
 
+    def contains(self, key: str) -> bool:
+        """Whether ``key`` is stored, *without* counting a hit or miss.
+
+        Admission control probes the store to predict a plan's warm-case
+        discount before deciding whether to run it; a probe is a prophecy,
+        not a lookup, and must not skew the hit-rate counters.
+        """
+        with self._lock:
+            return self._load(key) is not None
+
     def put(self, key: str, value) -> None:
         with self._lock:
             self._store(key, value)

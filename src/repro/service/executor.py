@@ -38,11 +38,14 @@ from repro.analysis import sweeps as _sweeps
 from repro.analysis.resilience import ResilienceReport, resolve_criterion
 from repro.analysis.sweeps import SweepReport, fan_out, resolve_executor
 from repro.exceptions import ValidationError
+from repro.policy import UNSET, ExecutionPolicy, resolve_policy
 from repro.service.cache import ResultCache
 from repro.service.plan import CaseSpec, SweepPlan
 
 
-def resolve_plan_runner(kind: str, executor: str, kernel: str | None):
+def resolve_plan_runner(
+    kind: str, executor: str, kernel: str | None, chunk_rows: int | None = None
+):
     """The case-runner callable for a plan kind / executor / kernel triple.
 
     Validation (and the error messages) match the legacy one-shot entry
@@ -57,13 +60,23 @@ def resolve_plan_runner(kind: str, executor: str, kernel: str | None):
             f"unknown plan kind {kind!r}; expected 'sweep' or 'resilience'"
         )
     runner = resolve_executor(executor, table)
+    batch_options = {}
     if kernel is not None:
         if executor != "batch":
             raise ValidationError(
                 "kernel= selects a batch compute kernel;"
                 " it requires executor='batch'"
             )
-        runner = functools.partial(runner, kernel=kernel)
+        batch_options["kernel"] = kernel
+    if chunk_rows is not None:
+        if executor != "batch":
+            raise ValidationError(
+                "chunk_rows= sizes batch sub-batches;"
+                " it requires executor='batch'"
+            )
+        batch_options["chunk_rows"] = chunk_rows
+    if batch_options:
+        runner = functools.partial(runner, **batch_options)
     return runner
 
 
@@ -188,20 +201,35 @@ def iter_shards(
     *,
     cache: ResultCache | None = None,
     shard_size: int | None = None,
-    processes: int | None = None,
+    policy: ExecutionPolicy | None = None,
     strict: bool = False,
-    executor: str = "serial",
-    kernel: str | None = None,
+    processes: int | None = UNSET,
+    executor: str = UNSET,
+    kernel: str | None = UNSET,
     recovered=None,
 ) -> Iterator[ShardProgress]:
     """Execute a plan shard by shard, yielding progress as each completes.
 
-    ``recovered`` names (or is) the recovery criterion for resilience plans
-    (default ``"label"``, as in the one-shot runner); it is rejected for
-    plain sweep plans.  Empty plans yield nothing — callers wanting a
-    report either way use :func:`execute_plan`.
+    ``policy`` (:class:`repro.ExecutionPolicy`) selects the case backend,
+    kernel, fan-out width, and batch chunking; when omitted, the plan's own
+    attached policy (:attr:`SweepPlan.policy`) applies, then the defaults.
+    The scattered ``processes=`` / ``executor=`` / ``kernel=`` keywords are
+    deprecated shims for the policy fields.  ``recovered`` names (or is)
+    the recovery criterion for resilience plans (default ``"label"``, as in
+    the one-shot runner); it is rejected for plain sweep plans.  Empty
+    plans yield nothing — callers wanting a report either way use
+    :func:`execute_plan`.
     """
-    runner = resolve_plan_runner(plan.kind, executor, kernel)
+    policy = resolve_policy(
+        policy,
+        {"processes": processes, "executor": executor, "kernel": kernel},
+        api="iter_shards",
+        fallback=plan.policy,
+    )
+    processes = policy.processes
+    runner = resolve_plan_runner(
+        plan.kind, policy.executor, policy.kernel, policy.chunk_rows
+    )
     if plan.kind == "resilience":
         criterion = resolve_criterion("label" if recovered is None else recovered)
     else:
@@ -243,27 +271,34 @@ def execute_plan(
     *,
     cache: ResultCache | None = None,
     shard_size: int | None = None,
-    processes: int | None = None,
+    policy: ExecutionPolicy | None = None,
     strict: bool = False,
-    executor: str = "serial",
-    kernel: str | None = None,
+    processes: int | None = UNSET,
+    executor: str = UNSET,
+    kernel: str | None = UNSET,
     recovered=None,
 ) -> SweepReport | ResilienceReport:
     """Execute a plan to completion and return the aggregated report.
 
-    With the defaults (no cache, one shard) this is exactly the legacy
-    one-shot runner on the plan's cases — same runners, same fan-out, same
-    warnings, same report.
+    With the defaults (no cache, one shard, no policy beyond the plan's
+    own) this is exactly the legacy one-shot runner on the plan's cases —
+    same runners, same fan-out, same warnings, same report.  The scattered
+    ``processes=`` / ``executor=`` / ``kernel=`` keywords are deprecated
+    shims for :class:`repro.ExecutionPolicy` fields.
     """
+    policy = resolve_policy(
+        policy,
+        {"processes": processes, "executor": executor, "kernel": kernel},
+        api="execute_plan",
+        fallback=plan.policy,
+    )
     report = plan.empty_report()
     for progress in iter_shards(
         plan,
         cache=cache,
         shard_size=shard_size,
-        processes=processes,
+        policy=policy,
         strict=strict,
-        executor=executor,
-        kernel=kernel,
         recovered=recovered,
     ):
         report = progress.aggregate

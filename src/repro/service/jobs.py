@@ -40,6 +40,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.exceptions import JobError, ValidationError
+from repro.policy import UNSET, ExecutionPolicy, resolve_policy
+from repro.service.admission import (
+    AdmissionDecision,
+    AdmissionPolicy,
+    predict_plan_cost,
+)
 from repro.service.cache import InMemoryCache, ResultCache
 from repro.service.executor import ShardProgress, iter_shards
 from repro.service.plan import SweepPlan
@@ -48,12 +54,20 @@ from repro.service.plan import SweepPlan
 #: (newest kept) — matches ``benchmarks/_runner.py``.
 HISTORY_LIMIT = 50
 
+#: How often a blocked ``result()``/``stream()`` call reprices a queue-held
+#: job, in seconds.  The service also reprices after every job it completes
+#: itself, but a cache shared with *other* services (or processes) can grow
+#: without any local completion — polling keeps held jobs live either way.
+HELD_REPRICE_INTERVAL = 0.1
+
 
 class JobState(enum.Enum):
     """Lifecycle of a submitted job.
 
     ``PENDING -> RUNNING -> {DONE, FAILED, CANCELLED}``; cancellation can
-    also strike a job that never started.
+    also strike a job that never started, and a service with an admission
+    policy can move an over-budget submission straight to ``REJECTED`` (or
+    hold it in ``PENDING`` until the cache makes its predicted cost fit).
     """
 
     PENDING = "pending"
@@ -61,10 +75,17 @@ class JobState(enum.Enum):
     DONE = "done"
     FAILED = "failed"
     CANCELLED = "cancelled"
+    #: Refused by the admission policy at submission time (terminal).
+    REJECTED = "rejected"
 
     @property
     def terminal(self) -> bool:
-        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+        return self in (
+            JobState.DONE,
+            JobState.FAILED,
+            JobState.CANCELLED,
+            JobState.REJECTED,
+        )
 
 
 @dataclass(frozen=True)
@@ -81,6 +102,9 @@ class JobStatus:
     cache_hits: int
     cache_misses: int
     error: str | None = None
+    #: Admission verdict (``"accept"``/``"reject"``/``"queue"``), or
+    #: ``None`` on services without an admission policy.
+    admission: str | None = None
 
     def describe(self) -> str:
         return (
@@ -104,6 +128,10 @@ class _Job:
     cancel_event: threading.Event = field(default_factory=threading.Event)
     started_at: float | None = None
     finished_at: float | None = None
+    #: Latest admission verdict (None without an admission policy).
+    admission: AdmissionDecision | None = None
+    #: True while the job is held back by a "queue" admission verdict.
+    held: bool = False
 
 
 class SweepService:
@@ -113,6 +141,15 @@ class SweepService:
     :class:`~repro.service.cache.SqliteCache` for a cache that survives the
     process.  ``records_dir`` (optional) receives one BENCH-style JSON
     record per completed job.
+
+    ``admission`` (optional :class:`~repro.service.admission.AdmissionPolicy`)
+    turns on admission control: every submission's cost is predicted first
+    (:func:`~repro.service.admission.predict_plan_cost`, against this
+    service's cache — warm cases are discounted), and over-budget plans are
+    either REJECTED outright or held PENDING and re-evaluated whenever a
+    job finishes (completed jobs warm the cache, so a held plan's predicted
+    cost only falls).  The verdict is recorded on the job and in its JSON
+    record.
     """
 
     def __init__(
@@ -121,11 +158,14 @@ class SweepService:
         *,
         workers: int = 1,
         records_dir=None,
+        admission: AdmissionPolicy | None = None,
     ):
         if workers < 1:
             raise ValidationError("workers must be >= 1")
         self.cache = cache if cache is not None else InMemoryCache()
         self.records_dir = Path(records_dir) if records_dir is not None else None
+        self.admission = admission
+        self._held: list[str] = []
         self._jobs: dict[str, _Job] = {}
         self._queue: queue.Queue = queue.Queue()
         self._lock = threading.Lock()
@@ -147,19 +187,39 @@ class SweepService:
         self,
         plan: SweepPlan,
         *,
+        policy: ExecutionPolicy | None = None,
         shard_size: int | None = None,
-        processes: int | None = None,
         strict: bool = False,
-        executor: str = "serial",
-        kernel: str | None = None,
+        processes: int | None = UNSET,
+        executor: str = UNSET,
+        kernel: str | None = UNSET,
         recovered=None,
     ) -> str:
         """Queue a plan for execution and return its job id.
 
-        The execution options mirror :func:`repro.service.execute_plan`.
-        The id embeds the plan fingerprint, so identical resubmissions are
-        visibly related (``job-3-0f0b5a…`` vs ``job-7-0f0b5a…``).
+        The execution options mirror :func:`repro.service.execute_plan`:
+        ``policy`` (:class:`repro.ExecutionPolicy`) carries the performance
+        knobs, defaulting to the plan's own attached policy; the scattered
+        ``processes=`` / ``executor=`` / ``kernel=`` keywords are
+        deprecated shims.  The id embeds the plan fingerprint, so identical
+        resubmissions are visibly related (``job-3-0f0b5a…`` vs
+        ``job-7-0f0b5a…``).
+
+        On a service with an admission policy, an over-budget plan is
+        REJECTED (the returned job id stays queryable and the decision is
+        recorded) or held PENDING for re-evaluation, per the policy's
+        ``over_budget`` action.
         """
+        policy = resolve_policy(
+            policy,
+            {"processes": processes, "executor": executor, "kernel": kernel},
+            api="SweepService.submit",
+            fallback=plan.policy,
+        )
+        decision = None
+        if self.admission is not None:
+            estimate = predict_plan_cost(plan, policy, cache=self.cache)
+            decision = self.admission.decide(estimate)
         with self._lock:
             if self._closed:
                 raise JobError("service is closed")
@@ -169,15 +229,24 @@ class SweepService:
                 plan=plan,
                 options={
                     "shard_size": shard_size,
-                    "processes": processes,
+                    "policy": policy,
                     "strict": strict,
-                    "executor": executor,
-                    "kernel": kernel,
                     "recovered": recovered,
                 },
+                admission=decision,
             )
             self._jobs[job_id] = job
-        self._queue.put(job_id)
+            if decision is not None and decision.action == "reject":
+                job.error = f"admission rejected: {decision.reason}"
+                self._finish(job, JobState.REJECTED)
+            elif decision is not None and decision.action == "queue":
+                job.held = True
+                self._held.append(job_id)
+        if job.state is JobState.REJECTED:
+            self._write_record(job)
+            return job_id
+        if not job.held:
+            self._queue.put(job_id)
         return job_id
 
     def status(self, job_id: str) -> JobStatus:
@@ -196,6 +265,7 @@ class SweepService:
                 cache_hits=latest.cache_hits if latest else 0,
                 cache_misses=latest.cache_misses if latest else 0,
                 error=job.error,
+                admission=job.admission.action if job.admission else None,
             )
 
     def stream(self, job_id: str) -> Iterator[ShardProgress]:
@@ -210,32 +280,60 @@ class SweepService:
             with self._updated:
                 job = self._require(job_id)
                 self._updated.wait_for(
-                    lambda: len(job.progress) > seen or job.state.terminal
+                    lambda: len(job.progress) > seen or job.state.terminal,
+                    timeout=HELD_REPRICE_INTERVAL if job.held else None,
                 )
                 fresh = job.progress[seen:]
                 seen += len(fresh)
                 state, error = job.state, job.error
+                held = job.held
+            if held:
+                self._review_held()
             yield from fresh
             if state.terminal and seen == len(job.progress):
                 if state is JobState.FAILED:
                     raise JobError(f"job {job_id} failed: {error}")
                 if state is JobState.CANCELLED:
                     raise JobError(f"job {job_id} was cancelled")
+                if state is JobState.REJECTED:
+                    raise JobError(f"job {job_id} was rejected: {error}")
                 return
 
     def result(self, job_id: str, timeout: float | None = None):
-        """Block until the job finishes and return its report."""
-        with self._updated:
-            job = self._require(job_id)
-            if not self._updated.wait_for(
-                lambda: job.state.terminal, timeout=timeout
-            ):
-                raise JobError(f"job {job_id} did not finish within {timeout}s")
-            if job.state is JobState.FAILED:
-                raise JobError(f"job {job_id} failed: {job.error}")
-            if job.state is JobState.CANCELLED:
-                raise JobError(f"job {job_id} was cancelled")
-            return job.report
+        """Block until the job finishes and return its report.
+
+        While the job is queue-held, its cost is repriced against the cache
+        every :data:`HELD_REPRICE_INTERVAL` seconds, so warmth contributed by
+        *other* services sharing the cache releases it too.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._updated:
+                job = self._require(job_id)
+                if job.state.terminal:
+                    if job.state is JobState.FAILED:
+                        raise JobError(f"job {job_id} failed: {job.error}")
+                    if job.state is JobState.CANCELLED:
+                        raise JobError(f"job {job_id} was cancelled")
+                    if job.state is JobState.REJECTED:
+                        raise JobError(
+                            f"job {job_id} was rejected: {job.error}"
+                        )
+                    return job.report
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise JobError(
+                            f"job {job_id} did not finish within {timeout}s"
+                        )
+                held = job.held
+                slice_ = HELD_REPRICE_INTERVAL if held else remaining
+                if remaining is not None and slice_ is not None:
+                    slice_ = min(slice_, remaining)
+                self._updated.wait(timeout=slice_)
+            if held:
+                self._review_held()
 
     def cancel(self, job_id: str) -> bool:
         """Request cancellation; ``True`` if the job will not run to DONE.
@@ -270,6 +368,14 @@ class SweepService:
             if self._closed:
                 return
             self._closed = True
+            # Admission-held jobs are not in the worker queue and can never
+            # finish on their own — cancel them regardless of ``wait``.
+            for job_id in self._held:
+                job = self._jobs[job_id]
+                if not job.state.terminal:
+                    job.cancel_event.set()
+                    self._finish(job, JobState.CANCELLED)
+            self._held.clear()
             if not wait:
                 for job in self._jobs.values():
                     if not job.state.terminal:
@@ -324,6 +430,45 @@ class SweepService:
                     job.error = f"{type(error).__name__}: {error}"
                     self._finish(job, JobState.FAILED)
             self._write_record(job)
+            # Whatever just ran warmed the cache; held plans may now fit.
+            self._review_held()
+
+    def _review_held(self) -> None:
+        """Re-admit queue-held jobs whose predicted cost now fits.
+
+        Called after every completed job and by blocked ``result()``/
+        ``stream()`` polls: cache entries only accumulate, so a held plan's
+        predicted cost is monotonically non-increasing and re-evaluation is
+        safe to repeat.  Only the caller that flips ``held`` off enqueues
+        the job, so concurrent reviews cannot start it twice.
+        """
+        if self.admission is None:
+            return
+        with self._lock:
+            candidates = list(self._held)
+        for job_id in candidates:
+            job = self._jobs[job_id]
+            if job.state is not JobState.PENDING:
+                with self._lock:
+                    if job_id in self._held:
+                        self._held.remove(job_id)
+                continue
+            estimate = predict_plan_cost(
+                job.plan, job.options["policy"], cache=self.cache
+            )
+            decision = self.admission.decide(estimate)
+            release = decision.action == "accept"
+            with self._updated:
+                if job.state is not JobState.PENDING or not job.held:
+                    continue
+                job.admission = decision
+                if release:
+                    job.held = False
+                    if job_id in self._held:
+                        self._held.remove(job_id)
+                    self._updated.notify_all()
+            if release:
+                self._queue.put(job_id)
 
     def _run(self, job: _Job) -> None:
         try:
@@ -374,18 +519,21 @@ class SweepService:
         elapsed = None
         if job.started_at is not None and job.finished_at is not None:
             elapsed = job.finished_at - job.started_at
+        policy = job.options["policy"]
         entries = {
             "state": job.state.value,
             "kind": job.plan.kind,
             "cases": len(job.plan),
             "cases_done": len(latest.aggregate) if latest else 0,
             "max_steps": job.plan.max_steps,
-            "executor": job.options["executor"],
+            "executor": policy.executor if policy else "serial",
             "shard_size": job.options["shard_size"],
             "elapsed_s": elapsed,
             "cache_hits": latest.cache_hits if latest else 0,
             "cache_misses": latest.cache_misses if latest else 0,
         }
+        if job.admission is not None:
+            entries["admission"] = job.admission.record()
         if job.error is not None:
             entries["error"] = job.error
         if latest is not None:

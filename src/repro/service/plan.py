@@ -41,6 +41,7 @@ from repro.core.protocol import Protocol
 from repro.core.schedule import Schedule
 from repro.exceptions import ValidationError
 from repro.faults.schedules import FaultSchedule
+from repro.policy import ExecutionPolicy
 from repro.service.fingerprint import ENGINE_VERSION, canonical, fingerprint
 
 #: Plan kinds and the report type each aggregates into.
@@ -70,12 +71,20 @@ class CaseSpec:
 
 @dataclass(frozen=True)
 class SweepPlan:
-    """A materialized sweep: protocol, specs, step budget, and kind."""
+    """A materialized sweep: protocol, specs, step budget, and kind.
+
+    ``policy`` (optional) is the plan's *suggested*
+    :class:`repro.ExecutionPolicy` — the executor applies it when the call
+    passes none of its own.  It is cosmetic: excluded from case and plan
+    fingerprints (and from plan equality), because it changes how fast the
+    results arrive, never what they are.
+    """
 
     protocol: Protocol
     specs: tuple[CaseSpec, ...]
     kind: str
     max_steps: int = DEFAULT_MAX_STEPS
+    policy: ExecutionPolicy | None = field(default=None, compare=False)
     _fingerprints: dict = field(
         default_factory=dict, repr=False, compare=False, hash=False
     )
@@ -185,13 +194,16 @@ def plan_sweep(
     schedule_factory: ScheduleFactory,
     *,
     max_steps: int = DEFAULT_MAX_STEPS,
+    policy: ExecutionPolicy | None = None,
 ) -> SweepPlan:
     """Plan a sweep: coerce cases and materialize one schedule per case.
 
     The factory is invoked here, in the calling process, in case order —
     exactly as :func:`repro.analysis.sweeps.run_sweep` always did — so
     seeded stateful factories produce identical plans no matter how the
-    plan is later executed or sharded.
+    plan is later executed or sharded.  ``policy`` attaches a suggested
+    :class:`repro.ExecutionPolicy` to the plan (cosmetic: fingerprints and
+    reports are unchanged by it).
     """
     case_list = [_coerce_case(case) for case in cases]
     specs = tuple(
@@ -199,7 +211,11 @@ def plan_sweep(
         for i, case in enumerate(case_list)
     )
     return SweepPlan(
-        protocol=protocol, specs=specs, kind="sweep", max_steps=max_steps
+        protocol=protocol,
+        specs=specs,
+        kind="sweep",
+        max_steps=max_steps,
+        policy=policy,
     )
 
 
@@ -210,12 +226,15 @@ def plan_resilience_sweep(
     fault_factory: FaultFactory,
     *,
     max_steps: int = DEFAULT_MAX_STEPS,
+    policy: ExecutionPolicy | None = None,
 ) -> SweepPlan:
     """Plan a resilience sweep: schedules *and* fault plans per case.
 
     Factory invocation order matches
     :func:`repro.analysis.resilience.run_resilience_sweep`: for each case in
-    order, the schedule factory then the fault factory.
+    order, the schedule factory then the fault factory.  ``policy`` is the
+    plan's suggested :class:`repro.ExecutionPolicy`, as in
+    :func:`plan_sweep`.
     """
     case_list = [_coerce_case(case) for case in cases]
     specs = tuple(
@@ -228,5 +247,9 @@ def plan_resilience_sweep(
         for i, case in enumerate(case_list)
     )
     return SweepPlan(
-        protocol=protocol, specs=specs, kind="resilience", max_steps=max_steps
+        protocol=protocol,
+        specs=specs,
+        kind="resilience",
+        max_steps=max_steps,
+        policy=policy,
     )

@@ -44,6 +44,7 @@ from repro.core.configuration import Labeling
 from repro.core.protocol import Protocol
 from repro.core.schedule import LassoSchedule
 from repro.exceptions import ValidationError
+from repro.policy import UNSET, ExecutionPolicy, resolve_policy
 from repro.stabilization.exploration import (
     DEFAULT_STATE_BUDGET,
     ExplorationGraph,
@@ -91,11 +92,17 @@ def decide_label_r_stabilizing(
     r: int,
     initial_labelings: Iterable[Labeling] | None = None,
     budget: int = DEFAULT_STATE_BUDGET,
-    symmetry="none",
-    frontier: str = "auto",
-    spill_dir=None,
+    policy: ExecutionPolicy | None = None,
+    symmetry=UNSET,
+    frontier: str = UNSET,
+    spill_dir=UNSET,
 ) -> StabilizationVerdict:
     """Exactly decide label r-stabilization by exhausting the states-graph."""
+    policy = resolve_policy(
+        policy,
+        {"symmetry": symmetry, "frontier": frontier, "spill_dir": spill_dir},
+        api="decide_label_r_stabilizing",
+    )
     return _decide(
         protocol,
         inputs,
@@ -103,9 +110,7 @@ def decide_label_r_stabilizing(
         initial_labelings,
         budget,
         track_outputs=False,
-        symmetry=symmetry,
-        frontier=frontier,
-        spill_dir=spill_dir,
+        policy=policy,
     )
 
 
@@ -115,11 +120,17 @@ def decide_output_r_stabilizing(
     r: int,
     initial_labelings: Iterable[Labeling] | None = None,
     budget: int = DEFAULT_STATE_BUDGET,
-    symmetry="none",
-    frontier: str = "auto",
-    spill_dir=None,
+    policy: ExecutionPolicy | None = None,
+    symmetry=UNSET,
+    frontier: str = UNSET,
+    spill_dir=UNSET,
 ) -> StabilizationVerdict:
     """Exactly decide output r-stabilization (states also carry outputs)."""
+    policy = resolve_policy(
+        policy,
+        {"symmetry": symmetry, "frontier": frontier, "spill_dir": spill_dir},
+        api="decide_output_r_stabilizing",
+    )
     return _decide(
         protocol,
         inputs,
@@ -127,9 +138,7 @@ def decide_output_r_stabilizing(
         initial_labelings,
         budget,
         track_outputs=True,
-        symmetry=symmetry,
-        frontier=frontier,
-        spill_dir=spill_dir,
+        policy=policy,
     )
 
 
@@ -143,9 +152,7 @@ def _decide(
     initial_labelings,
     budget,
     track_outputs,
-    symmetry="none",
-    frontier="auto",
-    spill_dir=None,
+    policy=None,
 ):
     if r < 1:
         raise ValidationError("fairness parameter r must be >= 1")
@@ -162,9 +169,7 @@ def _decide(
         budget=budget,
         track_outputs=track_outputs,
         name="model checker",
-        symmetry=symmetry,
-        frontier=frontier,
-        spill_dir=spill_dir,
+        policy=policy,
     )
 
     # -- SCCs (iterative Tarjan) --------------------------------------------

@@ -33,6 +33,7 @@ from typing import Any
 
 from repro.core.configuration import Labeling
 from repro.core.protocol import Protocol
+from repro.policy import UNSET, ExecutionPolicy, resolve_policy
 from repro.stabilization.exploration import (
     DEFAULT_STATE_BUDGET,
     ExplorationGraph,
@@ -60,10 +61,16 @@ class StatesGraph(ExplorationGraph):
         r: int,
         initial_labelings: Iterable[Labeling],
         budget: int = DEFAULT_STATE_BUDGET,
-        symmetry="none",
-        frontier: str = "auto",
-        spill_dir=None,
+        policy: ExecutionPolicy | None = None,
+        symmetry=UNSET,
+        frontier: str = UNSET,
+        spill_dir=UNSET,
     ):
+        policy = resolve_policy(
+            policy,
+            {"symmetry": symmetry, "frontier": frontier, "spill_dir": spill_dir},
+            api="StatesGraph",
+        )
         super().__init__(
             protocol,
             inputs,
@@ -72,9 +79,7 @@ class StatesGraph(ExplorationGraph):
             budget=budget,
             track_outputs=False,
             name="states-graph",
-            symmetry=symmetry,
-            frontier=frontier,
-            spill_dir=spill_dir,
+            policy=policy,
         )
         self._states_view: list[State] | None = None
         self._index_view: dict[State, int] | None = None

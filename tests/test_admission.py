@@ -1,0 +1,265 @@
+"""Tests for service admission control.
+
+Deterministic accept/reject/queue decisions from predicted cost, the
+cache-hit-aware plan estimator, and the end-to-end service flows: an
+over-budget plan is rejected (and recorded), the identical plan is admitted
+once the cache is warm, and a queue-held plan is released when completed
+jobs warm enough of its cases.
+"""
+
+import json
+
+import pytest
+
+pytest.importorskip("sympy")
+
+from repro.analysis import run_sweep
+from repro.analysis.costmodel import (
+    DEFAULT_CACHE_HIT_WORK,
+    estimate_sweep_cost,
+)
+from repro.exceptions import JobError, ValidationError
+from repro.policy import ExecutionPolicy
+from repro.service import (
+    AdmissionPolicy,
+    InMemoryCache,
+    JobState,
+    SweepService,
+    plan_sweep,
+    predict_plan_cost,
+)
+
+from tests.test_service_jobs import _plan, _sync
+
+#: Per-case model work for `_plan()`'s shape: a unidirectional 4-ring
+#: (in-degree 1) at 60 steps — n*d*S = 4*1*60.
+UNIT_WORK = 240.0
+HIT = DEFAULT_CACHE_HIT_WORK
+
+
+def _estimate(cases=8, cached=0, **kwargs):
+    return estimate_sweep_cost(
+        cases=cases,
+        nodes=4,
+        degree=1,
+        max_steps=60,
+        cached_cases=cached,
+        **kwargs,
+    )
+
+
+class TestAdmissionPolicy:
+    def test_needs_at_least_one_bound(self):
+        with pytest.raises(ValidationError, match="max_work and/or"):
+            AdmissionPolicy()
+
+    def test_bounds_must_be_positive(self):
+        with pytest.raises(ValidationError, match="max_work must be positive"):
+            AdmissionPolicy(max_work=0)
+        with pytest.raises(ValidationError, match="max_seconds"):
+            AdmissionPolicy(max_seconds=-1.0)
+
+    def test_over_budget_action_is_validated(self):
+        with pytest.raises(ValidationError, match="unknown over_budget"):
+            AdmissionPolicy(max_work=1.0, over_budget="shrug")
+
+    def test_within_budget_accepts(self):
+        decision = AdmissionPolicy(max_work=10_000).decide(_estimate())
+        assert decision.action == "accept"
+        assert "within budget" in decision.reason
+        assert decision.predicted_work == 8 * UNIT_WORK
+        assert decision.cases == 8
+        assert decision.cached_cases == 0
+
+    def test_over_work_budget_rejects_with_the_numbers(self):
+        decision = AdmissionPolicy(max_work=500).decide(_estimate())
+        assert decision.action == "reject"
+        assert "predicted work 1,920 > budget 500" in decision.reason
+
+    def test_over_seconds_budget_rejects(self):
+        # engine.compiled cold: 1920 units * 4e-7 s/unit ~ 0.77 ms
+        decision = AdmissionPolicy(max_seconds=1e-6).decide(_estimate())
+        assert decision.action == "reject"
+        assert "predicted time" in decision.reason
+
+    def test_queue_action_holds_instead(self):
+        policy = AdmissionPolicy(max_work=500, over_budget="queue")
+        assert policy.decide(_estimate()).action == "queue"
+
+    def test_warm_cases_are_mentioned_in_the_refusal(self):
+        decision = AdmissionPolicy(max_work=500).decide(_estimate(cached=3))
+        assert decision.action == "reject"
+        assert "after discounting 3/8 warm cases" in decision.reason
+
+    def test_decisions_are_pure_functions_of_the_inputs(self):
+        policy = AdmissionPolicy(max_work=500)
+        assert policy.decide(_estimate()) == policy.decide(_estimate())
+
+    def test_record_is_json_able(self):
+        decision = AdmissionPolicy(max_work=500).decide(_estimate(cached=2))
+        record = json.loads(json.dumps(decision.record()))
+        assert record["action"] == "reject"
+        assert record["cases"] == 8
+        assert record["cached_cases"] == 2
+        assert record["predicted_work"] == 6 * UNIT_WORK + 2 * HIT
+
+    def test_describe(self):
+        policy = AdmissionPolicy(max_work=500, over_budget="queue")
+        assert "max_work=500" in policy.describe()
+        assert "'queue'" in policy.describe()
+
+
+class TestPredictPlanCost:
+    def test_cold_plan_prices_every_case(self):
+        plan, _, _ = _plan()
+        estimate = predict_plan_cost(plan)
+        assert estimate.cases == 8
+        assert estimate.cached_cases == 0
+        assert estimate.unit_work == UNIT_WORK
+        assert estimate.predicted_work == 8 * UNIT_WORK
+        assert estimate.layer == "engine.compiled"
+
+    def test_policy_defaults_to_the_plans_attached_policy(self):
+        plan, protocol, cases = _plan()
+        batched = plan_sweep(
+            protocol,
+            cases,
+            _sync,
+            max_steps=60,
+            policy=ExecutionPolicy(executor="batch"),
+        )
+        assert predict_plan_cost(batched).layer == "batch.fused"
+        # ... and an explicit policy argument wins over the attached one.
+        serial = predict_plan_cost(batched, ExecutionPolicy())
+        assert serial.layer == "engine.compiled"
+
+    def test_cache_probe_discounts_stored_cases(self):
+        plan, protocol, cases = _plan()
+        cache = InMemoryCache()
+        with SweepService(cache=cache) as service:
+            sub_plan = plan_sweep(protocol, cases[:3], _sync, max_steps=60)
+            service.result(service.submit(sub_plan), timeout=30)
+        # Warm coverage is by content fingerprint, not case position: a
+        # duplicate labeling later in the plan counts as warm too.
+        warm_keys = set(sub_plan.case_fingerprints())
+        warm = sum(1 for key in plan.case_fingerprints() if key in warm_keys)
+        assert warm >= 3
+        estimate = predict_plan_cost(plan, cache=cache)
+        assert estimate.cached_cases == warm
+        assert estimate.predicted_work == (8 - warm) * UNIT_WORK + warm * HIT
+
+    def test_probing_does_not_skew_cache_statistics(self):
+        plan, _, _ = _plan()
+        cache = InMemoryCache()
+        before = cache.stats
+        predict_plan_cost(plan, cache=cache)
+        after = cache.stats
+        assert (after.hits, after.misses) == (before.hits, before.misses)
+
+
+#: Budget between the warm price (8 hits = 400) and the cold price (1920):
+#: the same plan is over budget cold and within budget warm.
+REJECT_THEN_ADMIT = AdmissionPolicy(max_work=8 * HIT + UNIT_WORK / 2)
+
+
+class TestServiceAdmission:
+    def test_over_budget_plan_is_rejected_and_recorded(self, tmp_path):
+        plan, _, _ = _plan()
+        with SweepService(
+            admission=REJECT_THEN_ADMIT, records_dir=tmp_path
+        ) as service:
+            job_id = service.submit(plan)
+            status = service.status(job_id)
+            assert status.state is JobState.REJECTED
+            assert status.admission == "reject"
+            assert "predicted work" in status.error
+            with pytest.raises(JobError, match="was rejected"):
+                service.result(job_id, timeout=5)
+            with pytest.raises(JobError, match="was rejected"):
+                list(service.stream(job_id))
+            # The rejection is queryable and recorded like any other outcome.
+            assert [s.state for s in service.jobs()] == [JobState.REJECTED]
+        (record_path,) = tmp_path.glob("JOB_*.json")
+        entries = json.loads(record_path.read_text())["entries"]
+        assert entries["state"] == "rejected"
+        assert entries["admission"]["action"] == "reject"
+        assert entries["admission"]["predicted_work"] == 8 * UNIT_WORK
+
+    def test_same_plan_is_admitted_once_the_cache_is_warm(self):
+        plan, protocol, cases = _plan()
+        direct = run_sweep(protocol, cases, _sync, max_steps=60)
+        cache = InMemoryCache()
+        with SweepService(cache=cache, admission=REJECT_THEN_ADMIT) as service:
+            cold_id = service.submit(plan)
+            assert service.status(cold_id).state is JobState.REJECTED
+            # Warm the shared cache through an unbudgeted service...
+            with SweepService(cache=cache) as warmup:
+                warmup.result(warmup.submit(plan), timeout=30)
+            # ... and the identical plan now fits the budget.
+            warm_id = service.submit(plan)
+            assert service.result(warm_id, timeout=30) == direct
+            status = service.status(warm_id)
+            assert status.state is JobState.DONE
+            assert status.admission == "accept"
+
+    def test_queue_held_plan_is_released_by_cache_warming(self):
+        plan, protocol, cases = _plan()
+        direct = run_sweep(protocol, cases, _sync, max_steps=60)
+        # Admits a 4-case sub-plan cold (960) and the full plan once half
+        # its cases are warm (4*240 + 4*50 = 1160), but not cold (1920).
+        policy = AdmissionPolicy(max_work=1_200, over_budget="queue")
+        with SweepService(admission=policy) as service:
+            held_id = service.submit(plan)
+            status = service.status(held_id)
+            assert status.state is JobState.PENDING
+            assert status.admission == "queue"
+
+            sub_plan = plan_sweep(protocol, cases[:4], _sync, max_steps=60)
+            sub_id = service.submit(sub_plan)
+            assert service.status(sub_id).admission == "accept"
+            service.result(sub_id, timeout=30)
+
+            # The sub-plan's completion warmed half the held plan's cases;
+            # the post-job review re-prices and releases it.
+            assert service.result(held_id, timeout=30) == direct
+            released = service.status(held_id)
+            assert released.state is JobState.DONE
+            assert released.admission == "accept"
+
+    def test_queue_held_plan_is_released_by_external_cache_warming(self):
+        # The warming job runs on a *different* service sharing the cache,
+        # so no local completion triggers the held-job review — the blocked
+        # result() call's periodic repricing must release the job instead.
+        plan, protocol, cases = _plan()
+        cache = InMemoryCache()
+        cold = predict_plan_cost(plan, cache=cache)
+        policy = AdmissionPolicy(
+            max_work=cold.predicted_work / 2, over_budget="queue"
+        )
+        with SweepService(cache=cache, admission=policy) as service:
+            held_id = service.submit(plan)
+            assert service.status(held_id).admission == "queue"
+            with SweepService(cache=cache) as warmer:
+                computed = warmer.result(warmer.submit(plan), timeout=30)
+            assert service.result(held_id, timeout=30) == computed
+            assert service.status(held_id).admission == "accept"
+
+    def test_close_cancels_held_jobs(self):
+        plan, _, _ = _plan()
+        policy = AdmissionPolicy(max_work=1.0, over_budget="queue")
+        service = SweepService(admission=policy)
+        try:
+            held_id = service.submit(plan)
+            assert service.status(held_id).state is JobState.PENDING
+        finally:
+            service.close()
+        assert service.status(held_id).state is JobState.CANCELLED
+        with pytest.raises(JobError, match="was cancelled"):
+            service.result(held_id, timeout=5)
+
+    def test_services_without_admission_admit_everything(self):
+        plan, _, _ = _plan()
+        with SweepService() as service:
+            job_id = service.submit(plan)
+            service.result(job_id, timeout=30)
+            assert service.status(job_id).admission is None

@@ -17,6 +17,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import ExecutionPolicy
 from repro.analysis import SweepCase, run_resilience_sweep, run_sweep
 from repro.core import (
     BatchSimulator,
@@ -59,6 +60,8 @@ np = pytest.importorskip("numpy")
 
 #: Every compute kernel the backend offers; the numba leg skip-marks cleanly
 #: when numba is absent so the plain matrix stays green unchanged.
+BATCH = ExecutionPolicy(executor="batch")
+
 KERNELS = [
     "numpy",
     pytest.param(
@@ -378,8 +381,7 @@ class TestSweepEquivalence:
             cases,
             factory,
             max_steps=120,
-            executor="batch",
-            kernel=kernel,
+            policy=ExecutionPolicy(executor="batch", kernel=kernel),
         )
         assert serial == batch
         assert serial.outcome_counts == batch.outcome_counts
@@ -423,8 +425,7 @@ class TestSweepEquivalence:
             fault_factory,
             max_steps=100,
             recovered=criterion,
-            executor="batch",
-            kernel=kernel,
+            policy=ExecutionPolicy(executor="batch", kernel=kernel),
         )
         assert serial == batch
         assert serial.recovery_rate == batch.recovery_rate
@@ -447,7 +448,7 @@ class TestSweepEquivalence:
 
         serial = run_sweep(protocol, cases, factory, max_steps=90)
         batch = run_sweep(
-            protocol, cases, factory, max_steps=90, executor="batch"
+            protocol, cases, factory, max_steps=90, policy=BATCH
         )
         assert serial == batch
         assert [r.index for r in batch] == list(range(len(cases)))
@@ -460,7 +461,7 @@ class TestSweepEquivalence:
             factory,
             fault_factory,
             max_steps=90,
-            executor="batch",
+            policy=BATCH,
         )
         assert serial_res == batch_res
 
@@ -472,7 +473,7 @@ class TestSweepEquivalence:
                 protocol,
                 cases,
                 lambda i, c: SynchronousSchedule(5),
-                executor="gpu",
+                policy=ExecutionPolicy(executor="gpu"),
             )
         with pytest.raises(ValidationError, match="unknown executor"):
             run_resilience_sweep(
@@ -480,7 +481,7 @@ class TestSweepEquivalence:
                 cases,
                 lambda i, c: SynchronousSchedule(5),
                 lambda i, c: NoFaults(),
-                executor="gpu",
+                policy=ExecutionPolicy(executor="gpu"),
             )
 
 
@@ -514,14 +515,16 @@ class TestKernelSelection:
             return SynchronousSchedule(4)
 
         with pytest.raises(ValidationError, match="executor='batch'"):
-            run_sweep(protocol, cases, factory, kernel="numpy")
+            run_sweep(
+                protocol, cases, factory, policy=ExecutionPolicy(kernel="numpy")
+            )
         with pytest.raises(ValidationError, match="executor='batch'"):
             run_resilience_sweep(
                 protocol,
                 cases,
                 factory,
                 lambda i, c: NoFaults(),
-                kernel="numpy",
+                policy=ExecutionPolicy(kernel="numpy"),
             )
 
 

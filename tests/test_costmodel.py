@@ -1,0 +1,387 @@
+"""Tests for the symbolic cost model and its complexity gates.
+
+Trajectory fitting (synthetic trajectories of known class land in that
+class; garbage is flagged as a misfit), symbolic classification of the
+model expressions, the benchmark-record gate (an injected complexity-class
+regression in a fixture trajectory fails the check while the committed
+records pass), and capacity-planning estimates with warm-cache discounts.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("sympy")
+
+from repro.analysis.costmodel import (
+    BENCH_EXPECTATIONS,
+    CANDIDATE_CLASSES,
+    CLASS_ORDER,
+    COST_MODELS,
+    DEFAULT_CACHE_HIT_WORK,
+    MIN_FIT_POINTS,
+    ComplexitySpec,
+    check_bench_dir,
+    check_complexity,
+    complexity_class,
+    estimate_sweep_cost,
+    failures_for_record,
+    fit_trajectory,
+    main as costmodel_main,
+)
+from repro.exceptions import ValidationError
+from repro.policy import ExecutionPolicy
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+SIZES = [16.0, 32.0, 64.0, 128.0, 256.0]
+
+
+def _trajectory(class_name, coefficient=1e-4, noise=1.0):
+    """Synthetic (sizes, times) of a known class, optionally perturbed."""
+    import sympy
+
+    from repro.analysis.costmodel import x
+
+    fn = sympy.lambdify(x, CANDIDATE_CLASSES[class_name], "math")
+    return SIZES, [coefficient * fn(size) * noise for size in SIZES]
+
+
+class TestFitTrajectory:
+    @pytest.mark.parametrize(
+        "class_name",
+        ["constant", "logarithmic", "linear", "linearithmic", "quadratic",
+         "cubic", "exponential"],
+    )
+    def test_exact_trajectories_classify_exactly(self, class_name):
+        sizes, times = _trajectory(class_name)
+        fit = fit_trajectory(sizes, times)
+        assert fit.best == class_name
+        assert fit.rmse == pytest.approx(0.0, abs=1e-9)
+        assert not fit.misfit
+        assert fit.points == len(SIZES)
+
+    def test_noisy_linear_still_classifies_linear(self):
+        sizes = SIZES
+        # +-10% multiplicative noise, fixed pattern
+        times = [
+            1e-4 * size * factor
+            for size, factor in zip(sizes, [1.08, 0.93, 1.05, 0.95, 1.02])
+        ]
+        fit = fit_trajectory(sizes, times)
+        assert fit.best == "linear"
+        assert not fit.misfit
+
+    def test_coefficient_is_recovered(self):
+        sizes, times = _trajectory("linear", coefficient=3.5e-5)
+        fit = fit_trajectory(sizes, times)
+        assert fit.coefficient == pytest.approx(3.5e-5, rel=1e-6)
+
+    def test_garbage_is_a_misfit(self):
+        # Alternating two orders of magnitude: no candidate class fits.
+        sizes = SIZES
+        times = [1e-5 if i % 2 else 1e-2 for i in range(len(sizes))]
+        fit = fit_trajectory(sizes, times)
+        assert fit.misfit
+        assert fit.rmse > 1.0
+
+    def test_regresses_compares_growth_order(self):
+        sizes, times = _trajectory("quadratic")
+        fit = fit_trajectory(sizes, times)
+        assert fit.regresses(["linear"])
+        assert fit.regresses(["linear", "linearithmic"])
+        assert not fit.regresses(["quadratic"])
+        assert not fit.regresses(["cubic"])
+
+        sizes, times = _trajectory("constant")
+        slower = fit_trajectory(sizes, times)
+        # Sub-linear measurements never regress a linear declaration.
+        assert not slower.regresses(["linear"])
+
+    def test_restricted_candidate_set(self):
+        sizes, times = _trajectory("quadratic")
+        fit = fit_trajectory(sizes, times, classes=["linear", "quadratic"])
+        assert fit.best == "quadratic"
+        assert set(fit.residuals) == {"linear", "quadratic"}
+
+    def test_validation(self):
+        with pytest.raises(ValidationError, match="differ in length"):
+            fit_trajectory([1.0, 2.0], [1.0])
+        with pytest.raises(ValidationError, match="positive"):
+            fit_trajectory([4.0, 8.0, 16.0], [1.0, -1.0, 1.0])
+        with pytest.raises(ValidationError, match="distinct sizes"):
+            fit_trajectory([4.0, 4.0, 4.0], [1.0, 1.0, 1.0])
+        with pytest.raises(ValidationError, match="unknown complexity"):
+            fit_trajectory(SIZES, [1.0] * len(SIZES), classes=["n^7"])
+
+
+class TestSymbolicModels:
+    def test_class_order_matches_candidates(self):
+        assert set(CLASS_ORDER) == set(CANDIDATE_CLASSES)
+
+    def test_engine_work_is_linear_in_every_size_symbol(self):
+        model = COST_MODELS["engine.compiled"]
+        for symbol in ("n", "d", "S", "C"):
+            assert model.complexity_in(symbol) == "linear"
+
+    def test_fused_dispatch_shrinks_with_the_window(self):
+        fused = COST_MODELS["batch.fused"]
+        packed = COST_MODELS["batch.packed"]
+        params = dict(n=64, d=1, S=100, B=4096, k=64, C=1)
+        assert fused.evaluate("dispatch", **params) < packed.evaluate(
+            "dispatch", **params
+        )
+        # same element work either way
+        assert fused.evaluate("work", **params) == packed.evaluate(
+            "work", **params
+        )
+
+    def test_exploration_is_superpolynomial_in_n(self):
+        work = COST_MODELS["exploration.frontier"].work
+        assert complexity_class(work, "n") == "superpolynomial"
+        # ... but linear in the fairness radius
+        assert complexity_class(work, "r") == "linear"
+
+    def test_quotient_divides_the_frontier_cost(self):
+        frontier = COST_MODELS["exploration.frontier"]
+        quotient = COST_MODELS["exploration.quotient"]
+        params = dict(n=4, d=3, r=3, L=2, q=24.0)
+        assert quotient.evaluate("work", **params) == pytest.approx(
+            frontier.evaluate("work", **params) / 24.0
+        )
+
+    def test_missing_parameters_are_reported(self):
+        with pytest.raises(ValidationError, match="needs parameter"):
+            COST_MODELS["engine.compiled"].evaluate("work", n=4)
+
+    def test_unknown_symbol_is_reported(self):
+        with pytest.raises(ValidationError, match="unknown model symbol"):
+            complexity_class(COST_MODELS["engine.compiled"].work, "z")
+
+
+def _fixture_record(engine_times, width_times, history=()):
+    """A BENCH_a08-shaped record with the given trajectory times."""
+    sizes = [float(size) for size in SIZES]
+
+    def entries(node_ts, width_ts):
+        return {
+            "test_a08_engine_node_scaling": {
+                "kernel_median_s": 0.1,
+                "sizes": sizes,
+                "times_s": list(node_ts),
+            },
+            "test_a08_batch_width_scaling": {
+                "kernel_median_s": 0.1,
+                "sizes": sizes,
+                "times_s": list(width_ts),
+            },
+        }
+
+    record = {
+        "bench": "bench_a08_complexity_scaling",
+        "entries": entries(engine_times, width_times),
+        "history": [
+            {"entries": entries(node_ts, width_ts)}
+            for node_ts, width_ts in history
+        ],
+    }
+    return record
+
+
+class TestBenchRecordGate:
+    def setup_method(self):
+        _, self.linear = _trajectory("linear")
+        _, self.quadratic = _trajectory("quadratic")
+
+    def test_linear_record_passes(self):
+        record = _fixture_record(self.linear, self.linear)
+        assert failures_for_record(record) == []
+
+    def test_injected_quadratic_regression_fails(self):
+        # The acceptance scenario: a complexity-class regression injected
+        # into a fixture trajectory must fail the check.
+        record = _fixture_record(self.quadratic, self.linear)
+        failures = failures_for_record(record)
+        assert len(failures) == 1
+        assert "test_a08_engine_node_scaling" in failures[0]
+        assert "'quadratic'" in failures[0]
+        assert "regresses" in failures[0]
+
+    def test_linearithmic_is_within_the_allowed_set(self):
+        _, linearithmic = _trajectory("linearithmic")
+        record = _fixture_record(linearithmic, self.linear)
+        assert failures_for_record(record) == []
+
+    def test_history_snapshots_are_gated_too(self):
+        record = _fixture_record(
+            self.linear,
+            self.linear,
+            history=[(self.quadratic, self.linear)],
+        )
+        failures = failures_for_record(record)
+        assert len(failures) == 1
+        assert "history[0]" in failures[0]
+
+    def test_history_snapshots_without_ladders_are_skipped(self):
+        record = _fixture_record(self.linear, self.linear)
+        # e.g. a pre-ladder run folded into history: no sizes/times fields
+        record["history"] = [
+            {"entries": {"test_a08_engine_node_scaling": {"total_s": 1.0}}}
+        ]
+        assert failures_for_record(record) == []
+
+    def test_record_with_no_fittable_ladder_fails(self):
+        spec = BENCH_EXPECTATIONS[0]
+        record = {"bench": spec.record, "entries": {spec.entry: {}}}
+        failures = check_complexity(record, spec)
+        assert len(failures) == 1
+        assert "no fittable" in failures[0]
+        assert str(MIN_FIT_POINTS) in failures[0]
+
+    def test_misfit_trajectory_fails(self):
+        garbage = [1e-5 if i % 2 else 1e-2 for i in range(len(SIZES))]
+        record = _fixture_record(garbage, self.linear)
+        failures = failures_for_record(record)
+        assert len(failures) == 1
+        assert "no candidate class fits" in failures[0]
+
+    def test_unregistered_records_pass(self):
+        assert failures_for_record({"bench": "bench_a99", "entries": {}}) == []
+
+    def test_spec_validates_class_names(self):
+        with pytest.raises(ValidationError, match="unknown complexity"):
+            ComplexitySpec(record="r", entry="e", expected="n^7")
+
+    def test_committed_benchmark_records_pass(self):
+        # The records shipped in this repository must hold their own gate.
+        recorded = sorted(BENCH_DIR.glob("BENCH_*.json"))
+        assert recorded, "no committed benchmark records found"
+        fitted = 0
+        for path in recorded:
+            record = json.loads(path.read_text())
+            assert failures_for_record(record) == [], path.name
+            if any(
+                spec.record == record.get("bench")
+                for spec in BENCH_EXPECTATIONS
+            ):
+                fitted += 1
+        assert fitted >= 1  # the a08 ladders are registered and present
+
+
+class TestCli:
+    def _write(self, tmp_path, record):
+        path = tmp_path / "BENCH_bench_a08_complexity_scaling.json"
+        path.write_text(json.dumps(record))
+        return path
+
+    def test_clean_directory_exits_zero(self, tmp_path, capsys):
+        _, linear = _trajectory("linear")
+        self._write(tmp_path, _fixture_record(linear, linear))
+        assert costmodel_main([str(tmp_path)]) == 0
+        assert "within declared class" in capsys.readouterr().out
+
+    def test_injected_regression_exits_nonzero(self, tmp_path, capsys):
+        _, linear = _trajectory("linear")
+        _, quadratic = _trajectory("quadratic")
+        self._write(tmp_path, _fixture_record(quadratic, linear))
+        assert costmodel_main([str(tmp_path)]) == 1
+        assert "COMPLEXITY GATE FAILED" in capsys.readouterr().out
+
+    def test_committed_records_exit_zero(self, capsys):
+        assert costmodel_main([str(BENCH_DIR)]) == 0
+
+    def test_check_bench_dir_reports_unreadable_json(self, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text("{nope")
+        failures, checked = check_bench_dir(tmp_path)
+        assert checked == 0
+        assert failures and "unreadable" in failures[0]
+
+    def test_symbols_flag(self, capsys):
+        assert costmodel_main(["--symbols"]) == 0
+        out = capsys.readouterr().out
+        assert "engine.compiled" in out
+        assert "work" in out
+
+
+class TestEstimateSweepCost:
+    def test_cold_estimate_counts_every_case(self):
+        estimate = estimate_sweep_cost(
+            cases=100, nodes=16, degree=2, max_steps=200
+        )
+        assert estimate.layer == "engine.compiled"
+        assert estimate.cached_cases == 0
+        assert estimate.predicted_work == estimate.cold_work
+        assert estimate.unit_work == pytest.approx(16 * 2 * 200)
+        assert estimate.cache_discount == 0.0
+
+    def test_warm_cases_are_discounted_to_a_lookup(self):
+        cold = estimate_sweep_cost(cases=100, nodes=16, degree=2, max_steps=200)
+        warm = estimate_sweep_cost(
+            cases=100, nodes=16, degree=2, max_steps=200, cached_cases=60
+        )
+        assert warm.cold_work == cold.cold_work
+        assert warm.predicted_work == pytest.approx(
+            40 * warm.unit_work + 60 * DEFAULT_CACHE_HIT_WORK
+        )
+        assert 0.0 < warm.cache_discount < 1.0
+        fully_warm = estimate_sweep_cost(
+            cases=100, nodes=16, degree=2, max_steps=200, cached_cases=100
+        )
+        assert fully_warm.predicted_work == pytest.approx(
+            100 * DEFAULT_CACHE_HIT_WORK
+        )
+
+    def test_batch_policy_selects_the_batch_layer(self):
+        serial = estimate_sweep_cost(
+            cases=10, nodes=16, degree=2, max_steps=100
+        )
+        batch = estimate_sweep_cost(
+            cases=10,
+            nodes=16,
+            degree=2,
+            max_steps=100,
+            policy=ExecutionPolicy(executor="batch"),
+        )
+        assert batch.layer == "batch.fused"
+        # same counted work, cheaper calibration constant
+        assert batch.predicted_work == serial.predicted_work
+        assert batch.predicted_seconds < serial.predicted_seconds
+
+    def test_fan_out_divides_wall_time_not_work(self):
+        one = estimate_sweep_cost(cases=10, nodes=16, degree=2, max_steps=100)
+        four = estimate_sweep_cost(
+            cases=10,
+            nodes=16,
+            degree=2,
+            max_steps=100,
+            policy=ExecutionPolicy(processes=4),
+        )
+        assert four.predicted_work == one.predicted_work
+        assert four.predicted_seconds == pytest.approx(
+            one.predicted_seconds / 4
+        )
+
+    def test_describe_mentions_the_essentials(self):
+        estimate = estimate_sweep_cost(
+            cases=10, nodes=16, degree=2, max_steps=100, cached_cases=3
+        )
+        text = estimate.describe()
+        assert "3 warm" in text
+        assert "engine.compiled" in text
+
+    def test_validation(self):
+        with pytest.raises(ValidationError, match="invalid case counts"):
+            estimate_sweep_cost(
+                cases=2, nodes=4, degree=1, max_steps=10, cached_cases=3
+            )
+
+
+def test_estimate_matches_symbolic_model_evaluation():
+    """The estimator and the raw model agree on per-case work."""
+    model = COST_MODELS["engine.compiled"]
+    direct = model.evaluate("work", n=32, d=3, S=500, C=1, B=1, k=64)
+    estimate = estimate_sweep_cost(cases=1, nodes=32, degree=3, max_steps=500)
+    assert estimate.unit_work == pytest.approx(direct)
+    assert math.isfinite(estimate.predicted_seconds)

@@ -13,6 +13,7 @@ from itertools import combinations
 
 import pytest
 
+from repro import ExecutionPolicy
 from repro.core import ExplicitSchedule, Labeling, Simulator, default_inputs
 from repro.core.compiled import compile_protocol
 from repro.exceptions import SearchBudgetExceeded, ValidationError
@@ -431,10 +432,14 @@ class TestFrontierModes:
         protocol, r, inits = case
         inputs = default_inputs(protocol)
         serial = ExplorationGraph(
-            protocol, inputs, r, inits, frontier="serial"
+            protocol, inputs, r, inits, policy=ExecutionPolicy(frontier="serial")
         )
         batch = ExplorationGraph(
-            protocol, inputs, r, inits, frontier="batch", batch_min_rows=1
+            protocol,
+            inputs,
+            r,
+            inits,
+            policy=ExecutionPolicy(frontier="batch", batch_min_rows=1),
         )
         assert serial.state_keys == batch.state_keys
         assert serial.successors == batch.successors
@@ -447,7 +452,12 @@ class TestFrontierModes:
         inputs = default_inputs(protocol)
         inits = [Labeling(protocol.topology, (1, 0, 0, 1))]
         serial = ExplorationGraph(
-            protocol, inputs, 2, inits, track_outputs=True, frontier="serial"
+            protocol,
+            inputs,
+            2,
+            inits,
+            track_outputs=True,
+            policy=ExecutionPolicy(frontier="serial"),
         )
         batch = ExplorationGraph(
             protocol,
@@ -455,8 +465,7 @@ class TestFrontierModes:
             2,
             inits,
             track_outputs=True,
-            frontier="batch",
-            batch_min_rows=1,
+            policy=ExecutionPolicy(frontier="batch", batch_min_rows=1),
         )
         assert serial.state_keys == batch.state_keys
         assert serial.successors == batch.successors
@@ -471,7 +480,11 @@ class TestFrontierModes:
         inits = list(broadcast_labelings(protocol.topology, protocol.label_space))
         ram = ExplorationGraph(protocol, inputs, 3, inits)
         spilled = ExplorationGraph(
-            protocol, inputs, 3, inits, spill_dir=str(tmp_path)
+            protocol,
+            inputs,
+            3,
+            inits,
+            policy=ExecutionPolicy(spill_dir=str(tmp_path)),
         )
         assert ram.state_keys == spilled.state_keys
         assert ram.successors == spilled.successors

@@ -27,6 +27,7 @@ from repro.core import (
     default_inputs,
     minimal_fairness,
 )
+from repro import ExecutionPolicy
 from repro.core.compiled import compile_protocol
 from repro.faults import exhaustive_worst_case_delay
 from repro.graphs import bidirectional_ring, clique
@@ -39,6 +40,9 @@ from repro.stabilization import (
 )
 
 from tests.helpers import or_clique_protocol
+
+#: The policy spelling of the legacy ``symmetry="auto"`` keyword.
+QUOTIENT = ExecutionPolicy(symmetry="auto")
 
 
 def symmetric_protocol(rng: random.Random) -> StatelessProtocol:
@@ -94,7 +98,7 @@ class TestVerdictEquivalence:
             protocol, inputs, r, initial_labelings=inits
         )
         quotient = decide_label_r_stabilizing(
-            protocol, inputs, r, initial_labelings=inits, symmetry="auto"
+            protocol, inputs, r, initial_labelings=inits, policy=QUOTIENT
         )
         assert plain.stabilizing == quotient.stabilizing
         assert quotient.states_explored <= plain.states_explored
@@ -125,7 +129,7 @@ class TestVerdictEquivalence:
             protocol, inputs, r, initial_labelings=inits
         )
         quotient = decide_output_r_stabilizing(
-            protocol, inputs, r, initial_labelings=inits, symmetry="auto"
+            protocol, inputs, r, initial_labelings=inits, policy=QUOTIENT
         )
         assert plain.stabilizing == quotient.stabilizing
 
@@ -139,7 +143,7 @@ class TestVerdictEquivalence:
         init = random_labeling(rng, protocol)
         plain = exhaustive_worst_case_delay(protocol, inputs, init, r)
         quotient = exhaustive_worst_case_delay(
-            protocol, inputs, init, r, symmetry="auto"
+            protocol, inputs, init, r, policy=QUOTIENT
         )
         assert plain.delay == quotient.delay
         # the lifted witness schedule is r-fair and certifies the delay:
@@ -172,7 +176,7 @@ class TestGoldenZoo:
         inputs = default_inputs(protocol)
         inits = list(broadcast_labelings(protocol.topology, protocol.label_space))
         quotient = decide_label_r_stabilizing(
-            protocol, inputs, r, initial_labelings=inits, symmetry="auto"
+            protocol, inputs, r, initial_labelings=inits, policy=QUOTIENT
         )
         assert quotient.stabilizing == stabilizing
         if not stabilizing:
@@ -194,7 +198,7 @@ class TestGoldenZoo:
             for values in product(space, repeat=len(protocol.topology.edges))
         ]
         plain = ExplorationGraph(protocol, inputs, 2, inits)
-        quotient = ExplorationGraph(protocol, inputs, 2, inits, symmetry="auto")
+        quotient = ExplorationGraph(protocol, inputs, 2, inits, policy=QUOTIENT)
         stats = quotient.stats()
         assert stats.covered_states == len(plain)
         assert stats.symmetry_order == 24
@@ -205,16 +209,20 @@ class TestGoldenZoo:
         inputs = default_inputs(protocol)
         inits = list(broadcast_labelings(protocol.topology, protocol.label_space))
         serial = ExplorationGraph(
-            protocol, inputs, 3, inits, symmetry="auto", frontier="serial"
+            protocol,
+            inputs,
+            3,
+            inits,
+            policy=ExecutionPolicy(symmetry="auto", frontier="serial"),
         )
         batch = ExplorationGraph(
             protocol,
             inputs,
             3,
             inits,
-            symmetry="auto",
-            frontier="batch",
-            batch_min_rows=1,
+            policy=ExecutionPolicy(
+                symmetry="auto", frontier="batch", batch_min_rows=1
+            ),
         )
         assert serial.state_keys == batch.state_keys
         assert serial.successors == batch.successors
@@ -234,9 +242,9 @@ class TestGoldenZoo:
             label_universe=frozenset({0, 1}),
         )
         explicit = ExplorationGraph(
-            protocol, inputs, 2, inits, symmetry=group
+            protocol, inputs, 2, inits, policy=ExecutionPolicy(symmetry=group)
         )
-        auto = ExplorationGraph(protocol, inputs, 2, inits, symmetry="auto")
+        auto = ExplorationGraph(protocol, inputs, 2, inits, policy=QUOTIENT)
         assert explicit.state_keys == auto.state_keys
 
         from repro.exceptions import ValidationError
@@ -246,4 +254,6 @@ class TestGoldenZoo:
             close_generators(automorphism_generators(clique(3)), 3, 10_000),
         )
         with pytest.raises(ValidationError):
-            ExplorationGraph(protocol, inputs, 2, inits, symmetry=wrong)
+            ExplorationGraph(
+                protocol, inputs, 2, inits, policy=ExecutionPolicy(symmetry=wrong)
+            )

@@ -12,6 +12,7 @@ import random
 
 import pytest
 
+from repro import ExecutionPolicy
 from repro.analysis import (
     RECOVERY_CRITERIA,
     ResilienceReport,
@@ -314,7 +315,7 @@ class TestResilienceSweepMechanics:
             _seeded_random_schedule,
             _seeded_corruption,
             max_steps=80,
-            processes=3,
+            policy=ExecutionPolicy(processes=3),
         )
         assert serial == parallel
 
@@ -333,7 +334,7 @@ class TestResilienceSweepMechanics:
                 _sync,
                 lambda i, c: OneShotFault(2, RandomCorruption(0.5, seed=i)),
                 max_steps=50,
-                processes=4,
+                policy=ExecutionPolicy(processes=4),
             )
         assert len(report) == 3
 

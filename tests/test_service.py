@@ -28,6 +28,7 @@ from repro.core import (
     UniformReaction,
     binary,
 )
+from repro import ExecutionPolicy
 from repro.exceptions import ValidationError
 from repro.faults.models import RandomCorruption
 from repro.faults.schedules import NoFaults, OneShotFault
@@ -176,7 +177,7 @@ class TestExecutorEquivalence:
         cases = _population(protocol, 6)
         plan = plan_sweep(protocol, cases, _sync, max_steps=50)
         serial = execute_plan(plan)
-        batch = execute_plan(plan, executor="batch")
+        batch = execute_plan(plan, policy=ExecutionPolicy(executor="batch"))
         assert serial == batch
 
     def test_seeded_stateful_factory_is_planned_once(self):
@@ -210,7 +211,9 @@ class TestExecutorEquivalence:
         protocol = _ring(4)
         cases = _population(protocol, 6)
         plan = plan_sweep(protocol, cases, _sync, max_steps=50)
-        assert execute_plan(plan, processes=2) == execute_plan(plan)
+        assert execute_plan(
+            plan, policy=ExecutionPolicy(processes=2)
+        ) == execute_plan(plan)
 
     def test_empty_plan_returns_empty_report(self):
         plan = plan_sweep(_ring(3), [], _sync)
@@ -218,7 +221,7 @@ class TestExecutorEquivalence:
         assert list(iter_shards(plan)) == []
 
     def test_validation_happens_before_factories(self):
-        # Legacy contract: a bad executor errors without touching cases.
+        # A bad policy errors without touching cases.
         def exploding_factory(i, c):
             raise AssertionError("factory must not run")
 
@@ -228,14 +231,14 @@ class TestExecutorEquivalence:
                 protocol,
                 _population(protocol, 2),
                 exploding_factory,
-                executor="gpu",
+                policy=ExecutionPolicy(executor="gpu"),
             )
         with pytest.raises(ValidationError, match="executor='batch'"):
             run_sweep(
                 protocol,
                 _population(protocol, 2),
                 exploding_factory,
-                kernel="numba",
+                policy=ExecutionPolicy(kernel="numba"),
             )
         with pytest.raises(ValidationError, match="unknown recovery"):
             run_resilience_sweep(
@@ -286,7 +289,14 @@ class TestIncrementalAggregation:
         protocol = _ring(4)
         plan = plan_sweep(protocol, _population(protocol, 9), _sync, max_steps=50)
         serial = execute_plan(plan)
-        assert execute_plan(plan, executor="batch", shard_size=4) == serial
+        assert (
+            execute_plan(
+                plan,
+                policy=ExecutionPolicy(executor="batch"),
+                shard_size=4,
+            )
+            == serial
+        )
 
 
 class TestResultCacheIntegration:
@@ -331,8 +341,10 @@ class TestResultCacheIntegration:
         protocol = _ring(4)
         plan = plan_sweep(protocol, _population(protocol, 6), _sync, max_steps=50)
         cache = InMemoryCache()
-        cold = execute_plan(plan, cache=cache, executor="serial")
-        warm = execute_plan(plan, cache=cache, executor="batch")
+        cold = execute_plan(plan, cache=cache)
+        warm = execute_plan(
+            plan, cache=cache, policy=ExecutionPolicy(executor="batch")
+        )
         assert warm == cold
         assert cache.stats.hits == 6
 

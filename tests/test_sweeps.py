@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import ExecutionPolicy
 from repro.analysis import SweepCase, SweepReport, run_sweep
 from repro.core import (
     Labeling,
@@ -174,7 +175,9 @@ class TestRunSweep:
             for s in range(8)
         ]
         serial = run_sweep(protocol, cases, _sync_factory)
-        parallel = run_sweep(protocol, cases, _sync_factory, processes=2)
+        parallel = run_sweep(
+            protocol, cases, _sync_factory, policy=ExecutionPolicy(processes=2)
+        )
         assert serial == parallel
 
     def test_seeded_random_schedules_bit_identical_serial_vs_parallel(self):
@@ -199,7 +202,7 @@ class TestRunSweep:
             cases,
             _StatefulRandomFactory(4, 3, seed=42),
             max_steps=60,
-            processes=3,
+            policy=ExecutionPolicy(processes=3),
         )
         assert serial == parallel
 
@@ -215,7 +218,9 @@ class TestRunSweep:
             SweepCase((0,) * 4, random_bit_labeling(protocol.topology, seed=s))
             for s in range(6)
         ]
-        run_sweep(protocol, cases, factory, processes=3)
+        run_sweep(
+            protocol, cases, factory, policy=ExecutionPolicy(processes=3)
+        )
         # the closure does not pickle, but it ran in this process either
         # way: one invocation per case, in order
         assert seen == [0, 1, 2, 3, 4, 5]
@@ -227,7 +232,12 @@ class TestRunSweep:
             for s in range(3)
         ]
         with pytest.warns(RuntimeWarning, match="do not pickle"):
-            report = run_sweep(protocol, cases, _sync_factory, processes=4)
+            report = run_sweep(
+                protocol,
+                cases,
+                _sync_factory,
+                policy=ExecutionPolicy(processes=4),
+            )
         assert len(report) == 3
 
 
@@ -247,7 +257,12 @@ class TestFanOutDiagnostics:
     def test_pickle_failure_warns_with_the_offending_error(self):
         protocol, cases = self._unpicklable_cases()
         with pytest.warns(RuntimeWarning) as captured:
-            report = run_sweep(protocol, cases, _sync_factory, processes=2)
+            report = run_sweep(
+                protocol,
+                cases,
+                _sync_factory,
+                policy=ExecutionPolicy(processes=2),
+            )
         assert len(report) == 4
         message = str(captured[0].message)
         assert "do not pickle" in message
@@ -259,7 +274,13 @@ class TestFanOutDiagnostics:
 
         protocol, cases = self._unpicklable_cases()
         with pytest.raises((AttributeError, TypeError, _pickle.PicklingError)):
-            run_sweep(protocol, cases, _sync_factory, processes=2, strict=True)
+            run_sweep(
+                protocol,
+                cases,
+                _sync_factory,
+                policy=ExecutionPolicy(processes=2),
+                strict=True,
+            )
 
     def test_serial_run_never_warns(self):
         import warnings as _warnings
@@ -283,7 +304,7 @@ class TestFanOutDiagnostics:
                 cases,
                 _sync_factory,
                 lambda i, c: NoFaults(),
-                processes=2,
+                policy=ExecutionPolicy(processes=2),
                 strict=True,
             )
 
