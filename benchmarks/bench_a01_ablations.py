@@ -72,7 +72,7 @@ def _synchronizes(spec: RingCounterSpec, seed: int) -> bool:
     )
     rows = [config.outputs for config in trace[1:]]
     tail = rows[-(2 * spec.modulus):]
-    for current, nxt in zip(tail, tail[1:]):
+    for current, nxt in zip(tail, tail[1:], strict=False):
         if len(set(current)) != 1 or nxt[0] != (current[0] + 1) % spec.modulus:
             return False
     return True

@@ -98,7 +98,9 @@ def test_a03_resilience_sweep_overhead(benchmark):
     assert all(r.steps_executed == STEPS for r in bare_report.results)
     assert all(r.steps_executed == STEPS for r in no_fault_report.results)
     assert all(r.faults_fired == 0 for r in no_fault_report.results)
-    for bare, injected in zip(bare_report.results, no_fault_report.results):
+    for bare, injected in zip(
+        bare_report.results, no_fault_report.results, strict=True
+    ):
         assert injected.outcome == bare.outcome
         assert injected.final_values == bare.final_values
     fault_report = fault_kernel()

@@ -132,8 +132,8 @@ def test_a06_service_cache_speedup(benchmark):
     # Incremental aggregation (ISSUE 7): streamed shard aggregates merge to
     # exactly the one-shot report, warm and sharded alike.
     last = None
-    for last in iter_shards(build_plan(), cache=cache, shard_size=SHARD_SIZE):
-        pass
+    for shard in iter_shards(build_plan(), cache=cache, shard_size=SHARD_SIZE):
+        last = shard
     assert last.done and last.total_shards == CONFIGURATIONS // SHARD_SIZE
     assert last.aggregate == cold_report
     assert last.cache_hits == CONFIGURATIONS

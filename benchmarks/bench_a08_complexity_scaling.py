@@ -98,7 +98,7 @@ def _ladder_table(title, size_label, sizes, times):
         [size_label, "time (s)", "s / size unit"],
         [
             [f"{size:,}", f"{elapsed:.4f}", f"{elapsed / size:.3g}"]
-            for size, elapsed in zip(sizes, times)
+            for size, elapsed in zip(sizes, times, strict=True)
         ],
     )
 

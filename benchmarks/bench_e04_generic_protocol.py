@@ -41,7 +41,7 @@ def _measure(topology, trials=5, seed=0):
     sweep = run_sweep(
         protocol, cases, lambda _i, _c: SynchronousSchedule(topology.n)
     )
-    for case, result in zip(cases, sweep.results):
+    for case, result in zip(cases, sweep.results, strict=True):
         assert result.label_stable
         assert all(y == f(case.inputs) for y in result.outputs)
     return protocol, sweep.worst_label_rounds

@@ -29,6 +29,9 @@ distributed computation and every construction in it:
 * ``repro.service`` — the sweep job service: planner/executor split,
   content-addressed result caching, and cost-model-backed admission
   control.
+* ``repro.statics`` — static analysis: the statelessness/purity verifier,
+  plan preflight (predicted batch partition, fingerprint-safety), and the
+  repo-invariant lint gate (``python -m repro.statics``).
 
 How any of these *run* — executor, kernel, fan-out, frontier engine,
 symmetry quotient — is described by one frozen value object,
@@ -54,6 +57,7 @@ from repro.core import (
     compile_protocol,
     synchronous_run,
 )
+from repro.exceptions import Diagnostic, StaticAnalysisError
 from repro.graphs import Topology
 from repro.policy import DEFAULT_POLICY, ExecutionPolicy
 
@@ -63,6 +67,7 @@ __all__ = [
     "CompiledProtocol",
     "Configuration",
     "DEFAULT_POLICY",
+    "Diagnostic",
     "ExecutionPolicy",
     "Labeling",
     "RunOutcome",
@@ -70,6 +75,7 @@ __all__ = [
     "Simulator",
     "StatefulProtocol",
     "StatelessProtocol",
+    "StaticAnalysisError",
     "SynchronousSchedule",
     "Topology",
     "__version__",

@@ -347,7 +347,7 @@ def fit_trajectory(
         except OverflowError:
             # 2**x overflowed: grossly faster than the data can be; skip.
             continue
-        offsets = [lt - lc for lt, lc in zip(log_times, log_class)]
+        offsets = [lt - lc for lt, lc in zip(log_times, log_class, strict=True)]
         log_c = sum(offsets) / len(offsets)
         residuals[name_] = math.sqrt(
             sum((offset - log_c) ** 2 for offset in offsets) / len(offsets)

@@ -168,7 +168,9 @@ def _run_fault_cases(protocol, cases, per_case, max_steps, start_index):
     """Worker: run a slice of injected cases through one compiled protocol."""
     compiled = compile_protocol(protocol)
     results = []
-    for offset, (case, (schedule, faults)) in enumerate(zip(cases, per_case)):
+    for offset, (case, (schedule, faults)) in enumerate(
+        zip(cases, per_case, strict=True)
+    ):
         simulator = Simulator(protocol, case.inputs, compiled=compiled)
         report = run_with_faults(
             simulator,
@@ -240,7 +242,7 @@ def _run_fault_cases_batch(
                 cycle_start=report.cycle_start,
                 cycle_length=report.cycle_length,
             )
-            for offset, (case, report) in enumerate(zip(chunk, reports))
+            for offset, (case, report) in enumerate(zip(chunk, reports, strict=True))
         )
     return results
 

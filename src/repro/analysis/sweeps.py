@@ -200,7 +200,7 @@ def _run_cases(
     """Run a slice of cases in-process through one compiled protocol."""
     compiled = compile_protocol(protocol)
     results = []
-    for offset, (case, schedule) in enumerate(zip(cases, schedules)):
+    for offset, (case, schedule) in enumerate(zip(cases, schedules, strict=True)):
         index = start_index + offset
         simulator = Simulator(protocol, case.inputs, compiled=compiled)
         report = simulator.run(
@@ -269,7 +269,7 @@ def _run_cases_batch(
                 final_values=report.final.labeling.values,
                 outputs=report.final.outputs,
             )
-            for offset, (case, report) in enumerate(zip(chunk, reports))
+            for offset, (case, report) in enumerate(zip(chunk, reports, strict=True))
         )
     return results
 

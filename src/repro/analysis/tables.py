@@ -11,7 +11,10 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
     widths = [max(len(row[k]) for row in cells) for k in range(len(headers))]
     lines = []
     for index, row in enumerate(cells):
-        line = "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        line = "  ".join(
+            cell.ljust(width)
+            for cell, width in zip(row, widths, strict=True)
+        )
         lines.append(line.rstrip())
         if index == 0:
             lines.append("  ".join("-" * width for width in widths))

@@ -350,7 +350,7 @@ class BatchCompiledProtocol:
         values: list[Any] = [None] * self.m
         scratch: list[Any] = [None] * self.m
         for row, combo in enumerate(product(range(space_size), repeat=degree)):
-            for position, code in zip(in_pos, combo):
+            for position, code in zip(in_pos, combo, strict=True):
                 values[position] = objects[code]
             try:
                 y = adapter(values, scratch, x)
@@ -624,7 +624,7 @@ class BatchSimulator:
             out_parts, y_parts, valid_parts = [], [], []
             offsets = []
             offset = 0
-            for i, columns, seen in members:
+            for _, columns, _ in members:
                 for out_codes, y_codes, valid in columns:
                     out_parts.append(out_codes)
                     y_parts.append(y_codes)
@@ -908,7 +908,7 @@ class BatchSimulator:
                 if act[row, k]:
                     y = adapters[k](values, scratch, inputs[i])
                     output_writes.append((row, i, y_interners[i].encode(y)))
-            for k, i in enumerate(nodes):
+            for k in range(len(nodes)):
                 if act[row, k]:
                     for position in out_positions[k]:
                         label_writes.append(
@@ -1263,7 +1263,7 @@ class BatchSimulator:
         trusted_config = Configuration._trusted
         return [
             trusted_config(trusted_labeling(topology, vals), outs)
-            for vals, outs in zip(values, outputs)
+            for vals, outs in zip(values, outputs, strict=True)
         ]
 
     def run_batch(
@@ -1694,7 +1694,7 @@ class BatchSimulator:
                 finals = self._materialize_many(
                     codes[exhausted], ocodes[exhausted]
                 )
-                for slot, final in zip(exhausted, finals):
+                for slot, final in zip(exhausted, finals, strict=True):
                     results[slot] = (
                         RunReport(
                             outcome=RunOutcome.SCHEDULE_EXHAUSTED,
@@ -1902,7 +1902,7 @@ class BatchSimulator:
                     )
                     for (slot, _, j, label_rounds, output_rounds), final in zip(
                         fin, finals
-                    ):
+                    , strict=True):
                         results[slot] = (
                             RunReport(
                                 outcome=RunOutcome.LABEL_STABLE,
@@ -1997,7 +1997,7 @@ class BatchSimulator:
 
         if live.size:
             finals = self._materialize_many(codes[live], ocodes[live])
-            for slot, final in zip(live.tolist(), finals):
+            for slot, final in zip(live.tolist(), finals, strict=True):
                 results[slot] = (
                     RunReport(
                         outcome=RunOutcome.TIMEOUT,

@@ -69,7 +69,7 @@ def _generic_stateless_adapter(
     n_out = len(out_edges)
 
     def adapter(values, new_values, x):
-        incoming = {e: values[p] for e, p in zip(in_edges, in_positions)}
+        incoming = {e: values[p] for e, p in zip(in_edges, in_positions, strict=True)}
         outgoing, y = reaction(incoming, x)
         # Size check both before and after indexing: auto-vivifying mappings
         # (defaultdict) would otherwise grow to the right size while being
@@ -77,7 +77,7 @@ def _generic_stateless_adapter(
         if len(outgoing) != n_out:
             raise _bad_edges_error(node, outgoing, out_edges)
         try:
-            for e, q in zip(out_edges, out_positions):
+            for e, q in zip(out_edges, out_positions, strict=True):
                 new_values[q] = outgoing[e]
         except (KeyError, TypeError):
             raise _bad_edges_error(node, outgoing, out_edges) from None
@@ -95,15 +95,15 @@ def _generic_stateful_adapter(
     n_out = len(out_edges)
 
     def adapter(values, new_values, x):
-        incoming = {e: values[p] for e, p in zip(in_edges, in_positions)}
-        own = {e: values[p] for e, p in zip(out_edges, out_positions)}
+        incoming = {e: values[p] for e, p in zip(in_edges, in_positions, strict=True)}
+        own = {e: values[p] for e, p in zip(out_edges, out_positions, strict=True)}
         outgoing, y = reaction(incoming, own, x)
         # Size check both before and after indexing — see the stateless
         # adapter.
         if len(outgoing) != n_out:
             raise _bad_edges_error(node, outgoing, out_edges)
         try:
-            for e, q in zip(out_edges, out_positions):
+            for e, q in zip(out_edges, out_positions, strict=True):
                 new_values[q] = outgoing[e]
         except (KeyError, TypeError):
             raise _bad_edges_error(node, outgoing, out_edges) from None

@@ -74,7 +74,7 @@ class Labeling:
         return self._values[self._topology.edge_position(edge)]
 
     def as_dict(self) -> dict[Edge, Label]:
-        return dict(zip(self._topology.edges, self._values))
+        return dict(zip(self._topology.edges, self._values, strict=True))
 
     def incoming(self, i: int) -> dict[Edge, Label]:
         """The labels a node reads when activated (the paper's ``l_{-i}``)."""
@@ -102,7 +102,7 @@ class Labeling:
 
     def validate(self, space: LabelSpace) -> None:
         """Raise unless every label belongs to ``space``."""
-        for edge, label in zip(self._topology.edges, self._values):
+        for edge, label in zip(self._topology.edges, self._values, strict=True):
             if label not in space:
                 raise ValidationError(
                     f"label {label!r} on edge {edge!r} not in {space!r}"

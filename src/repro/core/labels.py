@@ -167,7 +167,10 @@ class ProductSpace(LabelSpace):
     def __contains__(self, label: Label) -> bool:
         if not isinstance(label, tuple) or len(label) != len(self.components):
             return False
-        return all(part in space for part, space in zip(label, self.components))
+        return all(
+            part in space
+            for part, space in zip(label, self.components, strict=True)
+        )
 
     def __iter__(self) -> Iterator[tuple]:
         return product(*self.components)

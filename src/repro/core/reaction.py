@@ -118,7 +118,8 @@ class UniformReaction(ReactionFunction):
 
             def adapter(values, new_values, x):
                 label, y = fn(
-                    {e: values[p] for e, p in zip(in_edges, in_positions)}, x
+                    {e: values[p] for e, p in zip(in_edges, in_positions, strict=True)},
+                    x,
                 )
                 for q in out_positions:
                     new_values[q] = label
@@ -158,18 +159,19 @@ class TabularReaction(ReactionFunction):
             out_labels, output = self.table[key]
         except KeyError as exc:
             raise ValidationError(f"tabular reaction has no row for {key!r}") from exc
-        return dict(zip(self.out_edges, out_labels)), output
+        return dict(zip(self.out_edges, out_labels, strict=True)), output
 
     def compile_fast_path(self, in_edges, in_positions, out_edges, out_positions):
         if type(self).react is not TabularReaction.react:
             return None
         if set(self.in_edges) != set(in_edges) or set(self.out_edges) != set(out_edges):
             return None
-        position_of = dict(zip(in_edges, in_positions))
+        position_of = dict(zip(in_edges, in_positions, strict=True))
         key_positions = tuple(position_of[e] for e in self.in_edges)
         #: (flat-tuple position, row column) pairs for the scatter.
         scatter = tuple(
-            (q, self.out_edges.index(e)) for e, q in zip(out_edges, out_positions)
+            (q, self.out_edges.index(e))
+            for e, q in zip(out_edges, out_positions, strict=True)
         )
         table = self.table
 

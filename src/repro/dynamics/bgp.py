@@ -68,7 +68,7 @@ class SPPInstance:
             raise ValidationError(f"path {path} must run from {i} to the destination")
         if len(set(path)) != len(path):
             raise ValidationError(f"path {path} is not simple")
-        for u, v in zip(path, path[1:]):
+        for u, v in zip(path, path[1:], strict=False):
             if not self.topology.has_edge(u, v):
                 raise ValidationError(f"path {path} uses missing edge {(u, v)}")
 
@@ -80,7 +80,7 @@ class SPPInstance:
         """Node i's BGP best response to its neighbors' advertisements."""
         best = NO_ROUTE
         best_rank = None
-        for u, path in advertised.items():
+        for path in advertised.values():
             if path == NO_ROUTE or i in path:
                 continue
             candidate = (i, *path)
@@ -115,7 +115,7 @@ class SPPInstance:
         ]
         solutions = []
         for combo in product(*choice_sets):
-            assignment = dict(zip(nodes, combo))
+            assignment = dict(zip(nodes, combo, strict=True))
             assignment[self.destination] = (self.destination,)
             if all(
                 self.best_choice(

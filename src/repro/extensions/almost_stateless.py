@@ -68,7 +68,7 @@ class MemoryProtocol:
         self, labeling_values, memories, inputs, schedule: Schedule, steps: int
     ):
         """Reference semantics: direct execution with explicit memory."""
-        values = dict(zip(self.topology.edges, labeling_values))
+        values = dict(zip(self.topology.edges, labeling_values, strict=True))
         memories = list(memories)
         trace = [(dict(values), tuple(memories))]
         for t in range(steps):

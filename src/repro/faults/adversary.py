@@ -74,7 +74,7 @@ def _candidate_sets(
         candidates.append(forced)
     for i in optional:
         candidates.append(forced | {i})
-    for i, j in zip(optional, optional[1:]):
+    for i, j in zip(optional, optional[1:], strict=False):
         candidates.append(forced | {i, j})
     full = frozenset(range(n))
     if full not in candidates:
@@ -132,7 +132,7 @@ class GreedyAdversarySchedule(Schedule):
             successor, None, self._all_nodes, self._inputs
         )
         probe_survives = not self._is_stable(probe)
-        changed = sum(a != b for a, b in zip(values, successor))
+        changed = sum(a != b for a, b in zip(values, successor, strict=True))
         return (1, int(probe_survives), int(changed > 0), -changed)
 
     def _generate_next(self) -> frozenset[int]:

@@ -80,7 +80,7 @@ def two_ring_census(sigma_size: int) -> dict[tuple[int, int, int, int], bool]:
     entries = [(lbl, x) for lbl in labels for x in (0, 1)]
     outcomes = [(lbl, y) for lbl in labels for y in (0, 1)]
     tables = [
-        dict(zip(entries, choice))
+        dict(zip(entries, choice, strict=True))
         for choice in product(outcomes, repeat=len(entries))
     ]
 

@@ -125,7 +125,7 @@ def cmd_inspect(args, out=sys.stdout) -> int:
     plan = _load_plan(args.plan)
     print(f"plan: {plan.describe()}", file=out)
     print(f"plan fingerprint: {plan.plan_fingerprint}", file=out)
-    for spec, digest in zip(plan.specs, plan.case_fingerprints()):
+    for spec, digest in zip(plan.specs, plan.case_fingerprints(), strict=True):
         tag = "" if spec.case.tag is None else f"  tag={spec.case.tag!r}"
         print(f"  case {spec.index}: {digest}{tag}", file=out)
     return 0

@@ -151,7 +151,7 @@ def _run_specs(plan, specs, runner, processes, strict):
         results = runner(plan.protocol, cases, per_case, plan.max_steps, 0)
     return [
         result if result.index == spec.index else replace(result, index=spec.index)
-        for spec, result in zip(specs, results)
+        for spec, result in zip(specs, results, strict=True)
     ]
 
 
@@ -180,7 +180,7 @@ def _execute_specs(plan, specs, runner, cache, processes, strict):
         computed = _run_specs(
             plan, [spec for spec, _ in missing], runner, processes, strict
         )
-        for (spec, key), result in zip(missing, computed):
+        for (spec, key), result in zip(missing, computed, strict=True):
             cache.put(key, _normalize_for_cache(result))
             by_index[spec.index] = result
     return [by_index[spec.index] for spec in specs], hits, len(missing)

@@ -243,7 +243,7 @@ def fingerprint(obj) -> str:
     """SHA-256 hex digest of ``obj``'s canonical tree, salted with
     :data:`ENGINE_VERSION`."""
     tree = ("repro", ENGINE_VERSION, canonical(obj))
-    return hashlib.sha256(repr(tree).encode("utf-8")).hexdigest()
+    return hashlib.sha256(repr(tree).encode()).hexdigest()
 
 
 # -- registered extractors for the model classes ------------------------------

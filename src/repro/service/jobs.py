@@ -130,6 +130,8 @@ class _Job:
     finished_at: float | None = None
     #: Latest admission verdict (None without an admission policy).
     admission: AdmissionDecision | None = None
+    #: Preflight report (None when submitted with ``preflight="off"``).
+    preflight: object = None
     #: True while the job is held back by a "queue" admission verdict.
     held: bool = False
 
@@ -194,6 +196,7 @@ class SweepService:
         executor: str = UNSET,
         kernel: str | None = UNSET,
         recovered=None,
+        preflight: str = "warn",
     ) -> str:
         """Queue a plan for execution and return its job id.
 
@@ -205,17 +208,40 @@ class SweepService:
         resubmissions are visibly related (``job-3-0f0b5a…`` vs
         ``job-7-0f0b5a…``).
 
+        ``preflight`` runs :func:`repro.statics.verify_plan` on the
+        submission: ``"warn"`` (default) records the predicted batch
+        partition and fingerprint-safety report on the job — it lands in
+        the JSON job record next to the admission decision — ``"strict"``
+        additionally raises :class:`~repro.exceptions.StaticAnalysisError`
+        before anything is enqueued when the plan carries a blocking
+        problem, and ``"off"`` skips the check.
+
         On a service with an admission policy, an over-budget plan is
         REJECTED (the returned job id stays queryable and the decision is
         recorded) or held PENDING for re-evaluation, per the policy's
         ``over_budget`` action.
         """
+        if preflight not in ("off", "warn", "strict"):
+            raise ValidationError(
+                f"preflight must be 'off', 'warn', or 'strict',"
+                f" not {preflight!r}"
+            )
         policy = resolve_policy(
             policy,
             {"processes": processes, "executor": executor, "kernel": kernel},
             api="SweepService.submit",
             fallback=plan.policy,
         )
+        check = None
+        if preflight != "off":
+            # Imported here: repro.statics.preflight reaches back into
+            # repro.service for the fingerprint extractor registry, so a
+            # module-level import would be circular.
+            from repro.statics.preflight import verify_plan
+
+            check = verify_plan(plan)
+            if preflight == "strict":
+                check.raise_for_errors()
         decision = None
         if self.admission is not None:
             estimate = predict_plan_cost(plan, policy, cache=self.cache)
@@ -234,6 +260,7 @@ class SweepService:
                     "recovered": recovered,
                 },
                 admission=decision,
+                preflight=check,
             )
             self._jobs[job_id] = job
             if decision is not None and decision.action == "reject":
@@ -397,6 +424,7 @@ class SweepService:
     # -- internals ---------------------------------------------------------
 
     def _require(self, job_id: str) -> _Job:
+        """Look up a job or raise. Caller holds the lock."""
         job = self._jobs.get(job_id)
         if job is None:
             raise JobError(f"unknown job {job_id!r}")
@@ -447,12 +475,12 @@ class SweepService:
         with self._lock:
             candidates = list(self._held)
         for job_id in candidates:
-            job = self._jobs[job_id]
-            if job.state is not JobState.PENDING:
-                with self._lock:
+            with self._lock:
+                job = self._jobs.get(job_id)
+                if job is None or job.state is not JobState.PENDING:
                     if job_id in self._held:
                         self._held.remove(job_id)
-                continue
+                    continue
             estimate = predict_plan_cost(
                 job.plan, job.options["policy"], cache=self.cache
             )
@@ -534,6 +562,8 @@ class SweepService:
         }
         if job.admission is not None:
             entries["admission"] = job.admission.record()
+        if job.preflight is not None:
+            entries["preflight"] = job.preflight.record()
         if job.error is not None:
             entries["error"] = job.error
         if latest is not None:

@@ -39,13 +39,37 @@ from repro.analysis.sweeps import (
 from repro.core.engine import DEFAULT_MAX_STEPS
 from repro.core.protocol import Protocol
 from repro.core.schedule import Schedule
-from repro.exceptions import ValidationError
+from repro.exceptions import (
+    FingerprintError,
+    StaticAnalysisError,
+    ValidationError,
+)
 from repro.faults.schedules import FaultSchedule
 from repro.policy import ExecutionPolicy
 from repro.service.fingerprint import ENGINE_VERSION, canonical, fingerprint
 
 #: Plan kinds and the report type each aggregates into.
 PLAN_KINDS = {"sweep": SweepReport, "resilience": ResilienceReport}
+
+
+def _located_fingerprint_error(where, obj, error):
+    """Upgrade a bare :class:`FingerprintError` into a located one.
+
+    Canonicalization raises on the *first* offender with no pointer to it;
+    re-walking the object with the preflight offender collector turns the
+    same failure into a :class:`StaticAnalysisError` whose diagnostics name
+    the attribute path and (for lambdas) the source position.  Falls back
+    to the original error when the walk finds nothing (e.g. exotic state
+    only canonicalization's own recursion trips over).
+    """
+    from repro.statics.preflight import fingerprint_offenders
+
+    diagnostics = fingerprint_offenders(obj, where)
+    if not diagnostics:
+        return error
+    return StaticAnalysisError(
+        f"cannot fingerprint {where}: {error}", diagnostics=diagnostics
+    )
 
 
 @dataclass(frozen=True)
@@ -122,8 +146,20 @@ class SweepPlan:
     @cached_property
     def protocol_fingerprint(self) -> str:
         """Digest of the protocol's compile-level state (topology, label
-        space, reactions) — computed once and shared by every case key."""
-        return fingerprint(self.protocol)
+        space, reactions) — computed once and shared by every case key.
+
+        Raises :class:`~repro.exceptions.StaticAnalysisError` with located
+        diagnostics when the protocol cannot be fingerprinted (lambda
+        reactions, closed-over RNG state, ...), instead of the bare
+        :class:`~repro.exceptions.FingerprintError` canonicalization
+        produces deep inside its walk.
+        """
+        try:
+            return fingerprint(self.protocol)
+        except FingerprintError as error:
+            raise _located_fingerprint_error(
+                "plan.protocol", self.protocol, error
+            ) from error
 
     def case_fingerprint(self, spec: CaseSpec) -> str:
         """The content address of one case's condensed result.
@@ -139,19 +175,24 @@ class SweepPlan:
         if cached is not None:
             return cached
         case = spec.case
-        tree = (
-            "case",
-            ENGINE_VERSION,
-            self.kind,
-            self.protocol_fingerprint,
-            canonical(case.inputs),
-            canonical(case.labeling.values),
-            canonical(case.initial_outputs),
-            self._component_fingerprint(spec.schedule),
-            self._component_fingerprint(spec.faults),
-            self.max_steps,
-        )
-        digest = hashlib.sha256(repr(tree).encode("utf-8")).hexdigest()
+        try:
+            tree = (
+                "case",
+                ENGINE_VERSION,
+                self.kind,
+                self.protocol_fingerprint,
+                canonical(case.inputs),
+                canonical(case.labeling.values),
+                canonical(case.initial_outputs),
+                self._component_fingerprint(spec.schedule),
+                self._component_fingerprint(spec.faults),
+                self.max_steps,
+            )
+        except FingerprintError as error:
+            raise _located_fingerprint_error(
+                f"plan.specs[{spec.index}]", spec, error
+            ) from error
+        digest = hashlib.sha256(repr(tree).encode()).hexdigest()
         self._fingerprints[cache_key] = digest
         return digest
 
@@ -179,7 +220,7 @@ class SweepPlan:
             self.max_steps,
             tuple(self.case_fingerprints()),
         )
-        return hashlib.sha256(repr(tree).encode("utf-8")).hexdigest()
+        return hashlib.sha256(repr(tree).encode()).hexdigest()
 
     def describe(self) -> str:
         return (
@@ -195,6 +236,7 @@ def plan_sweep(
     *,
     max_steps: int = DEFAULT_MAX_STEPS,
     policy: ExecutionPolicy | None = None,
+    preflight: bool = False,
 ) -> SweepPlan:
     """Plan a sweep: coerce cases and materialize one schedule per case.
 
@@ -203,20 +245,27 @@ def plan_sweep(
     seeded stateful factories produce identical plans no matter how the
     plan is later executed or sharded.  ``policy`` attaches a suggested
     :class:`repro.ExecutionPolicy` to the plan (cosmetic: fingerprints and
-    reports are unchanged by it).
+    reports are unchanged by it).  ``preflight=True`` runs
+    :func:`repro.statics.verify_plan` on the finished plan and raises
+    :class:`~repro.exceptions.StaticAnalysisError` — with located
+    diagnostics — while the offending reaction is still one stack frame
+    away, instead of at first fingerprint use.
     """
     case_list = [_coerce_case(case) for case in cases]
     specs = tuple(
         CaseSpec(index=i, case=case, schedule=schedule_factory(i, case))
         for i, case in enumerate(case_list)
     )
-    return SweepPlan(
+    plan = SweepPlan(
         protocol=protocol,
         specs=specs,
         kind="sweep",
         max_steps=max_steps,
         policy=policy,
     )
+    if preflight:
+        _preflight_plan(plan)
+    return plan
 
 
 def plan_resilience_sweep(
@@ -227,14 +276,14 @@ def plan_resilience_sweep(
     *,
     max_steps: int = DEFAULT_MAX_STEPS,
     policy: ExecutionPolicy | None = None,
+    preflight: bool = False,
 ) -> SweepPlan:
     """Plan a resilience sweep: schedules *and* fault plans per case.
 
     Factory invocation order matches
     :func:`repro.analysis.resilience.run_resilience_sweep`: for each case in
-    order, the schedule factory then the fault factory.  ``policy`` is the
-    plan's suggested :class:`repro.ExecutionPolicy`, as in
-    :func:`plan_sweep`.
+    order, the schedule factory then the fault factory.  ``policy`` and
+    ``preflight`` behave as in :func:`plan_sweep`.
     """
     case_list = [_coerce_case(case) for case in cases]
     specs = tuple(
@@ -246,10 +295,20 @@ def plan_resilience_sweep(
         )
         for i, case in enumerate(case_list)
     )
-    return SweepPlan(
+    plan = SweepPlan(
         protocol=protocol,
         specs=specs,
         kind="resilience",
         max_steps=max_steps,
         policy=policy,
     )
+    if preflight:
+        _preflight_plan(plan)
+    return plan
+
+
+def _preflight_plan(plan: SweepPlan) -> None:
+    """Run the static preflight and raise on blocking diagnostics."""
+    from repro.statics.preflight import verify_plan
+
+    verify_plan(plan).raise_for_errors()

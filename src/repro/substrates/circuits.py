@@ -179,7 +179,7 @@ class CircuitBuilder:
             if fn(*assignment):
                 literals = [
                     wire if bit else self.not_(wire)
-                    for wire, bit in zip(arg_wires, assignment)
+                    for wire, bit in zip(arg_wires, assignment, strict=True)
                 ]
                 minterms.append(self.and_all(literals))
         return self.or_all(minterms)

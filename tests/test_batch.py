@@ -258,7 +258,7 @@ class TestRunEquivalence:
         batch = BatchSimulator(protocol, inputs, kernel=kernel).run_batch(
             labelings, schedules, max_steps=max_steps
         )
-        for s, r in zip(serial, batch):
+        for s, r in zip(serial, batch, strict=True):
             assert_reports_equal(s, r)
 
     @pytest.mark.parametrize("kernel", KERNELS)
@@ -284,7 +284,7 @@ class TestRunEquivalence:
         batch = BatchSimulator(protocol, inputs, kernel=kernel).run_batch_with_faults(
             labelings, schedules, plans, max_steps=max_steps
         )
-        for s, r in zip(serial, batch):
+        for s, r in zip(serial, batch, strict=True):
             assert_reports_equal(s, r, FAULT_FIELDS)
 
     @pytest.mark.parametrize("kernel", KERNELS)
@@ -305,7 +305,7 @@ class TestRunEquivalence:
             batch = BatchSimulator(protocol, inputs, kernel=kernel).run_batch(
                 labelings, schedules, max_steps=max_steps
             )
-            for s, r in zip(serial, batch):
+            for s, r in zip(serial, batch, strict=True):
                 assert_reports_equal(s, r)
 
     def test_initial_outputs_and_shared_schedule(self):
@@ -328,7 +328,7 @@ class TestRunEquivalence:
         batch = BatchSimulator(protocol, inputs).run_batch(
             labelings, schedule, max_steps=60, initial_outputs=outputs
         )
-        for s, r in zip(serial, batch):
+        for s, r in zip(serial, batch, strict=True):
             assert_reports_equal(s, r)
 
 
@@ -550,7 +550,7 @@ class TestFusedWindows:
             single = BatchSimulator(protocol, inputs, kernel=kernel).run_batch(
                 labelings, schedules, max_steps=max_steps
             )
-        for f, s in zip(fused, single):
+        for f, s in zip(fused, single, strict=True):
             assert_reports_equal(s, f)
 
     @pytest.mark.parametrize("kernel", KERNELS)
@@ -579,7 +579,7 @@ class TestFusedWindows:
             ).run_batch_with_faults(
                 labelings, schedules, plans, max_steps=max_steps
             )
-        for f, s in zip(fused, single):
+        for f, s in zip(fused, single, strict=True):
             assert_reports_equal(s, f, FAULT_FIELDS)
 
     @pytest.mark.parametrize("kernel", KERNELS)
@@ -615,7 +615,7 @@ class TestFusedWindows:
                 protocol, inputs, kernel=kernel
             ).run_batch(labelings, schedule, max_steps=100)
         settle_steps = set()
-        for b, (labeling, report) in enumerate(zip(labelings, batch)):
+        for b, (labeling, report) in enumerate(zip(labelings, batch, strict=True)):
             serial = Simulator(protocol, inputs[b]).run(
                 labeling, schedule, max_steps=100
             )
@@ -649,7 +649,7 @@ class TestPackedInterner:
         # Emitted in the smallest dtype covering the interner, with no
         # int64 round trip for already-narrow input.
         assert bulk.dtype == np.uint8
-        for encoded, row in zip(bulk, rows):
+        for encoded, row in zip(bulk, rows, strict=True):
             assert interner.decode_values(encoded) == tuple(row.tolist())
 
     def test_bulk_encode_explicit_dtype_and_u16_round_trip(self):
@@ -704,7 +704,7 @@ class TestPackedInterner:
         schedule = SynchronousSchedule(n)
         simulator = BatchSimulator(protocol, [(0,) * n] * 2, kernel=kernel)
         batch = simulator.run_batch(labelings, schedule, max_steps=300)
-        for labeling, report in zip(labelings, batch):
+        for labeling, report in zip(labelings, batch, strict=True):
             serial = Simulator(protocol, (0,) * n).run(
                 labeling, schedule, max_steps=300
             )
@@ -748,7 +748,7 @@ class TestLiftTiers:
         assert simulator.lifted_nodes == ()
         schedule = SynchronousSchedule(n)
         batch = simulator.run_batch(labelings, schedule, max_steps=40)
-        for labeling, report in zip(labelings, batch):
+        for labeling, report in zip(labelings, batch, strict=True):
             serial = Simulator(protocol, (0,) * n).run(
                 labeling, schedule, max_steps=40
             )
@@ -785,7 +785,7 @@ class TestLiftTiers:
         ]
         schedule = RoundRobinSchedule(5)
         batch_reports = simulator.run_batch(labelings, schedule, max_steps=60)
-        for labeling, report in zip(labelings, batch_reports):
+        for labeling, report in zip(labelings, batch_reports, strict=True):
             serial = Simulator(protocol, (0,) * 5).run(
                 labeling, schedule, max_steps=60
             )
@@ -828,7 +828,7 @@ class TestLiftTiers:
         batch = simulator.run_batch(labelings, schedule, max_steps=50)
         # ... and once label 2 entered the interner, every node was demoted.
         assert simulator.lifted_nodes == ()
-        for labeling, report in zip(labelings, batch):
+        for labeling, report in zip(labelings, batch, strict=True):
             serial = Simulator(protocol, (0,) * n).run(
                 labeling, schedule, max_steps=50
             )
@@ -862,7 +862,7 @@ class TestLiftTiers:
         ]
         schedule = SynchronousSchedule(n)
         batch = simulator.run_batch(labelings, schedule, max_steps=40)
-        for labeling, report in zip(labelings, batch):
+        for labeling, report in zip(labelings, batch, strict=True):
             serial = Simulator(protocol, (0,) * n).run(
                 labeling, schedule, max_steps=40
             )

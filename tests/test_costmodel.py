@@ -68,7 +68,7 @@ class TestFitTrajectory:
         # +-10% multiplicative noise, fixed pattern
         times = [
             1e-4 * size * factor
-            for size, factor in zip(sizes, [1.08, 0.93, 1.05, 0.95, 1.02])
+            for size, factor in zip(sizes, [1.08, 0.93, 1.05, 0.95, 1.02], strict=True)
         ]
         fit = fit_trajectory(sizes, times)
         assert fit.best == "linear"

@@ -102,7 +102,7 @@ class TestEqualityCorollary:
 
     def test_linear_growth(self):
         bounds = [equality_bound(n) for n in range(6, 30, 2)]
-        diffs = {round(b2 - b1, 6) for b1, b2 in zip(bounds, bounds[1:])}
+        diffs = {round(b2 - b1, 6) for b1, b2 in zip(bounds, bounds[1:], strict=False)}
         assert diffs == {0.25}
 
     def test_below_generic_upper_bound(self):

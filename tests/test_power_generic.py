@@ -65,7 +65,7 @@ class TestGenericProtocol:
         f = random_function(n, seed=hash((family, n)) % 10_000)
         protocol = generic_protocol(topology, f)
         rng = random.Random(0)
-        for trial in range(4):
+        for _ in range(4):
             x = tuple(rng.randrange(2) for _ in range(n))
             labeling = Labeling.random(topology, protocol.label_space, rng)
             report = Simulator(protocol, x).run(labeling, SynchronousSchedule(n))

@@ -1,0 +1,222 @@
+"""Plan preflight and its service integration.
+
+:func:`repro.statics.verify_plan` moves two runtime surprises to submit
+time: silent batch-fallback demotion and late fingerprint failure.  These
+tests pin the preflight surface itself (offender collection with located
+diagnostics, the per-case unhashable-input demotions, record shapes) and
+the three places it is wired in: ``SweepService.submit(preflight=)``,
+``plan_sweep(..., preflight=True)``, and the upgraded
+:class:`~repro.exceptions.StaticAnalysisError` the fingerprint path now
+raises instead of a bare, unlocated ``FingerprintError``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.analysis import SweepCase
+from repro.core import StatelessProtocol, UniformReaction, binary
+from repro.exceptions import (
+    FingerprintError,
+    StaticAnalysisError,
+    ValidationError,
+)
+from repro.graphs import unidirectional_ring
+from repro.service import SweepService, plan_sweep
+from repro.statics import fingerprint_offenders, verify_plan, verify_protocol
+from tests.helpers import random_bit_labeling
+from tests.test_service_jobs import _plan, _ring, _sync
+
+
+def _lambda_ring(n=3):
+    """A ring whose reactions close over a lambda — unfingerprintable."""
+    topology = unidirectional_ring(n)
+    reactions = [
+        UniformReaction(topology.out_edges(i), lambda incoming, x: (0, x))
+        for i in range(n)
+    ]
+    return StatelessProtocol(topology, binary(), reactions, name="lambda-ring")
+
+
+def _cases(protocol, count=2):
+    n = protocol.n
+    return [
+        SweepCase((0,) * n, random_bit_labeling(protocol.topology, seed=s))
+        for s in range(count)
+    ]
+
+
+class TestVerifyProtocol:
+    def test_small_ring_fully_lifts(self):
+        preflight = verify_protocol(_ring(4))
+        assert preflight.fully_lifted
+        assert preflight.predicted_lifted == (0, 1, 2, 3)
+        assert not preflight.is_stateful
+        assert "4/4 nodes lift" in preflight.describe()
+
+    def test_record_is_json_able(self):
+        record = verify_protocol(_ring(3)).record()
+        json.dumps(record)
+        assert record["predicted_fallback"] == []
+        assert record["space_size"] == 2
+
+
+class TestFingerprintOffenders:
+    def test_clean_protocol_has_no_offenders(self):
+        assert fingerprint_offenders(_ring(3)) == ()
+
+    def test_lambda_is_located_at_its_source(self):
+        offenders = fingerprint_offenders(_lambda_ring(), "plan.protocol")
+        assert offenders, "the lambda must be found"
+        assert {d.rule for d in offenders} == {"preflight/lambda"}
+        diagnostic = offenders[0]
+        assert diagnostic.severity == "error"
+        assert diagnostic.path.endswith("test_preflight.py")
+        assert diagnostic.line is not None
+        assert "plan.protocol" in diagnostic.message
+
+    def test_rng_state_names_the_attribute_path(self):
+        class Holder:
+            def __init__(self):
+                self.rng = random.Random(3)
+
+        (diagnostic,) = fingerprint_offenders(Holder(), "case")
+        assert diagnostic.rule == "preflight/rng-state"
+        assert "case.rng" in diagnostic.message
+
+    def test_unregistered_opaque_type_is_flagged(self):
+        class Opaque:
+            __slots__ = ()
+
+        (diagnostic,) = fingerprint_offenders(Opaque())
+        assert diagnostic.rule == "preflight/unregistered-type"
+        assert "register_fingerprint" in diagnostic.message
+
+
+class TestVerifyPlan:
+    def test_clean_plan_is_ok(self):
+        plan, _, _ = _plan(count=3)
+        preflight = verify_plan(plan)
+        assert preflight.ok
+        assert preflight.fingerprint_safe
+        assert preflight.kind == "sweep"
+        assert preflight.cases == 3
+        assert preflight.case_demotions == ()
+        assert preflight.protocol.fully_lifted
+        json.dumps(preflight.record())
+
+    def test_shared_lambda_is_reported_once(self):
+        protocol = _lambda_ring(4)
+        plan = plan_sweep(protocol, _cases(protocol), _sync, max_steps=20)
+        preflight = verify_plan(plan)
+        assert not preflight.ok
+        assert not preflight.fingerprint_safe
+        # 4 reactions x (protocol + 2 specs) all share one lambda: the
+        # report collapses them to a single located diagnostic.
+        assert len(preflight.errors) == 1
+        with pytest.raises(StaticAnalysisError) as excinfo:
+            preflight.raise_for_errors()
+        assert "preflight/lambda" in str(excinfo.value)
+
+    def test_unhashable_input_demotes_that_case_only(self):
+        protocol = _ring(3)
+        labeling = random_bit_labeling(protocol.topology, seed=0)
+        cases = [
+            SweepCase((0, 0, 0), labeling),
+            SweepCase((0, [1], 0), labeling),  # a list input: unhashable
+        ]
+        plan = plan_sweep(protocol, cases, _sync, max_steps=20)
+        preflight = verify_plan(plan)
+        assert preflight.case_demotions == ((1, 1),)
+        assert [d.rule for d in preflight.diagnostics] == [
+            "preflight/unhashable-input"
+        ]
+        # Demotion is a performance warning, not a blocker.
+        assert preflight.ok
+
+    def test_record_sits_next_to_admission_shape(self):
+        plan, _, _ = _plan(count=2)
+        record = verify_plan(plan).record()
+        assert record["ok"] is True
+        assert set(record) == {
+            "ok",
+            "kind",
+            "cases",
+            "fingerprint_safe",
+            "protocol",
+            "case_demotions",
+            "diagnostics",
+        }
+
+
+class TestPlanTimePreflight:
+    """``plan_sweep(..., preflight=True)`` fails while the offending
+    reaction is still one stack frame away."""
+
+    def test_lambda_reaction_raises_at_plan_time(self):
+        protocol = _lambda_ring()
+        with pytest.raises(StaticAnalysisError) as excinfo:
+            plan_sweep(
+                protocol,
+                _cases(protocol),
+                _sync,
+                max_steps=20,
+                preflight=True,
+            )
+        diagnostics = excinfo.value.diagnostics
+        assert {d.rule for d in diagnostics} == {"preflight/lambda"}
+        assert diagnostics[0].path.endswith("test_preflight.py")
+
+    def test_preflight_off_defers_to_fingerprint_time(self):
+        protocol = _lambda_ring()
+        plan = plan_sweep(protocol, _cases(protocol), _sync, max_steps=20)
+        # Planning succeeded; the failure now comes at first fingerprint
+        # use — but upgraded to a located StaticAnalysisError rather than
+        # the bare FingerprintError canonicalization raises internally.
+        with pytest.raises(StaticAnalysisError) as excinfo:
+            plan.plan_fingerprint
+        assert isinstance(excinfo.value.__cause__, FingerprintError)
+        assert "plan.protocol" in str(excinfo.value)
+        assert {d.rule for d in excinfo.value.diagnostics} == {
+            "preflight/lambda"
+        }
+        assert excinfo.value.diagnostics[0].line is not None
+
+
+class TestSubmitPreflight:
+    def test_warn_records_preflight_next_to_admission(self, tmp_path):
+        plan, _, _ = _plan(count=2)
+        with SweepService(records_dir=tmp_path) as service:
+            service.result(service.submit(plan), timeout=30)
+        (path,) = tmp_path.glob("JOB_*.json")
+        entries = json.loads(path.read_text())["entries"]
+        assert entries["preflight"]["ok"] is True
+        assert entries["preflight"]["kind"] == "sweep"
+        assert entries["preflight"]["cases"] == 2
+        assert entries["preflight"]["fingerprint_safe"] is True
+        assert entries["preflight"]["protocol"]["predicted_fallback"] == []
+
+    def test_off_skips_the_check_and_the_record(self, tmp_path):
+        plan, _, _ = _plan(count=2)
+        with SweepService(records_dir=tmp_path) as service:
+            service.result(service.submit(plan, preflight="off"), timeout=30)
+        (path,) = tmp_path.glob("JOB_*.json")
+        entries = json.loads(path.read_text())["entries"]
+        assert "preflight" not in entries
+
+    def test_strict_rejects_before_enqueue(self):
+        protocol = _lambda_ring()
+        plan = plan_sweep(protocol, _cases(protocol), _sync, max_steps=20)
+        with SweepService() as service:
+            with pytest.raises(StaticAnalysisError, match="preflight"):
+                service.submit(plan, preflight="strict")
+            assert service.jobs() == []
+
+    def test_invalid_mode_is_rejected(self):
+        plan, _, _ = _plan(count=2)
+        with SweepService() as service:
+            with pytest.raises(ValidationError, match="preflight"):
+                service.submit(plan, preflight="sometimes")

@@ -83,7 +83,7 @@ class TestSelfStabilizingConstructionsRecover:
         protocol = generic_protocol(topology, f)
         rng = random.Random(0)
         cases = []
-        for k in range(8):
+        for _ in range(8):
             x = tuple(rng.randrange(2) for _ in range(4))
             cases.append(
                 SweepCase(
@@ -354,7 +354,7 @@ class TestResilienceSweepMechanics:
             lambda i, c: NoFaults(),
             max_steps=60,
         )
-        for bare, injected in zip(plain.results, control.results):
+        for bare, injected in zip(plain.results, control.results, strict=True):
             assert injected.outcome == bare.outcome
             assert injected.label_rounds == bare.label_rounds
             assert injected.output_rounds == bare.output_rounds

@@ -75,7 +75,7 @@ class TestRunSweep:
         ]
         report = run_sweep(protocol, cases, _sync_factory)
         assert len(report) == 6
-        for case, result in zip(cases, report.results):
+        for case, result in zip(cases, report.results, strict=True):
             single = Simulator(protocol, case.inputs).run(
                 case.labeling, SynchronousSchedule(3)
             )
@@ -368,7 +368,7 @@ class TestSweepReportMerge:
             SweepReport(
                 results=tuple(
                     result
-                    for result, bucket in zip(report.results, partition)
+                    for result, bucket in zip(report.results, partition, strict=True)
                     if bucket == which
                 )
             )
